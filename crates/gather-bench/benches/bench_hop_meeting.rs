@@ -1,0 +1,41 @@
+//! Wall-clock companion of experiment F2: the `i-Hop-Meeting` procedure for
+//! increasing radii.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gather_core::HopMeetingRobot;
+use gather_graph::generators;
+use gather_sim::placement::{self, PlacementKind};
+use gather_sim::{SimConfig, Simulator};
+
+fn bench_hop_meeting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_hop_meeting");
+    group.sample_size(10);
+    let graph = generators::cycle(10).unwrap();
+    for radius in [1usize, 2, 3] {
+        let start = placement::generate(
+            &graph,
+            PlacementKind::PairAtDistance(radius),
+            &placement::sequential_ids(2),
+            17,
+        );
+        group.bench_with_input(BenchmarkId::new("radius", radius), &start, |b, s| {
+            b.iter(|| {
+                let robots: Vec<(HopMeetingRobot, usize)> = s
+                    .robots
+                    .iter()
+                    .map(|&(id, node)| (HopMeetingRobot::new(id, graph.n(), radius), node))
+                    .collect();
+                let duration = robots[0].0.duration();
+                let sim = Simulator::new(
+                    &graph,
+                    SimConfig::with_max_rounds(duration + 1).until_first_contact(),
+                );
+                sim.run(robots)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hop_meeting);
+criterion_main!(benches);

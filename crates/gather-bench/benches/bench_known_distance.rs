@@ -1,0 +1,54 @@
+//! Wall-clock companion of the Remark 13 ablation: Faster-Gathering with and
+//! without knowledge of the initial closest-pair distance (the informed
+//! variant skips the schedule steps that cannot possibly succeed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gather_core::{FasterRobot, GatherConfig};
+use gather_graph::generators;
+use gather_sim::placement::{self, PlacementKind};
+use gather_sim::{SimConfig, Simulator};
+
+fn run(
+    graph: &gather_graph::PortGraph,
+    start: &gather_sim::Placement,
+    config: &GatherConfig,
+    known_distance: Option<usize>,
+) -> gather_sim::SimOutcome {
+    let robots: Vec<(FasterRobot, usize)> = start
+        .robots
+        .iter()
+        .map(|&(id, node)| {
+            let robot = match known_distance {
+                Some(d) => FasterRobot::with_known_distance(id, graph.n(), config, d),
+                None => FasterRobot::new(id, graph.n(), config),
+            };
+            (robot, node)
+        })
+        .collect();
+    Simulator::new(graph, SimConfig::with_max_rounds(1_000_000_000)).run(robots)
+}
+
+fn bench_known_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remark13_known_distance");
+    group.sample_size(10);
+    let config = GatherConfig::fast();
+    let graph = generators::cycle(10).unwrap();
+    for distance in [1usize, 2] {
+        let start = placement::generate(
+            &graph,
+            PlacementKind::PairAtDistance(distance),
+            &placement::sequential_ids(2),
+            5,
+        );
+        group.bench_with_input(BenchmarkId::new("oblivious", distance), &start, |b, s| {
+            b.iter(|| run(&graph, s, &config, None))
+        });
+        group.bench_with_input(BenchmarkId::new("informed", distance), &start, |b, s| {
+            b.iter(|| run(&graph, s, &config, Some(distance)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_known_distance);
+criterion_main!(benches);

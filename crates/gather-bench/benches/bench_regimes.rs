@@ -1,0 +1,34 @@
+//! Wall-clock companion of experiment T1: Faster-Gathering vs the UXS
+//! baseline across Theorem 16's robot-count regimes on a fixed graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gather_core::{run_algorithm, Algorithm, GatherConfig, RunSpec};
+use gather_graph::generators;
+use gather_sim::placement::{self, PlacementKind};
+
+fn bench_regimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_regimes");
+    group.sample_size(10);
+    let graph = generators::random_connected(8, 0.3, 7).unwrap();
+    let n = graph.n();
+    let config = GatherConfig::fast();
+    for (label, k) in [("k_gt_half_n", n / 2 + 1), ("k_gt_third_n", n / 3 + 1), ("k_eq_2", 2)] {
+        let ids = placement::sequential_ids(k);
+        let start = placement::generate(&graph, PlacementKind::MaxSpread, &ids, 11);
+        for algorithm in [Algorithm::Faster, Algorithm::UxsOnly] {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), label),
+                &start,
+                |b, start| {
+                    b.iter(|| {
+                        run_algorithm(&graph, start, &RunSpec::new(algorithm).with_config(config))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_regimes);
+criterion_main!(benches);

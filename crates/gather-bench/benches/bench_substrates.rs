@@ -1,0 +1,92 @@
+//! Wall-clock benchmarks of the substrates: graph generation, token-based map
+//! construction, exploration-sequence cover checks and raw simulator
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gather_graph::generators;
+use gather_map::build_map_offline;
+use gather_sim::{Action, Observation, Robot, RobotId, SimConfig, Simulator};
+use gather_uxs::{covers_from_all_starts, LengthPolicy, Uxs};
+
+struct PortZeroWalker {
+    id: RobotId,
+}
+
+impl Robot for PortZeroWalker {
+    type Msg = ();
+    fn id(&self) -> RobotId {
+        self.id
+    }
+    fn announce(&mut self, _obs: &Observation) -> Self::Msg {}
+    fn decide(&mut self, _obs: &Observation, _inbox: &[(RobotId, ())]) -> Action {
+        Action::Move(0)
+    }
+}
+
+fn bench_graph_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_generation");
+    group.sample_size(20);
+    for n in [32usize, 128] {
+        group.bench_with_input(BenchmarkId::new("random_connected", n), &n, |b, &n| {
+            b.iter(|| generators::random_connected(n, 0.1, 7).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("random_tree", n), &n, |b, &n| {
+            b.iter(|| generators::random_tree(n, 7).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_map_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_construction");
+    group.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let graph = generators::random_connected(n, 0.3, 3).unwrap();
+        group.bench_with_input(BenchmarkId::new("token_mapper", n), &graph, |b, g| {
+            b.iter(|| build_map_offline(g, 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_uxs_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uxs_cover_check");
+    group.sample_size(10);
+    for n in [8usize, 12] {
+        let graph = generators::lollipop(n / 2, n - n / 2).unwrap();
+        let uxs = Uxs::for_n(graph.n(), LengthPolicy::Polynomial(3));
+        group.bench_with_input(
+            BenchmarkId::new("covers_from_all_starts", n),
+            &graph,
+            |b, g| b.iter(|| covers_from_all_starts(g, &uxs)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.sample_size(10);
+    for k in [4usize, 16] {
+        let graph = generators::cycle(32).unwrap();
+        group.bench_with_input(BenchmarkId::new("10k_rounds_walkers", k), &k, |b, &k| {
+            b.iter(|| {
+                let robots: Vec<(PortZeroWalker, usize)> = (0..k)
+                    .map(|i| (PortZeroWalker { id: i as u64 + 1 }, i % 32))
+                    .collect();
+                let sim = Simulator::new(&graph, SimConfig::with_max_rounds(10_000));
+                sim.run(robots)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_graph_generation,
+    bench_map_construction,
+    bench_uxs_cover,
+    bench_simulator_throughput
+);
+criterion_main!(benches);

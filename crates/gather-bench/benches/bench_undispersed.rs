@@ -1,0 +1,34 @@
+//! Wall-clock companion of experiment T2: Undispersed-Gathering as `n` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gather_core::{run_algorithm, Algorithm, GatherConfig, RunSpec};
+use gather_graph::generators;
+use gather_sim::placement::{self, PlacementKind};
+
+fn bench_undispersed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_undispersed");
+    group.sample_size(10);
+    let config = GatherConfig::fast();
+    for n in [6usize, 10, 14] {
+        let graph = generators::random_connected(n, 0.3, 5).unwrap();
+        let ids = placement::sequential_ids(4.min(n));
+        let start = placement::generate(&graph, PlacementKind::UndispersedRandom, &ids, 3);
+        group.bench_with_input(
+            BenchmarkId::new("undispersed_gathering", n),
+            &start,
+            |b, s| {
+                b.iter(|| {
+                    run_algorithm(
+                        &graph,
+                        s,
+                        &RunSpec::new(Algorithm::Undispersed).with_config(config),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_undispersed);
+criterion_main!(benches);

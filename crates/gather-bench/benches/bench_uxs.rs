@@ -1,0 +1,43 @@
+//! Wall-clock companion of experiment F4: the UXS-based gathering algorithm
+//! as `n` and the label magnitude grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gather_core::{run_algorithm, Algorithm, GatherConfig, RunSpec};
+use gather_graph::generators;
+use gather_sim::{placement, Placement, PlacementKind};
+
+fn bench_uxs_by_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_uxs_by_n");
+    group.sample_size(10);
+    let config = GatherConfig::fast();
+    for n in [6usize, 8, 10] {
+        let graph = generators::cycle(n).unwrap();
+        let ids = placement::sequential_ids(2);
+        let start = placement::generate(&graph, PlacementKind::MaxSpread, &ids, 3);
+        group.bench_with_input(BenchmarkId::new("uxs_gathering", n), &start, |b, s| {
+            b.iter(|| {
+                run_algorithm(&graph, s, &RunSpec::new(Algorithm::UxsOnly).with_config(config))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_uxs_by_label(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_uxs_by_label");
+    group.sample_size(10);
+    let config = GatherConfig::fast();
+    let graph = generators::cycle(8).unwrap();
+    for largest in [3u64, 15, 63] {
+        let start = Placement::new(vec![(1, 0), (largest, 4)]);
+        group.bench_with_input(BenchmarkId::new("largest_label", largest), &start, |b, s| {
+            b.iter(|| {
+                run_algorithm(&graph, s, &RunSpec::new(Algorithm::UxsOnly).with_config(config))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uxs_by_n, bench_uxs_by_label);
+criterion_main!(benches);

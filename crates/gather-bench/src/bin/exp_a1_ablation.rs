@@ -1,0 +1,112 @@
+//! Experiment A1 (ablations): the design choices DESIGN.md calls out —
+//! (a) the UXS length policy, (b) the Phase 1 budget policy, and (c) the
+//! candidate filters inside the token mapper (measured as candidate-test
+//! pressure via the move count on dense vs sparse graphs).
+
+use gather_bench::{quick_mode, ratio, Table};
+use gather_core::{run_algorithm, schedule, Algorithm, GatherConfig, RunSpec};
+use gather_graph::generators;
+use gather_map::{build_map_offline, MapBoundPolicy};
+use gather_sim::placement::{self, PlacementKind};
+use gather_uxs::{calibrated_length_for_suite, LengthPolicy, Uxs};
+
+fn main() {
+    let n = if quick_mode() { 8 } else { 10 };
+
+    // (a) UXS length policy: rounds of the UXS algorithm under different T.
+    let graph = generators::random_connected(n, 0.3, 5).unwrap();
+    let ids = placement::sequential_ids(3);
+    let start = placement::generate(&graph, PlacementKind::DispersedRandom, &ids, 2);
+    let mut policy_table = Table::new(
+        "A1a",
+        "Ablation: UXS length policy vs rounds (same instance, same robots)",
+        &["policy", "T", "covers all starts", "rounds", "detection ok"],
+    );
+    let calibrated = calibrated_length_for_suite(n, 1).unwrap_or(0);
+    for policy in [
+        LengthPolicy::Polynomial(2),
+        LengthPolicy::Polynomial(3),
+        LengthPolicy::Calibrated(calibrated),
+    ] {
+        let uxs = Uxs::for_n(graph.n(), policy);
+        let covers = gather_uxs::covers_from_all_starts(&graph, &uxs);
+        let config = GatherConfig {
+            uxs_policy: policy,
+            map_bound: MapBoundPolicy::Paper,
+        };
+        let out = run_algorithm(
+            &graph,
+            &start,
+            &RunSpec::new(Algorithm::UxsOnly).with_config(config),
+        );
+        policy_table.push_row(vec![
+            policy.name(),
+            uxs.len().to_string(),
+            covers.to_string(),
+            out.rounds.to_string(),
+            out.is_correct_gathering_with_detection().to_string(),
+        ]);
+    }
+    policy_table.print();
+    policy_table.write_json();
+
+    // (b) Phase 1 budget policy: how much of the budget the mapper actually
+    // uses (schedule waste of the safe bound vs the paper bound).
+    let mut bound_table = Table::new(
+        "A1b",
+        "Ablation: Phase 1 budget policy vs measured map-construction rounds",
+        &["family", "n", "policy", "R1 budget", "measured map rounds", "budget utilisation"],
+    );
+    for family in [generators::Family::Cycle, generators::Family::RandomSparse] {
+        let g = family.instantiate(n, 4).unwrap();
+        let measured = build_map_offline(&g, 0).rounds;
+        for policy in [MapBoundPolicy::Paper, MapBoundPolicy::Implemented] {
+            let config = GatherConfig {
+                uxs_policy: LengthPolicy::Polynomial(3),
+                map_bound: policy,
+            };
+            let budget = schedule::undispersed_phase1_rounds(g.n(), &config);
+            bound_table.push_row(vec![
+                family.name().to_string(),
+                g.n().to_string(),
+                policy.name().to_string(),
+                budget.to_string(),
+                measured.to_string(),
+                ratio(measured, budget),
+            ]);
+        }
+    }
+    bound_table.print();
+    bound_table.write_json();
+
+    // (c) Candidate-test pressure: mapper moves on sparse vs dense graphs of
+    // the same size (the filters keep sparse graphs near-linear per edge).
+    let mut filter_table = Table::new(
+        "A1c",
+        "Ablation: token-mapper cost vs graph density (candidate-filter pressure)",
+        &["graph", "n", "m", "map moves", "moves per edge"],
+    );
+    for g in [
+        generators::random_connected(n, 0.0, 8).unwrap(),
+        generators::random_connected(n, 0.3, 8).unwrap(),
+        generators::complete(n).unwrap(),
+    ] {
+        let result = build_map_offline(&g, 0);
+        filter_table.push_row(vec![
+            g.name().to_string(),
+            g.n().to_string(),
+            g.m().to_string(),
+            result.moves.to_string(),
+            ratio(result.moves, g.m() as u64),
+        ]);
+    }
+    filter_table.print();
+    filter_table.write_json();
+
+    println!(
+        "Expected shape: (a) shorter verified sequences cut rounds proportionally without \
+         affecting correctness; (b) the paper-style n^3 budget is far tighter than the safe n^4 \
+         budget while still never being exceeded on these families; (c) moves per edge grow with \
+         density as more candidate tests survive the filters."
+    );
+}

@@ -1,0 +1,74 @@
+//! Experiment T2 (Theorem 8): Undispersed-Gathering round counts, the cost of
+//! its map-construction phase, and per-robot memory, as `n` grows.
+
+use gather_bench::{fitted_exponent, quick_mode, Table};
+use gather_core::{run_algorithm, schedule, Algorithm, GatherConfig, RunSpec};
+use gather_graph::generators::Family;
+use gather_map::build_map_offline;
+use gather_sim::placement::{self, PlacementKind};
+
+fn main() {
+    let sizes: &[usize] = if quick_mode() { &[8, 10] } else { &[8, 12, 16, 20] };
+    let families = [Family::Cycle, Family::RandomSparse, Family::Grid, Family::BinaryTree];
+    let config = GatherConfig::fast();
+
+    let mut table = Table::new(
+        "T2",
+        "Undispersed-Gathering (Theorem 8): total rounds, map-construction moves, memory",
+        &[
+            "family", "n", "m", "R1 budget", "map rounds (measured)", "total rounds",
+            "peak memory bits", "m*log2(n)",
+        ],
+    );
+
+    let mut scaling: Vec<(usize, u64)> = Vec::new();
+    for &family in &families {
+        for &n_target in sizes {
+            let graph = family.instantiate(n_target, 3).expect("family instantiates");
+            let n = graph.n();
+            let m = graph.m();
+            let map = build_map_offline(&graph, 0);
+            let ids = placement::sequential_ids(4.min(n));
+            let start = placement::generate(&graph, PlacementKind::UndispersedRandom, &ids, 5);
+            let out = run_algorithm(
+                &graph,
+                &start,
+                &RunSpec::new(Algorithm::Undispersed).with_config(config),
+            );
+            assert!(out.is_correct_gathering_with_detection(), "{}", graph.name());
+            let log = (usize::BITS - (n - 1).leading_zeros()) as usize;
+            table.push_row(vec![
+                family.name().to_string(),
+                n.to_string(),
+                m.to_string(),
+                schedule::undispersed_phase1_rounds(n, &config).to_string(),
+                map.rounds.to_string(),
+                out.rounds.to_string(),
+                out.metrics.max_memory_bits().to_string(),
+                (m * log).to_string(),
+            ]);
+            if family == Family::RandomSparse {
+                scaling.push((n, map.rounds));
+            }
+        }
+    }
+
+    table.print();
+    table.write_json();
+
+    if scaling.len() >= 2 {
+        let (n0, r0) = scaling[0];
+        let (n1, r1) = *scaling.last().unwrap();
+        println!(
+            "Measured map-construction growth on sparse random graphs: rounds ~ n^{:.2} \
+             (paper's cited substrate: n^3; our token-test mapper: n^4 worst case, \
+             n^3-shaped on sparse graphs).",
+            fitted_exponent(n0, r0, n1, r1)
+        );
+    }
+    println!(
+        "Expected shape: total rounds are dominated by the fixed R1 schedule (a function of n \
+         only); measured map moves grow polynomially with a small exponent; memory stays within \
+         a small factor of m log n."
+    );
+}

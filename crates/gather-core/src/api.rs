@@ -1,0 +1,186 @@
+//! A small high-level API: pick an algorithm, a graph and a placement, get a
+//! simulation outcome back. This is what the examples and the experiment
+//! harness use.
+
+use crate::baseline::ExpandingRobot;
+use crate::config::GatherConfig;
+use crate::faster::FasterRobot;
+use crate::undispersed::UndispersedRobot;
+use crate::uxs_gathering::UxsGatherRobot;
+use gather_graph::PortGraph;
+use gather_sim::{placement::Placement, SimConfig, SimOutcome, Simulator};
+use gather_uxs::Uxs;
+use serde::{Deserialize, Serialize};
+
+/// The algorithms this crate provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// `Faster-Gathering` (§2.3) — the paper's main contribution.
+    Faster,
+    /// The UXS-based algorithm of §2.1, doubling as the Õ(n⁵ log ℓ) baseline.
+    UxsOnly,
+    /// `Undispersed-Gathering` (§2.2); requires an undispersed start.
+    Undispersed,
+    /// Dessmark-style expanding-radius rendezvous baseline (two robots).
+    ExpandingBaseline,
+}
+
+impl Algorithm {
+    /// Short stable name used in result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Faster => "faster_gathering",
+            Algorithm::UxsOnly => "uxs_gathering",
+            Algorithm::Undispersed => "undispersed_gathering",
+            Algorithm::ExpandingBaseline => "expanding_baseline",
+        }
+    }
+}
+
+/// Everything needed to run one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Which algorithm to run.
+    pub algorithm: Algorithm,
+    /// Algorithm policies (UXS length, Phase 1 bound).
+    pub config: GatherConfig,
+    /// Safety cap on simulated rounds.
+    pub max_rounds: u64,
+}
+
+impl RunSpec {
+    /// A spec with the default (safe) configuration.
+    pub fn new(algorithm: Algorithm) -> Self {
+        RunSpec {
+            algorithm,
+            config: GatherConfig::fast(),
+            max_rounds: 2_000_000_000,
+        }
+    }
+
+    /// Replaces the gathering configuration.
+    pub fn with_config(mut self, config: GatherConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the round cap.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+}
+
+/// Runs `spec.algorithm` on the given graph and placement and returns the
+/// simulation outcome (rounds, correctness of detection, metrics, …).
+pub fn run_algorithm(graph: &PortGraph, placement: &Placement, spec: &RunSpec) -> SimOutcome {
+    let n = graph.n();
+    let sim_config = SimConfig::with_max_rounds(spec.max_rounds);
+    let sim = Simulator::new(graph, sim_config);
+    match spec.algorithm {
+        Algorithm::Faster => {
+            let robots: Vec<(FasterRobot, usize)> = placement
+                .robots
+                .iter()
+                .map(|&(id, node)| (FasterRobot::new(id, n, &spec.config), node))
+                .collect();
+            sim.run(robots)
+        }
+        Algorithm::UxsOnly => {
+            // Share one sequence across robots (they would all compute the
+            // same one from n anyway).
+            let uxs = Uxs::for_n(n, spec.config.uxs_policy);
+            let robots: Vec<(UxsGatherRobot, usize)> = placement
+                .robots
+                .iter()
+                .map(|&(id, node)| (UxsGatherRobot::with_sequence(id, uxs.clone()), node))
+                .collect();
+            sim.run(robots)
+        }
+        Algorithm::Undispersed => {
+            let robots: Vec<(UndispersedRobot, usize)> = placement
+                .robots
+                .iter()
+                .map(|&(id, node)| (UndispersedRobot::new(id, n, &spec.config), node))
+                .collect();
+            sim.run(robots)
+        }
+        Algorithm::ExpandingBaseline => {
+            let robots: Vec<(ExpandingRobot, usize)> = placement
+                .robots
+                .iter()
+                .map(|&(id, node)| (ExpandingRobot::new(id, n), node))
+                .collect();
+            sim.run(robots)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_graph::generators;
+    use gather_sim::placement::{self, PlacementKind};
+
+    #[test]
+    fn names_are_unique() {
+        let names = [
+            Algorithm::Faster.name(),
+            Algorithm::UxsOnly.name(),
+            Algorithm::Undispersed.name(),
+            Algorithm::ExpandingBaseline.name(),
+        ];
+        let mut d = names.to_vec();
+        d.sort();
+        d.dedup();
+        assert_eq!(d.len(), names.len());
+    }
+
+    #[test]
+    fn spec_builders() {
+        let spec = RunSpec::new(Algorithm::Faster)
+            .with_config(GatherConfig::default())
+            .with_max_rounds(123);
+        assert_eq!(spec.max_rounds, 123);
+        assert_eq!(spec.config, GatherConfig::default());
+    }
+
+    #[test]
+    fn every_algorithm_runs_end_to_end_on_a_tiny_instance() {
+        let g = generators::cycle(6).unwrap();
+        let ids = placement::sequential_ids(3);
+        let undispersed = placement::generate(&g, PlacementKind::UndispersedRandom, &ids, 1);
+        let pair = placement::Placement::new(vec![(1, 0), (2, 1)]);
+
+        for (alg, placement) in [
+            (Algorithm::Faster, &undispersed),
+            (Algorithm::UxsOnly, &undispersed),
+            (Algorithm::Undispersed, &undispersed),
+            (Algorithm::ExpandingBaseline, &pair),
+        ] {
+            let out = run_algorithm(&g, placement, &RunSpec::new(alg));
+            assert!(
+                out.is_correct_gathering_with_detection(),
+                "{} failed: {out:?}",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn faster_beats_the_uxs_baseline_on_an_undispersed_start() {
+        let g = generators::random_connected(8, 0.3, 3).unwrap();
+        let ids = placement::sequential_ids(4);
+        let p = placement::generate(&g, PlacementKind::UndispersedRandom, &ids, 9);
+        let faster = run_algorithm(&g, &p, &RunSpec::new(Algorithm::Faster));
+        let uxs = run_algorithm(&g, &p, &RunSpec::new(Algorithm::UxsOnly));
+        assert!(faster.is_correct_gathering_with_detection());
+        assert!(uxs.is_correct_gathering_with_detection());
+        assert!(
+            faster.rounds < uxs.rounds,
+            "Faster-Gathering ({}) should beat the UXS baseline ({}) here",
+            faster.rounds,
+            uxs.rounds
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Configuration shared by all gathering algorithms.
+
+use gather_map::MapBoundPolicy;
+use gather_uxs::LengthPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Tunable policies of the gathering algorithms.
+///
+/// Every robot in a run must be constructed with the same configuration —
+/// the policies play the role of the "commonly known constants" of the paper
+/// (the UXS length bound `T`, the Phase 1 budget `R1`), and synchronisation
+/// relies on them being identical across robots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatherConfig {
+    /// How long the shared exploration sequence is (the paper's `T = Õ(n⁵)`;
+    /// shorter verified lengths keep simulations tractable — see
+    /// `gather-uxs`).
+    pub uxs_policy: LengthPolicy,
+    /// Which Phase 1 round budget `R1(n)` `Undispersed-Gathering` uses (the
+    /// paper's `O(n³)` versus the implemented mapper's safe `O(n⁴)` bound).
+    pub map_bound: MapBoundPolicy,
+}
+
+impl Default for GatherConfig {
+    fn default() -> Self {
+        GatherConfig {
+            uxs_policy: LengthPolicy::Polynomial(3),
+            map_bound: MapBoundPolicy::Implemented,
+        }
+    }
+}
+
+impl GatherConfig {
+    /// The configuration matching the paper's asymptotic bounds
+    /// (`T = Õ(n⁵)`, `R1 = O(n³)`). Prohibitively slow to simulate beyond
+    /// very small `n`, but useful for bound-shape experiments.
+    pub fn paper_faithful() -> Self {
+        GatherConfig {
+            uxs_policy: LengthPolicy::Theoretical,
+            map_bound: MapBoundPolicy::Paper,
+        }
+    }
+
+    /// A fast configuration for tests and examples: cubic exploration
+    /// sequences and the paper's Phase 1 budget (verified on the benchmark
+    /// families).
+    pub fn fast() -> Self {
+        GatherConfig {
+            uxs_policy: LengthPolicy::Polynomial(3),
+            map_bound: MapBoundPolicy::Paper,
+        }
+    }
+
+    /// A configuration with an explicitly calibrated UXS length.
+    pub fn with_calibrated_uxs(len: usize) -> Self {
+        GatherConfig {
+            uxs_policy: LengthPolicy::Calibrated(len),
+            map_bound: MapBoundPolicy::Paper,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_safe() {
+        let c = GatherConfig::default();
+        assert_eq!(c.map_bound, MapBoundPolicy::Implemented);
+        assert_eq!(c.uxs_policy, LengthPolicy::Polynomial(3));
+    }
+
+    #[test]
+    fn presets_differ() {
+        assert_ne!(GatherConfig::paper_faithful(), GatherConfig::fast());
+        assert_eq!(
+            GatherConfig::with_calibrated_uxs(500).uxs_policy,
+            LengthPolicy::Calibrated(500)
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = GatherConfig::fast();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: GatherConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

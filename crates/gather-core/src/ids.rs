@@ -1,0 +1,111 @@
+//! Robot label (ID) utilities.
+//!
+//! Labels are drawn from `[1, n^b]` for a constant `b > 1`. Several of the
+//! paper's procedures read a robot's label bit by bit from the least
+//! significant to the most significant bit, and rely on the fact that two
+//! distinct labels differ at some bit position (padding the shorter label
+//! with a *missing* bit, which is treated differently from both 0 and 1 — a
+//! robot that has exhausted its bits *waits*).
+
+use gather_sim::RobotId;
+
+/// The constant `b` of the label range `[1, n^b]` assumed by this
+/// implementation (the paper only requires `b > 1` to be a constant).
+pub const LABEL_RANGE_EXPONENT: u32 = 2;
+
+/// Number of significant bits of a label (a label is at least 1, so this is
+/// at least 1).
+pub fn id_bit_length(id: RobotId) -> usize {
+    assert!(id >= 1, "labels start at 1");
+    (u64::BITS - id.leading_zeros()) as usize
+}
+
+/// The `index`-th bit of the label, counted from the least significant bit
+/// (index 0). Returns `None` once the label's bits are exhausted, which the
+/// algorithms treat as "wait".
+pub fn id_bit(id: RobotId, index: usize) -> Option<bool> {
+    if index >= id_bit_length(id) {
+        None
+    } else {
+        Some((id >> index) & 1 == 1)
+    }
+}
+
+/// The maximum number of label bits any robot can have in an `n`-node system,
+/// i.e. `⌈log₂(n^b)⌉` for the fixed exponent [`LABEL_RANGE_EXPONENT`]. This is
+/// the per-procedure cycle budget used where the paper writes "`a log n` for a
+/// sufficiently large constant `a`".
+pub fn max_id_bits(n: usize) -> usize {
+    let n = n.max(2) as u64;
+    let max_label = n.saturating_pow(LABEL_RANGE_EXPONENT);
+    (u64::BITS - max_label.leading_zeros()) as usize
+}
+
+/// True if `id` is a legal label for an `n`-node system.
+pub fn label_in_range(id: RobotId, n: usize) -> bool {
+    let n = n.max(2) as u64;
+    id >= 1 && id <= n.saturating_pow(LABEL_RANGE_EXPONENT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_length_matches_binary_representation() {
+        assert_eq!(id_bit_length(1), 1);
+        assert_eq!(id_bit_length(2), 2);
+        assert_eq!(id_bit_length(3), 2);
+        assert_eq!(id_bit_length(4), 3);
+        assert_eq!(id_bit_length(255), 8);
+        assert_eq!(id_bit_length(256), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels start at 1")]
+    fn zero_label_is_rejected() {
+        let _ = id_bit_length(0);
+    }
+
+    #[test]
+    fn bits_are_read_lsb_first() {
+        // 6 = 110b: bits LSB-first are 0, 1, 1, then exhausted.
+        assert_eq!(id_bit(6, 0), Some(false));
+        assert_eq!(id_bit(6, 1), Some(true));
+        assert_eq!(id_bit(6, 2), Some(true));
+        assert_eq!(id_bit(6, 3), None);
+    }
+
+    #[test]
+    fn distinct_labels_differ_at_some_readable_position() {
+        // The §2.1 and §2.3 procedures rely on this: for distinct labels there
+        // is an index where one reads Some(b) and the other reads Some(!b) or
+        // None.
+        for a in 1u64..40 {
+            for b in (a + 1)..40 {
+                let len = id_bit_length(a).max(id_bit_length(b));
+                let differs = (0..len).any(|i| id_bit(a, i) != id_bit(b, i));
+                assert!(differs, "labels {a} and {b} never differ");
+            }
+        }
+    }
+
+    #[test]
+    fn max_id_bits_covers_all_legal_labels() {
+        for n in 2..60usize {
+            let budget = max_id_bits(n);
+            let max_label = (n as u64).pow(LABEL_RANGE_EXPONENT);
+            assert!(id_bit_length(max_label) <= budget);
+            assert!(label_in_range(max_label, n));
+            assert!(!label_in_range(max_label + 1, n));
+            assert!(!label_in_range(0, n));
+        }
+    }
+
+    #[test]
+    fn max_id_bits_is_logarithmic() {
+        // 16^2 = 256, which needs 9 bits; 8^2 = 64, which needs 7 bits.
+        assert_eq!(max_id_bits(16), 9);
+        assert_eq!(max_id_bits(8), 7);
+    }
+}

@@ -1,0 +1,50 @@
+//! # gather-core
+//!
+//! Deterministic **gathering with detection** of mobile robots on arbitrary
+//! anonymous graphs — a faithful implementation of
+//! *Molla, Mondal, Moses Jr., "Fast Deterministic Gathering with Detection on
+//! Arbitrary Graphs: The Power of Many Robots" (IPDPS 2023)*.
+//!
+//! The crate provides the paper's three procedures and their composition:
+//!
+//! | Module | Paper section | Result |
+//! |---|---|---|
+//! | [`uxs_gathering`] | §2.1 | Gathering with detection for any `k` in Õ(n⁵) rounds (Theorem 6); also the baseline the paper compares against |
+//! | [`undispersed`] | §2.2 | `Undispersed-Gathering`: O(n³) rounds when some node starts with ≥ 2 robots (Theorem 8) |
+//! | [`hop_meeting`] | §2.3 | `i-Hop-Meeting`: turns a dispersed configuration with a pair at distance `i` into an undispersed one in O(nⁱ log n) rounds (Lemmas 9, 10) |
+//! | [`faster`] | §2.3 | `Faster-Gathering`: the composed algorithm behind Theorems 12 and 16 |
+//! | [`baseline`] | §1.4 | Dessmark-style expanding-radius rendezvous baseline |
+//! | [`analysis`] | Lemma 15 | Closest-pair guarantees from the robot count |
+//!
+//! All robots are implemented against the knowledge model enforced by
+//! [`gather_sim`]: they know `n` and their own label, observe only local
+//! degrees, entry ports and co-located robots, and communicate only
+//! face-to-face. Every schedule is a pure function of `n` (see [`schedule`])
+//! so simultaneous-start robots stay synchronised, which is what detection
+//! relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod api;
+pub mod baseline;
+pub mod config;
+pub mod faster;
+pub mod hop_meeting;
+pub mod ids;
+pub mod messages;
+pub mod schedule;
+pub mod subalgo;
+pub mod undispersed;
+pub mod uxs_gathering;
+
+pub use api::{run_algorithm, Algorithm, RunSpec};
+pub use baseline::ExpandingRobot;
+pub use config::GatherConfig;
+pub use faster::{build_schedule, FasterRobot, Segment, SegmentKind};
+pub use hop_meeting::{BoundedDfs, HopMeeting, HopMeetingRobot};
+pub use messages::{Msg, Role};
+pub use subalgo::{SubAction, SubAlgorithm};
+pub use undispersed::{UndispersedGathering, UndispersedRobot};
+pub use uxs_gathering::{UxsGatherRobot, UxsGathering};

@@ -1,0 +1,248 @@
+//! Phase and step schedules.
+//!
+//! Every duration used by the algorithms is a **pure function of `n`** (and
+//! of the configuration policies), so that robots that start simultaneously
+//! stay synchronised without any communication — this is what makes the
+//! composed `Faster-Gathering` algorithm and its detection logic work. The
+//! same functions are used by the tests to check synchronisation properties.
+
+use crate::config::GatherConfig;
+use crate::ids::max_id_bits;
+use gather_map::phase1_round_bound;
+
+/// Rounds allotted to Phase 1 (map construction) of `Undispersed-Gathering`:
+/// the paper's `R1`.
+pub fn undispersed_phase1_rounds(n: usize, config: &GatherConfig) -> u64 {
+    phase1_round_bound(n, config.map_bound)
+}
+
+/// Rounds allotted to Phase 2 (spanning-tree collection) of
+/// `Undispersed-Gathering`: the paper uses exactly `2n`.
+pub fn undispersed_phase2_rounds(n: usize) -> u64 {
+    2 * n as u64
+}
+
+/// Total duration `R = R1 + 2n` of one run of `Undispersed-Gathering`.
+pub fn undispersed_total_rounds(n: usize, config: &GatherConfig) -> u64 {
+    undispersed_phase1_rounds(n, config) + undispersed_phase2_rounds(n)
+}
+
+/// Length of one cycle of the `i-Hop-Meeting` procedure:
+/// `T(i) = Σ_{j=1..i} 2(n-1)^j` rounds — enough for a full depth-`i` DFS over
+/// port sequences (every node has degree at most `n-1`).
+pub fn hop_cycle_rounds(i: usize, n: usize) -> u64 {
+    let base = (n.max(2) - 1) as u64;
+    let mut total = 0u64;
+    let mut power = 1u64;
+    for _ in 1..=i {
+        power = power.saturating_mul(base);
+        total = total.saturating_add(2u64.saturating_mul(power));
+    }
+    total
+}
+
+/// Total duration of the `i-Hop-Meeting` procedure: one cycle per possible
+/// label bit (robots with shorter labels wait out the remaining cycles), i.e.
+/// `T(i) · ⌈log₂ n^b⌉ = O(nⁱ log n)`.
+pub fn hop_meeting_rounds(i: usize, n: usize) -> u64 {
+    hop_cycle_rounds(i, n).saturating_mul(max_id_bits(n) as u64)
+}
+
+/// Remark 14: when the maximum degree `Δ` of the graph is known to the
+/// robots, one `i-Hop-Meeting` cycle only needs `Σ_{j=1..i} 2Δ^j` rounds.
+pub fn hop_cycle_rounds_with_degree(i: usize, max_degree: usize) -> u64 {
+    let base = max_degree.max(1) as u64;
+    let mut total = 0u64;
+    let mut power = 1u64;
+    for _ in 1..=i {
+        power = power.saturating_mul(base);
+        total = total.saturating_add(2u64.saturating_mul(power));
+    }
+    total
+}
+
+/// Remark 14: total `i-Hop-Meeting` duration when `Δ` is known —
+/// `O(Δⁱ log n)` instead of `O(nⁱ log n)`.
+pub fn hop_meeting_rounds_with_degree(i: usize, n: usize, max_degree: usize) -> u64 {
+    hop_cycle_rounds_with_degree(i, max_degree).saturating_mul(max_id_bits(n) as u64)
+}
+
+/// Remark 13: the `Faster-Gathering` step that handles an initial closest-pair
+/// distance of `i` hops (step 1 for an undispersed start, step `i+1` for a
+/// dispersed start with a pair at distance `i ≤ 5`, the UXS fallback step 7
+/// beyond that).
+pub fn step_for_distance(i: usize) -> usize {
+    if i == 0 {
+        1
+    } else if i <= MAX_HOP_RADIUS {
+        i + 1
+    } else {
+        MAX_HOP_RADIUS + 2
+    }
+}
+
+/// The largest hop radius `Faster-Gathering` tries before falling back to the
+/// UXS algorithm (steps 2..=6 run `(i-1)`-Hop-Meeting for `i-1 = 1..=5`).
+pub const MAX_HOP_RADIUS: usize = 5;
+
+/// Duration of step `s` (1-based) of `Faster-Gathering`, **excluding** the
+/// one-round detection check appended to every step:
+///
+/// * step 1: one `Undispersed-Gathering` run (`R` rounds);
+/// * steps 2..=6: `(s-1)`-Hop-Meeting followed by `Undispersed-Gathering`;
+/// * step 7 has no fixed duration (the UXS algorithm terminates on its own).
+pub fn faster_step_rounds(step: usize, n: usize, config: &GatherConfig) -> Option<u64> {
+    let r = undispersed_total_rounds(n, config);
+    match step {
+        1 => Some(r),
+        s if (2..=MAX_HOP_RADIUS + 1).contains(&s) => {
+            Some(hop_meeting_rounds(s - 1, n).saturating_add(r))
+        }
+        _ => None,
+    }
+}
+
+/// The round at which step `s` (1-based, `s <= 7`) of `Faster-Gathering`
+/// begins, counting the one-round detection check appended to steps 1..=6.
+pub fn faster_step_start(step: usize, n: usize, config: &GatherConfig) -> u64 {
+    let mut start = 0u64;
+    for s in 1..step {
+        let d = faster_step_rounds(s, n, config)
+            .expect("steps before the UXS fallback have fixed durations");
+        start = start.saturating_add(d).saturating_add(1); // +1 detection check round
+    }
+    start
+}
+
+/// Upper bound on the number of rounds the §2.1 UXS-based algorithm needs
+/// with exploration bound `t`: one `2t` block per possible label bit plus the
+/// final `2t` wait and the termination round.
+pub fn uxs_gathering_round_bound(n: usize, t: u64) -> u64 {
+    2 * t * (max_id_bits(n) as u64 + 1) + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GatherConfig;
+    use gather_map::MapBoundPolicy;
+
+    fn cfg(policy: MapBoundPolicy) -> GatherConfig {
+        GatherConfig {
+            map_bound: policy,
+            ..GatherConfig::default()
+        }
+    }
+
+    #[test]
+    fn phase_lengths_compose() {
+        let c = cfg(MapBoundPolicy::Paper);
+        let n = 10;
+        assert_eq!(
+            undispersed_total_rounds(n, &c),
+            undispersed_phase1_rounds(n, &c) + 2 * n as u64
+        );
+        assert_eq!(undispersed_phase1_rounds(n, &c), 20_000);
+    }
+
+    #[test]
+    fn hop_cycle_matches_the_papers_formula() {
+        // n = 5: T(1) = 2*4 = 8, T(2) = 8 + 2*16 = 40, T(3) = 40 + 2*64 = 168.
+        assert_eq!(hop_cycle_rounds(1, 5), 8);
+        assert_eq!(hop_cycle_rounds(2, 5), 40);
+        assert_eq!(hop_cycle_rounds(3, 5), 168);
+        assert_eq!(hop_cycle_rounds(0, 5), 0);
+    }
+
+    #[test]
+    fn hop_meeting_duration_scales_with_label_bits() {
+        let n = 9;
+        assert_eq!(
+            hop_meeting_rounds(2, n),
+            hop_cycle_rounds(2, n) * max_id_bits(n) as u64
+        );
+    }
+
+    #[test]
+    fn hop_cycle_handles_tiny_graphs() {
+        // n = 2 has max degree 1, so a 1-hop DFS is 2 rounds.
+        assert_eq!(hop_cycle_rounds(1, 2), 2);
+        assert_eq!(hop_cycle_rounds(3, 2), 6);
+    }
+
+    #[test]
+    fn step_starts_are_strictly_increasing() {
+        let c = cfg(MapBoundPolicy::Paper);
+        let n = 8;
+        let mut prev = faster_step_start(1, n, &c);
+        assert_eq!(prev, 0);
+        for s in 2..=7 {
+            let start = faster_step_start(s, n, &c);
+            assert!(start > prev, "step {s} does not start after step {}", s - 1);
+            prev = start;
+        }
+    }
+
+    #[test]
+    fn step_durations_follow_the_papers_structure() {
+        let c = cfg(MapBoundPolicy::Paper);
+        let n = 8;
+        let r = undispersed_total_rounds(n, &c);
+        assert_eq!(faster_step_rounds(1, n, &c), Some(r));
+        for s in 2..=6 {
+            assert_eq!(
+                faster_step_rounds(s, n, &c),
+                Some(hop_meeting_rounds(s - 1, n) + r)
+            );
+        }
+        assert_eq!(faster_step_rounds(7, n, &c), None);
+        assert_eq!(faster_step_rounds(8, n, &c), None);
+    }
+
+    #[test]
+    fn degree_aware_cycles_are_never_longer_than_the_default() {
+        // Remark 14: knowing Δ can only shorten the cycles (Δ <= n - 1).
+        for n in [5usize, 9, 16] {
+            for i in 1..=4 {
+                for delta in 1..n {
+                    assert!(
+                        hop_cycle_rounds_with_degree(i, delta) <= hop_cycle_rounds(i, n),
+                        "n={n}, i={i}, delta={delta}"
+                    );
+                }
+                assert_eq!(
+                    hop_cycle_rounds_with_degree(i, n - 1),
+                    hop_cycle_rounds(i, n)
+                );
+                assert_eq!(
+                    hop_meeting_rounds_with_degree(i, n, n - 1),
+                    hop_meeting_rounds(i, n)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_for_distance_matches_the_schedule_structure() {
+        assert_eq!(step_for_distance(0), 1);
+        assert_eq!(step_for_distance(1), 2);
+        assert_eq!(step_for_distance(5), 6);
+        assert_eq!(step_for_distance(6), 7);
+        assert_eq!(step_for_distance(100), 7);
+    }
+
+    #[test]
+    fn uxs_bound_grows_with_t_and_n() {
+        assert!(uxs_gathering_round_bound(8, 100) < uxs_gathering_round_bound(8, 200));
+        assert!(uxs_gathering_round_bound(8, 100) <= uxs_gathering_round_bound(64, 100));
+    }
+
+    #[test]
+    fn implemented_policy_gives_longer_phase1_than_paper_policy_for_large_n() {
+        let paper = cfg(MapBoundPolicy::Paper);
+        let imp = cfg(MapBoundPolicy::Implemented);
+        for n in [4usize, 8, 16, 32] {
+            assert!(undispersed_phase1_rounds(n, &imp) > undispersed_phase1_rounds(n, &paper));
+        }
+    }
+}

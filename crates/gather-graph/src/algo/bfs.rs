@@ -1,0 +1,219 @@
+//! Breadth-first search, distances, diameter and shortest paths.
+
+use crate::graph::{NodeId, PortGraph, PortId};
+use std::collections::VecDeque;
+
+/// Hop distances from `source` to every node (the graph is connected, so all
+/// entries are finite).
+pub fn bfs_distances(graph: &PortGraph, source: NodeId) -> Vec<usize> {
+    let n = graph.n();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::with_capacity(n);
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v];
+        for u in graph.neighbors(v) {
+            if dist[u] == usize::MAX {
+                dist[u] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes in BFS order from `source` (ties broken by port order, so the order
+/// is deterministic).
+pub fn bfs_order(graph: &PortGraph, source: NodeId) -> Vec<NodeId> {
+    let n = graph.n();
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = VecDeque::with_capacity(n);
+    seen[source] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for u in graph.neighbors(v) {
+            if !seen[u] {
+                seen[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// All-pairs hop distances (`n` BFS runs, O(n·m)).
+pub fn distance_matrix(graph: &PortGraph) -> Vec<Vec<usize>> {
+    graph.nodes().map(|v| bfs_distances(graph, v)).collect()
+}
+
+/// Eccentricity of `v`: the largest hop distance from `v` to any node.
+pub fn eccentricity(graph: &PortGraph, v: NodeId) -> usize {
+    bfs_distances(graph, v).into_iter().max().unwrap_or(0)
+}
+
+/// Diameter of the graph (maximum eccentricity).
+pub fn diameter(graph: &PortGraph) -> usize {
+    graph.nodes().map(|v| eccentricity(graph, v)).max().unwrap_or(0)
+}
+
+/// The node farthest from `source` and its distance (ties broken by the
+/// smallest node id, deterministically).
+pub fn farthest_node(graph: &PortGraph, source: NodeId) -> (NodeId, usize) {
+    let dist = bfs_distances(graph, source);
+    let mut best = (source, 0usize);
+    for (v, &d) in dist.iter().enumerate() {
+        if d > best.1 {
+            best = (v, d);
+        }
+    }
+    best
+}
+
+/// The nodes of a shortest path from `from` to `to` (inclusive of both
+/// endpoints). Deterministic: BFS parent choice follows port order.
+pub fn shortest_path_nodes(graph: &PortGraph, from: NodeId, to: NodeId) -> Vec<NodeId> {
+    let n = graph.n();
+    let mut parent = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    parent[from] = from;
+    queue.push_back(from);
+    while let Some(v) = queue.pop_front() {
+        if v == to {
+            break;
+        }
+        for u in graph.neighbors(v) {
+            if parent[u] == usize::MAX {
+                parent[u] = v;
+                queue.push_back(u);
+            }
+        }
+    }
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = parent[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    path
+}
+
+/// The exit-port sequence of a shortest path from `from` to `to` (the ports a
+/// walker would take at each successive node).
+pub fn shortest_path_ports(graph: &PortGraph, from: NodeId, to: NodeId) -> Vec<PortId> {
+    let nodes = shortest_path_nodes(graph, from, to);
+    nodes
+        .windows(2)
+        .map(|w| {
+            graph
+                .port_towards(w[0], w[1])
+                .expect("consecutive path nodes are adjacent")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::portwalk;
+
+    #[test]
+    fn distances_on_path() {
+        let g = generators::path(6).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(eccentricity(&g, 2), 3);
+        assert_eq!(diameter(&g), 5);
+    }
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = generators::cycle(8).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[4], 4);
+        assert_eq!(d[7], 1);
+        assert_eq!(diameter(&g), 4);
+    }
+
+    #[test]
+    fn bfs_order_visits_all_nodes_once() {
+        let g = generators::random_connected(25, 0.2, 9).unwrap();
+        let order = bfs_order(&g, 3);
+        assert_eq!(order.len(), 25);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 25);
+        assert_eq!(order[0], 3);
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_with_zero_diagonal() {
+        let g = generators::random_connected(15, 0.25, 4).unwrap();
+        let d = distance_matrix(&g);
+        for i in 0..15 {
+            assert_eq!(d[i][i], 0);
+            for j in 0..15 {
+                assert_eq!(d[i][j], d[j][i]);
+                if i != j {
+                    assert!(d[i][j] >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let g = generators::random_connected(12, 0.3, 11).unwrap();
+        let d = distance_matrix(&g);
+        for i in 0..12 {
+            for j in 0..12 {
+                for k in 0..12 {
+                    assert!(d[i][j] <= d[i][k] + d[k][j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn farthest_node_on_path_is_the_other_end() {
+        let g = generators::path(9).unwrap();
+        assert_eq!(farthest_node(&g, 0), (8, 8));
+        assert_eq!(farthest_node(&g, 8), (0, 8));
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = generators::grid(4, 5).unwrap();
+        let d = distance_matrix(&g);
+        let p = shortest_path_nodes(&g, 0, 19);
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&19));
+        assert_eq!(p.len(), d[0][19] + 1);
+        for w in p.windows(2) {
+            assert!(g.are_adjacent(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_ports_actually_reach_target() {
+        let g = generators::random_connected(20, 0.15, 2).unwrap();
+        for (from, to) in [(0usize, 19usize), (5, 7), (3, 3)] {
+            let ports = shortest_path_ports(&g, from, to);
+            let (end, _) = portwalk::walk_path(&g, from, &ports);
+            assert_eq!(end, to);
+            assert_eq!(ports.len(), distance_matrix(&g)[from][to]);
+        }
+    }
+
+    #[test]
+    fn single_node_graph_has_zero_diameter() {
+        let g = generators::path(1).unwrap();
+        assert_eq!(diameter(&g), 0);
+        assert_eq!(bfs_distances(&g, 0), vec![0]);
+    }
+}

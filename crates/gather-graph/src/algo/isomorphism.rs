@@ -1,0 +1,144 @@
+//! Port-preserving isomorphism of port-labeled graphs.
+//!
+//! For connected port-labeled graphs an isomorphism that preserves port
+//! numbers is completely determined by the image of a single node: starting
+//! from the pair `(root_g, root_h)` the mapping propagates along matching
+//! ports. This makes verification cheap (O(m)) and gives exactly the notion
+//! of "isomorphic map" that the map-construction substrate must produce.
+
+use crate::graph::{NodeId, PortGraph};
+use std::collections::VecDeque;
+
+/// Attempts to extend `root_g -> root_h` to a full port-preserving
+/// isomorphism from `g` to `h`. Returns the node mapping (`map[v_g] = v_h`)
+/// if it exists.
+pub fn port_isomorphism_from(
+    g: &PortGraph,
+    h: &PortGraph,
+    root_g: NodeId,
+    root_h: NodeId,
+) -> Option<Vec<NodeId>> {
+    if g.n() != h.n() || g.m() != h.m() {
+        return None;
+    }
+    if g.degree(root_g) != h.degree(root_h) {
+        return None;
+    }
+    let n = g.n();
+    let mut map = vec![usize::MAX; n];
+    let mut inverse = vec![usize::MAX; n];
+    map[root_g] = root_h;
+    inverse[root_h] = root_g;
+    let mut queue = VecDeque::new();
+    queue.push_back(root_g);
+    while let Some(v) = queue.pop_front() {
+        let v_h = map[v];
+        if g.degree(v) != h.degree(v_h) {
+            return None;
+        }
+        for (p, u_g, q_g) in g.ports(v) {
+            let (u_h, q_h) = h.neighbor_via(v_h, p);
+            if q_g != q_h {
+                return None;
+            }
+            if map[u_g] == usize::MAX && inverse[u_h] == usize::MAX {
+                map[u_g] = u_h;
+                inverse[u_h] = u_g;
+                queue.push_back(u_g);
+            } else if map[u_g] != u_h {
+                return None;
+            }
+        }
+    }
+    if map.iter().any(|&x| x == usize::MAX) {
+        return None;
+    }
+    Some(map)
+}
+
+/// True if `g` and `h` are port-preserving isomorphic with `root_g`
+/// corresponding to `root_h`.
+pub fn is_port_isomorphic(g: &PortGraph, h: &PortGraph, root_g: NodeId, root_h: NodeId) -> bool {
+    port_isomorphism_from(g, h, root_g, root_h).is_some()
+}
+
+/// Searches for any port-preserving isomorphism from `g` to `h` by trying all
+/// images of node 0 of `g`. Returns the mapping if one exists. O(n·m).
+pub fn find_port_isomorphism(g: &PortGraph, h: &PortGraph) -> Option<Vec<NodeId>> {
+    if g.n() != h.n() || g.m() != h.m() {
+        return None;
+    }
+    (0..h.n()).find_map(|root_h| port_isomorphism_from(g, h, 0, root_h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators;
+
+    #[test]
+    fn graph_is_isomorphic_to_itself() {
+        let g = generators::random_connected(15, 0.2, 3).unwrap();
+        let map = port_isomorphism_from(&g, &g, 0, 0).unwrap();
+        assert_eq!(map, (0..15).collect::<Vec<_>>());
+        assert!(find_port_isomorphism(&g, &g).is_some());
+    }
+
+    #[test]
+    fn relabeled_graph_is_isomorphic() {
+        let g = generators::random_connected(12, 0.25, 8).unwrap();
+        let perm: Vec<usize> = (0..12).map(|v| (v * 5 + 3) % 12).collect();
+        let h = g.relabeled(&perm).unwrap();
+        let map = port_isomorphism_from(&g, &h, 0, perm[0]).unwrap();
+        assert_eq!(map, perm);
+        assert!(find_port_isomorphism(&g, &h).is_some());
+    }
+
+    #[test]
+    fn different_structures_are_not_isomorphic() {
+        let g = generators::cycle(6).unwrap();
+        let h = generators::path(6).unwrap();
+        assert!(find_port_isomorphism(&g, &h).is_none());
+    }
+
+    #[test]
+    fn same_structure_different_ports_is_not_port_isomorphic() {
+        // Path 0-1-2 built in two different edge orders: port labels at node 1
+        // differ, so no *port-preserving* isomorphism maps 0 -> 0.
+        let a = GraphBuilder::new(3).edge(0, 1).edge(1, 2).build().unwrap();
+        let b = GraphBuilder::new(3).edge(1, 2).edge(0, 1).build().unwrap();
+        assert!(!is_port_isomorphic(&a, &b, 0, 0));
+        // But an isomorphism still exists mapping 0 -> 2 (reversing the path).
+        assert!(find_port_isomorphism(&a, &b).is_some());
+    }
+
+    #[test]
+    fn size_mismatch_is_rejected_quickly() {
+        let g = generators::cycle(6).unwrap();
+        let h = generators::cycle(7).unwrap();
+        assert!(find_port_isomorphism(&g, &h).is_none());
+        assert!(!is_port_isomorphic(&g, &h, 0, 0));
+    }
+
+    #[test]
+    fn root_degree_mismatch_is_rejected() {
+        let g = generators::star(5).unwrap();
+        // Node 0 (centre, degree 4) cannot map to a leaf (degree 1).
+        assert!(!is_port_isomorphic(&g, &g, 0, 1));
+        assert!(is_port_isomorphic(&g, &g, 0, 0));
+    }
+
+    #[test]
+    fn every_relabelling_of_a_hypercube_is_found() {
+        // Relabelling nodes (keeping ports) always admits a port-preserving
+        // isomorphism, and `find_port_isomorphism` must recover it.
+        let g = generators::hypercube(3).unwrap();
+        for shift in 1..8usize {
+            let perm: Vec<usize> = (0..8).map(|v| (v + shift) % 8).collect();
+            let h = g.relabeled(&perm).unwrap();
+            let map = find_port_isomorphism(&g, &h).expect("relabelled copy must be isomorphic");
+            assert_eq!(map.len(), 8);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Classic graph algorithms on [`crate::PortGraph`]: BFS, distances,
+//! diameter, spanning trees, Euler tours and port-preserving isomorphism.
+//!
+//! These operate on the *named* view of the graph (node ids visible) and are
+//! used by the simulator, the placement generators, the analysis utilities
+//! (e.g. Lemma 15 closest-pair computations) and by tests that validate what
+//! the anonymous robot algorithms produced (e.g. that a constructed map is a
+//! port-preserving isomorphic copy of the real graph).
+
+mod bfs;
+mod isomorphism;
+mod spanning_tree;
+
+pub use bfs::{
+    bfs_distances, bfs_order, diameter, distance_matrix, eccentricity, farthest_node,
+    shortest_path_nodes, shortest_path_ports,
+};
+pub use isomorphism::{find_port_isomorphism, is_port_isomorphic, port_isomorphism_from};
+pub use spanning_tree::{bfs_spanning_tree, euler_tour_ports, is_tree, SpanningTree};

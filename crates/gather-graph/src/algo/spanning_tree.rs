@@ -1,0 +1,163 @@
+//! Spanning trees and Euler tours.
+//!
+//! `Undispersed-Gathering` Phase 2 has the finder robot traverse a spanning
+//! tree of its map along an Euler tour, visiting every node and returning to
+//! its start in exactly `2(n-1)` moves. These helpers compute that tour as an
+//! exit-port sequence so it can be replayed on the (anonymous) graph.
+
+use crate::graph::{NodeId, PortGraph, PortId};
+use std::collections::VecDeque;
+
+/// A rooted spanning tree described by parent pointers and the ports used to
+/// travel between parent and child.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningTree {
+    /// Root node of the tree.
+    pub root: NodeId,
+    /// `parent[v]` is `v`'s parent (`parent[root] == root`).
+    pub parent: Vec<NodeId>,
+    /// `parent_port[v]` is the port at `v` leading to its parent (undefined at the root).
+    pub parent_port: Vec<PortId>,
+    /// `children[v]` lists `(child, port at v leading to child)` in port order.
+    pub children: Vec<Vec<(NodeId, PortId)>>,
+}
+
+impl SpanningTree {
+    /// Number of nodes spanned.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Depth of node `v` (root has depth 0).
+    pub fn depth(&self, v: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = v;
+        while cur != self.root {
+            cur = self.parent[cur];
+            d += 1;
+        }
+        d
+    }
+}
+
+/// BFS spanning tree rooted at `root` with deterministic (port-order) parent
+/// selection.
+pub fn bfs_spanning_tree(graph: &PortGraph, root: NodeId) -> SpanningTree {
+    let n = graph.n();
+    let mut parent = vec![usize::MAX; n];
+    let mut parent_port = vec![usize::MAX; n];
+    let mut children = vec![Vec::new(); n];
+    let mut queue = VecDeque::new();
+    parent[root] = root;
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        for (p, u, q) in graph.ports(v) {
+            if parent[u] == usize::MAX {
+                parent[u] = v;
+                parent_port[u] = q;
+                children[v].push((u, p));
+                queue.push_back(u);
+            }
+        }
+    }
+    SpanningTree {
+        root,
+        parent,
+        parent_port,
+        children,
+    }
+}
+
+/// The exit-port sequence of a depth-first Euler tour of `tree`, starting and
+/// ending at the root. Exactly `2(n-1)` ports for an `n`-node tree.
+pub fn euler_tour_ports(tree: &SpanningTree) -> Vec<PortId> {
+    let mut ports = Vec::with_capacity(2 * tree.n().saturating_sub(1));
+    // Iterative DFS carrying the port to go back up.
+    fn visit(tree: &SpanningTree, v: NodeId, ports: &mut Vec<PortId>) {
+        for &(child, down_port) in &tree.children[v] {
+            ports.push(down_port);
+            visit(tree, child, ports);
+            ports.push(tree.parent_port[child]);
+        }
+    }
+    visit(tree, tree.root, &mut ports);
+    ports
+}
+
+/// True if the graph is a tree (connected with `m = n - 1`).
+pub fn is_tree(graph: &PortGraph) -> bool {
+    graph.m() + 1 == graph.n()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::portwalk;
+
+    #[test]
+    fn spanning_tree_spans_everything() {
+        let g = generators::random_connected(30, 0.15, 17).unwrap();
+        let t = bfs_spanning_tree(&g, 4);
+        assert_eq!(t.root, 4);
+        for v in g.nodes() {
+            assert_ne!(t.parent[v], usize::MAX, "node {v} not reached");
+        }
+        let child_count: usize = t.children.iter().map(Vec::len).sum();
+        assert_eq!(child_count, g.n() - 1);
+    }
+
+    #[test]
+    fn spanning_tree_parent_ports_are_consistent() {
+        let g = generators::grid(4, 4).unwrap();
+        let t = bfs_spanning_tree(&g, 0);
+        for v in g.nodes() {
+            if v == t.root {
+                continue;
+            }
+            let (u, _) = g.neighbor_via(v, t.parent_port[v]);
+            assert_eq!(u, t.parent[v]);
+        }
+    }
+
+    #[test]
+    fn depth_matches_bfs_distance() {
+        let g = generators::random_connected(20, 0.2, 5).unwrap();
+        let t = bfs_spanning_tree(&g, 0);
+        let d = crate::algo::bfs_distances(&g, 0);
+        for v in g.nodes() {
+            assert_eq!(t.depth(v), d[v]);
+        }
+    }
+
+    #[test]
+    fn euler_tour_visits_every_node_and_returns_home() {
+        for seed in 0..5u64 {
+            let g = generators::random_connected(18, 0.2, seed).unwrap();
+            let t = bfs_spanning_tree(&g, 2);
+            let tour = euler_tour_ports(&t);
+            assert_eq!(tour.len(), 2 * (g.n() - 1));
+            let walk = portwalk::follow_ports(&g, 2, &tour);
+            assert_eq!(walk.last().unwrap().node, 2, "tour must return to root");
+            let mut visited: Vec<_> = walk.iter().map(|p| p.node).collect();
+            visited.sort_unstable();
+            visited.dedup();
+            assert_eq!(visited.len(), g.n(), "tour must visit every node");
+        }
+    }
+
+    #[test]
+    fn euler_tour_of_single_node_is_empty() {
+        let g = generators::path(1).unwrap();
+        let t = bfs_spanning_tree(&g, 0);
+        assert!(euler_tour_ports(&t).is_empty());
+    }
+
+    #[test]
+    fn is_tree_detects_trees_and_non_trees() {
+        assert!(is_tree(&generators::balanced_binary_tree(10).unwrap()));
+        assert!(is_tree(&generators::path(5).unwrap()));
+        assert!(!is_tree(&generators::cycle(5).unwrap()));
+        assert!(!is_tree(&generators::complete(4).unwrap()));
+    }
+}

@@ -1,0 +1,73 @@
+//! Graphviz (DOT) export for debugging, documentation and examples.
+
+use crate::graph::{NodeId, PortGraph};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Renders the graph in DOT format. Edge labels show the port numbers at both
+/// endpoints as `p:q`.
+pub fn to_dot(graph: &PortGraph) -> String {
+    to_dot_with_marks(graph, &HashMap::new())
+}
+
+/// Renders the graph in DOT format with per-node extra labels (e.g. which
+/// robots currently occupy each node). Nodes with a mark are drawn filled.
+pub fn to_dot_with_marks(graph: &PortGraph, marks: &HashMap<NodeId, String>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", graph.name().replace('"', "'"));
+    let _ = writeln!(out, "  layout=neato;");
+    for v in graph.nodes() {
+        match marks.get(&v) {
+            Some(label) => {
+                let _ = writeln!(
+                    out,
+                    "  {v} [label=\"{v}\\n{}\", style=filled, fillcolor=lightblue];",
+                    label.replace('"', "'")
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  {v} [label=\"{v}\"];");
+            }
+        }
+    }
+    for (u, p, v, q) in graph.edges() {
+        let _ = writeln!(out, "  {u} -- {v} [label=\"{p}:{q}\", fontsize=8];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_output_contains_all_nodes_and_edges() {
+        let g = generators::cycle(5).unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("graph"));
+        assert!(dot.trim_end().ends_with('}'));
+        for v in 0..5 {
+            assert!(dot.contains(&format!("  {v} [label")));
+        }
+        assert_eq!(dot.matches(" -- ").count(), g.m());
+    }
+
+    #[test]
+    fn marked_nodes_are_highlighted() {
+        let g = generators::path(4).unwrap();
+        let mut marks = HashMap::new();
+        marks.insert(2usize, "r1,r2".to_string());
+        let dot = to_dot_with_marks(&g, &marks);
+        assert!(dot.contains("fillcolor=lightblue"));
+        assert!(dot.contains("r1,r2"));
+    }
+
+    #[test]
+    fn quotes_in_names_are_sanitised() {
+        let g = generators::path(2).unwrap().with_name("a\"b");
+        let dot = to_dot(&g);
+        assert!(!dot.contains("\"a\"b\""));
+    }
+}

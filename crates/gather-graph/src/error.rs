@@ -1,0 +1,86 @@
+//! Error type for graph construction and validation.
+
+use std::fmt;
+
+/// Errors produced while building or validating a [`crate::PortGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index referenced by an edge is out of range.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph under construction.
+        n: usize,
+    },
+    /// An edge `(u, u)` was requested; the model uses simple graphs.
+    SelfLoop {
+        /// The node with the attempted self loop.
+        node: usize,
+    },
+    /// The same undirected edge was added twice.
+    DuplicateEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// A port number was used twice at the same node.
+    DuplicatePort {
+        /// The node where the clash occurred.
+        node: usize,
+        /// The clashing port number.
+        port: usize,
+    },
+    /// Port numbers at a node are not exactly `0..degree`.
+    NonContiguousPorts {
+        /// The node with a gap in its port numbering.
+        node: usize,
+    },
+    /// The adjacency structure is not symmetric (u thinks it neighbours v,
+    /// but v's corresponding port does not point back at u).
+    AsymmetricEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// The graph is empty (zero nodes); the model requires at least one node.
+    Empty,
+    /// The graph must be connected for the gathering model but is not.
+    Disconnected,
+    /// A generator was asked for parameters it cannot satisfy.
+    InvalidParameter {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self loop at node {node} not allowed"),
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "edge ({u}, {v}) added more than once")
+            }
+            GraphError::DuplicatePort { node, port } => {
+                write!(f, "port {port} used twice at node {node}")
+            }
+            GraphError::NonContiguousPorts { node } => {
+                write!(f, "ports at node {node} are not exactly 0..degree")
+            }
+            GraphError::AsymmetricEdge { u, v } => {
+                write!(f, "adjacency between {u} and {v} is not symmetric")
+            }
+            GraphError::Empty => write!(f, "graph must have at least one node"),
+            GraphError::Disconnected => write!(f, "graph must be connected"),
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid generator parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

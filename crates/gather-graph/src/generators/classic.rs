@@ -1,0 +1,150 @@
+//! Elementary graph families: paths, cycles, cliques, stars and wheels.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::PortGraph;
+
+/// Path graph `P_n`: nodes `0 - 1 - ... - n-1`.
+///
+/// The worst case for gathering lower bounds (two robots at either end are
+/// `n-1` hops apart), used throughout the experiments as the "long and thin"
+/// family.
+pub fn path(n: usize) -> Result<PortGraph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut b = GraphBuilder::new(n).name(format!("path(n={n})"));
+    for v in 1..n {
+        b.add_edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// Cycle graph `C_n` (requires `n >= 3`).
+pub fn cycle(n: usize) -> Result<PortGraph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("cycle requires n >= 3, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::new(n).name(format!("cycle(n={n})"));
+    for v in 0..n {
+        b.add_edge(v, (v + 1) % n);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n` (requires `n >= 2`).
+pub fn complete(n: usize) -> Result<PortGraph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("complete graph requires n >= 2, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::new(n).name(format!("complete(n={n})"));
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Star graph: node 0 is the centre, nodes `1..n` are leaves (requires `n >= 2`).
+pub fn star(n: usize) -> Result<PortGraph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("star requires n >= 2, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::new(n).name(format!("star(n={n})"));
+    for v in 1..n {
+        b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// Wheel graph: a cycle on nodes `1..n` plus a hub (node 0) adjacent to every
+/// cycle node (requires `n >= 4`).
+pub fn wheel(n: usize) -> Result<PortGraph, GraphError> {
+    if n < 4 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("wheel requires n >= 4, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::new(n).name(format!("wheel(n={n})"));
+    let ring = n - 1;
+    for i in 0..ring {
+        let u = 1 + i;
+        let v = 1 + ((i + 1) % ring);
+        b.add_edge(u, v);
+        b.add_edge(0, u);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn path_shape() {
+        let g = path(6).unwrap();
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 5);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(3), 2);
+        assert_eq!(algo::diameter(&g), 5);
+    }
+
+    #[test]
+    fn path_of_one_node_is_allowed() {
+        let g = path(1).unwrap();
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn path_of_zero_nodes_rejected() {
+        assert!(path(0).is_err());
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(7).unwrap();
+        assert_eq!(g.m(), 7);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert_eq!(algo::diameter(&g), 3);
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5).unwrap();
+        assert_eq!(g.m(), 10);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(algo::diameter(&g), 1);
+        assert!(complete(1).is_err());
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(8).unwrap();
+        assert_eq!(g.m(), 7);
+        assert_eq!(g.degree(0), 7);
+        assert!((1..8).all(|v| g.degree(v) == 1));
+        assert_eq!(algo::diameter(&g), 2);
+        assert!(star(1).is_err());
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(7).unwrap();
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 12); // 6 rim + 6 spokes
+        assert_eq!(g.degree(0), 6);
+        assert!((1..7).all(|v| g.degree(v) == 3));
+        assert!(wheel(3).is_err());
+    }
+}

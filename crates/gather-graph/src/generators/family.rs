@@ -1,0 +1,224 @@
+//! A uniform way to name and instantiate graph families for sweeps.
+
+use super::{
+    balanced_binary_tree, barbell, complete, cycle, grid, hypercube, lollipop, maze, path,
+    random_connected, random_regular, random_tree, star, torus,
+};
+use crate::error::GraphError;
+use crate::graph::PortGraph;
+use serde::{Deserialize, Serialize};
+
+/// The graph families exercised by the experiment harness.
+///
+/// Each family can be instantiated at (approximately) a target number of
+/// nodes via [`Family::instantiate`], which makes parameter sweeps over `n`
+/// uniform across families. The actual node count may differ slightly for
+/// families with structural constraints (grids, hypercubes); the produced
+/// graph's `n()` is authoritative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Path graph `P_n`.
+    Path,
+    /// Cycle graph `C_n`.
+    Cycle,
+    /// Complete graph `K_n`.
+    Complete,
+    /// Star graph.
+    Star,
+    /// Balanced binary tree.
+    BinaryTree,
+    /// Uniformly random labelled tree.
+    RandomTree,
+    /// Near-square 2D grid.
+    Grid,
+    /// Random maze carved out of a near-square grid (a few extra passages).
+    Maze,
+    /// Near-square 2D torus.
+    Torus,
+    /// Hypercube with `2^d <= n` nodes.
+    Hypercube,
+    /// Lollipop (clique + tail), the classic hard case for walks.
+    Lollipop,
+    /// Barbell (two cliques + bridge), an adversarial gathering instance.
+    Barbell,
+    /// Sparse connected Erdős–Rényi graph (`p = 2/n` extra density).
+    RandomSparse,
+    /// Dense connected Erdős–Rényi graph (`p = 0.5`).
+    RandomDense,
+    /// Near-4-regular random graph.
+    RandomRegular4,
+}
+
+impl Family {
+    /// All families, in a stable order used by reports.
+    pub const ALL: [Family; 15] = [
+        Family::Path,
+        Family::Cycle,
+        Family::Complete,
+        Family::Star,
+        Family::BinaryTree,
+        Family::RandomTree,
+        Family::Grid,
+        Family::Maze,
+        Family::Torus,
+        Family::Hypercube,
+        Family::Lollipop,
+        Family::Barbell,
+        Family::RandomSparse,
+        Family::RandomDense,
+        Family::RandomRegular4,
+    ];
+
+    /// Short, stable name used in result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Path => "path",
+            Family::Cycle => "cycle",
+            Family::Complete => "complete",
+            Family::Star => "star",
+            Family::BinaryTree => "binary_tree",
+            Family::RandomTree => "random_tree",
+            Family::Grid => "grid",
+            Family::Maze => "maze",
+            Family::Torus => "torus",
+            Family::Hypercube => "hypercube",
+            Family::Lollipop => "lollipop",
+            Family::Barbell => "barbell",
+            Family::RandomSparse => "random_sparse",
+            Family::RandomDense => "random_dense",
+            Family::RandomRegular4 => "random_regular4",
+        }
+    }
+
+    /// Instantiates the family with approximately `n` nodes using `seed` for
+    /// random families.
+    pub fn instantiate(&self, n: usize, seed: u64) -> Result<PortGraph, GraphError> {
+        match self {
+            Family::Path => path(n),
+            Family::Cycle => cycle(n.max(3)),
+            Family::Complete => complete(n.max(2)),
+            Family::Star => star(n.max(2)),
+            Family::BinaryTree => balanced_binary_tree(n),
+            Family::RandomTree => random_tree(n, seed),
+            Family::Grid => {
+                let rows = (n as f64).sqrt().round().max(1.0) as usize;
+                let cols = n.div_ceil(rows).max(1);
+                grid(rows, cols)
+            }
+            Family::Maze => {
+                let rows = (n as f64).sqrt().round().max(1.0) as usize;
+                let cols = n.div_ceil(rows).max(1);
+                maze(rows, cols, (rows * cols) / 10, seed)
+            }
+            Family::Torus => {
+                let rows = ((n as f64).sqrt().round() as usize).max(3);
+                let cols = (n / rows).max(3);
+                torus(rows, cols)
+            }
+            Family::Hypercube => {
+                let mut d = 1usize;
+                while (1usize << (d + 1)) <= n.max(2) {
+                    d += 1;
+                }
+                hypercube(d)
+            }
+            Family::Lollipop => {
+                let clique = (n / 2).max(2);
+                lollipop(clique, n.saturating_sub(clique))
+            }
+            Family::Barbell => {
+                let clique = (n / 3).max(2);
+                barbell(clique, n.saturating_sub(2 * clique))
+            }
+            Family::RandomSparse => {
+                let p = if n > 1 { 2.0 / n as f64 } else { 0.0 };
+                random_connected(n, p.min(1.0), seed)
+            }
+            Family::RandomDense => random_connected(n, 0.5, seed),
+            Family::RandomRegular4 => random_regular(n.max(6), 4, seed),
+        }
+    }
+}
+
+/// A `(family, target n, seed)` triple — the unit of work for sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FamilySpec {
+    /// Which family to instantiate.
+    pub family: Family,
+    /// Approximate number of nodes.
+    pub n: usize,
+    /// Seed for random families (ignored by deterministic ones).
+    pub seed: u64,
+}
+
+impl FamilySpec {
+    /// Convenience constructor.
+    pub fn new(family: Family, n: usize, seed: u64) -> Self {
+        FamilySpec { family, n, seed }
+    }
+
+    /// Instantiates the graph described by this spec.
+    pub fn build(&self) -> Result<PortGraph, GraphError> {
+        self.family.instantiate(self.n, self.seed)
+    }
+}
+
+/// The default mixed suite used by the experiments: one spec per family at the
+/// requested target size.
+pub fn standard_suite(n: usize, seed: u64) -> Vec<FamilySpec> {
+    Family::ALL
+        .iter()
+        .map(|&family| FamilySpec::new(family, n, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_instantiates_and_is_connected() {
+        for family in Family::ALL {
+            let g = family
+                .instantiate(16, 42)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", family.name()));
+            assert!(g.is_connected(), "{} not connected", family.name());
+            assert!(g.n() >= 2, "{} too small", family.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Family::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Family::ALL.len());
+    }
+
+    #[test]
+    fn standard_suite_covers_all_families() {
+        let suite = standard_suite(12, 1);
+        assert_eq!(suite.len(), Family::ALL.len());
+        for spec in suite {
+            assert!(spec.build().is_ok());
+        }
+    }
+
+    #[test]
+    fn instantiate_tracks_target_size_reasonably() {
+        for family in Family::ALL {
+            let g = family.instantiate(20, 3).unwrap();
+            // Within a factor of 2 of the request (hypercube rounds down to a
+            // power of two, grids round to rectangles).
+            assert!(g.n() >= 10 && g.n() <= 40, "{}: n={}", family.name(), g.n());
+        }
+    }
+
+    #[test]
+    fn family_serde_roundtrip() {
+        let spec = FamilySpec::new(Family::Lollipop, 18, 9);
+        let s = serde_json::to_string(&spec).unwrap();
+        let back: FamilySpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(spec, back);
+    }
+}

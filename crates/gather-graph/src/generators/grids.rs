@@ -1,0 +1,116 @@
+//! Grid-like families: 2D grids, tori and hypercubes. These model the "maze
+//! with rooms and corridors" and "city blocks" scenarios the paper motivates.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::PortGraph;
+
+/// 2D grid with `rows x cols` nodes; node `(r, c)` has index `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Result<PortGraph, GraphError> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::Empty);
+    }
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n).name(format!("grid({rows}x{cols})"));
+    let idx = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// 2D torus (grid with wrap-around edges). Requires `rows >= 3` and
+/// `cols >= 3` so that no wrap edge duplicates a grid edge.
+pub fn torus(rows: usize, cols: usize) -> Result<PortGraph, GraphError> {
+    if rows < 3 || cols < 3 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("torus requires rows, cols >= 3, got {rows}x{cols}"),
+        });
+    }
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n).name(format!("torus({rows}x{cols})"));
+    let idx = |r: usize, c: usize| (r % rows) * cols + (c % cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(idx(r, c), idx(r, c + 1));
+            b.add_edge(idx(r, c), idx(r + 1, c));
+        }
+    }
+    b.build()
+}
+
+/// Hypercube of dimension `dim` (so `2^dim` nodes); two nodes are adjacent
+/// iff their indices differ in exactly one bit.
+pub fn hypercube(dim: usize) -> Result<PortGraph, GraphError> {
+    if dim == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "hypercube requires dimension >= 1".to_string(),
+        });
+    }
+    if dim > 20 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("hypercube dimension {dim} too large"),
+        });
+    }
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::new(n).name(format!("hypercube(dim={dim})"));
+    for v in 0..n {
+        for bit in 0..dim {
+            let u = v ^ (1 << bit);
+            if v < u {
+                b.add_edge(v, u);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn grid_counts_and_diameter() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert_eq!(algo::diameter(&g), 2 + 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn single_row_grid_is_path() {
+        let g = grid(1, 6).unwrap();
+        assert_eq!(g.m(), 5);
+        assert_eq!(algo::diameter(&g), 5);
+    }
+
+    #[test]
+    fn torus_is_regular_of_degree_four() {
+        let g = torus(3, 5).unwrap();
+        assert_eq!(g.n(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.m(), 30);
+        assert!(torus(2, 5).is_err());
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(algo::diameter(&g), 4);
+        assert!(hypercube(0).is_err());
+        assert!(hypercube(32).is_err());
+    }
+}

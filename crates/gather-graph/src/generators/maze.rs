@@ -1,0 +1,180 @@
+//! Maze-like and bipartite families.
+//!
+//! The paper motivates gathering with "multiple humans or robots trying to
+//! find each other in a discretized space such as a maze with rooms and
+//! corridors"; [`maze`] produces exactly that: a random perfect maze carved
+//! out of a grid (a spanning tree of the grid), optionally with a few extra
+//! passages knocked through to create shortcuts.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::PortGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A random maze on a `rows x cols` grid of cells.
+///
+/// The maze is a uniformly random spanning tree of the grid (randomised DFS
+/// carving), plus `extra_passages` additional grid edges opened at random
+/// (0 gives a perfect maze — a tree with exactly one path between any two
+/// cells). Node `(r, c)` has index `r * cols + c`.
+pub fn maze(
+    rows: usize,
+    cols: usize,
+    extra_passages: usize,
+    seed: u64,
+) -> Result<PortGraph, GraphError> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::Empty);
+    }
+    let n = rows * cols;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n).name(format!(
+        "maze({rows}x{cols},extra={extra_passages},seed={seed})"
+    ));
+    let idx = |r: usize, c: usize| r * cols + c;
+    let neighbours = |v: usize| -> Vec<usize> {
+        let (r, c) = (v / cols, v % cols);
+        let mut out = Vec::with_capacity(4);
+        if r > 0 {
+            out.push(idx(r - 1, c));
+        }
+        if r + 1 < rows {
+            out.push(idx(r + 1, c));
+        }
+        if c > 0 {
+            out.push(idx(r, c - 1));
+        }
+        if c + 1 < cols {
+            out.push(idx(r, c + 1));
+        }
+        out
+    };
+
+    // Randomised DFS carving: produces a spanning tree of the grid.
+    let mut visited = vec![false; n];
+    let start = rng.gen_range(0..n);
+    let mut stack = vec![start];
+    visited[start] = true;
+    while let Some(&v) = stack.last() {
+        let mut unvisited: Vec<usize> = neighbours(v).into_iter().filter(|&u| !visited[u]).collect();
+        if unvisited.is_empty() {
+            stack.pop();
+            continue;
+        }
+        unvisited.shuffle(&mut rng);
+        let next = unvisited[0];
+        b.add_edge(v, next);
+        visited[next] = true;
+        stack.push(next);
+    }
+
+    // Knock through a few extra walls to create shortcuts/cycles.
+    let mut candidates: Vec<(usize, usize)> = Vec::new();
+    for v in 0..n {
+        for u in neighbours(v) {
+            if v < u && !b.has_edge(v, u) {
+                candidates.push((v, u));
+            }
+        }
+    }
+    candidates.shuffle(&mut rng);
+    for &(v, u) in candidates.iter().take(extra_passages) {
+        b.add_edge(v, u);
+    }
+    b.shuffle_ports(&mut rng).build()
+}
+
+/// Complete bipartite graph `K_{a,b}`: every one of the `a` left nodes is
+/// adjacent to every one of the `b` right nodes (left nodes are `0..a`).
+pub fn complete_bipartite(a: usize, b: usize) -> Result<PortGraph, GraphError> {
+    if a == 0 || b == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("complete_bipartite requires both sides non-empty, got {a} and {b}"),
+        });
+    }
+    if a + b < 2 {
+        return Err(GraphError::Empty);
+    }
+    let mut builder = GraphBuilder::new(a + b).name(format!("complete_bipartite({a},{b})"));
+    for left in 0..a {
+        for right in 0..b {
+            builder.add_edge(left, a + right);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn perfect_maze_is_a_spanning_tree_of_the_grid() {
+        for seed in 0..5u64 {
+            let g = maze(4, 5, 0, seed).unwrap();
+            assert_eq!(g.n(), 20);
+            assert_eq!(g.m(), 19, "a perfect maze is a tree");
+            assert!(g.is_connected());
+            assert!(g.max_degree() <= 4);
+        }
+    }
+
+    #[test]
+    fn extra_passages_add_exactly_that_many_edges() {
+        let tree = maze(5, 5, 0, 9).unwrap();
+        let with_shortcuts = maze(5, 5, 3, 9).unwrap();
+        assert_eq!(with_shortcuts.m(), tree.m() + 3);
+        assert!(algo::diameter(&with_shortcuts) <= algo::diameter(&tree));
+    }
+
+    #[test]
+    fn maze_is_deterministic_per_seed() {
+        assert_eq!(maze(4, 4, 2, 7).unwrap(), maze(4, 4, 2, 7).unwrap());
+        assert_ne!(maze(4, 4, 2, 7).unwrap(), maze(4, 4, 2, 8).unwrap());
+    }
+
+    #[test]
+    fn maze_rejects_empty_dimensions() {
+        assert!(maze(0, 5, 0, 1).is_err());
+        assert!(maze(5, 0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn single_row_maze_is_a_path() {
+        let g = maze(1, 8, 0, 3).unwrap();
+        assert_eq!(g.m(), 7);
+        assert_eq!(algo::diameter(&g), 7);
+    }
+
+    #[test]
+    fn requesting_more_passages_than_walls_saturates() {
+        let g = maze(3, 3, 1000, 1).unwrap();
+        // A 3x3 grid has 12 edges in total; the maze cannot exceed that.
+        assert_eq!(g.m(), 12);
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(3, 4).unwrap();
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 12);
+        for left in 0..3 {
+            assert_eq!(g.degree(left), 4);
+        }
+        for right in 3..7 {
+            assert_eq!(g.degree(right), 3);
+        }
+        assert_eq!(algo::diameter(&g), 2);
+        assert!(complete_bipartite(0, 3).is_err());
+    }
+
+    #[test]
+    fn star_is_a_special_case_of_complete_bipartite() {
+        let star_like = complete_bipartite(1, 6).unwrap();
+        let star = crate::generators::star(7).unwrap();
+        assert!(algo::find_port_isomorphism(&star_like, &star).is_some());
+    }
+}

@@ -1,0 +1,23 @@
+//! Graph families used throughout the experiments.
+//!
+//! Every generator returns a validated, connected [`crate::PortGraph`] and is
+//! deterministic: random families take an explicit `seed`. Port numbers of
+//! random families are shuffled so they never leak construction order.
+//!
+//! The [`family`] module additionally provides a single enumeration,
+//! [`family::Family`], that names each family so sweeps and reports can refer
+//! to graphs uniformly.
+
+mod classic;
+mod family;
+mod grids;
+mod maze;
+mod random;
+mod trees;
+
+pub use classic::{complete, cycle, path, star, wheel};
+pub use family::{standard_suite, Family, FamilySpec};
+pub use grids::{grid, hypercube, torus};
+pub use maze::{complete_bipartite, maze};
+pub use random::{barbell, lollipop, random_connected, random_regular};
+pub use trees::{balanced_binary_tree, broom, caterpillar, random_tree, spider};

@@ -1,0 +1,216 @@
+//! Random and "hard instance" families: connected Erdős–Rényi graphs,
+//! near-regular random graphs, lollipops and barbells.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::PortGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Connected Erdős–Rényi-style graph: a uniformly random spanning tree is laid
+/// down first (guaranteeing connectivity), then every remaining pair is joined
+/// independently with probability `p`. Ports are shuffled.
+pub fn random_connected(n: usize, p: f64, seed: u64) -> Result<PortGraph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("edge probability must be in [0,1], got {p}"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n).name(format!("random_connected(n={n},p={p},seed={seed})"));
+    // Random spanning tree via a random permutation: attach each node to a
+    // uniformly random earlier node in the permutation.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        b.add_edge(order[i], order[j]);
+    }
+    // Extra edges.
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !b.has_edge(u, v) && rng.gen_bool(p) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.shuffle_ports(&mut rng).build()
+}
+
+/// Near-`d`-regular connected random graph: starts from a Hamiltonian cycle
+/// (connectivity) and adds random matchings until every node has degree at
+/// least `d` or no progress can be made. Degrees end up in `[d, d+1]` for most
+/// nodes. Requires `3 <= d < n`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<PortGraph, GraphError> {
+    if n < 4 || d < 2 || d >= n {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("random_regular requires n >= 4 and 2 <= d < n, got n={n}, d={d}"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n).name(format!("random_regular(n={n},d={d},seed={seed})"));
+    // Hamiltonian cycle over a random permutation.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for i in 0..n {
+        b.add_edge(order[i], order[(i + 1) % n]);
+    }
+    // Greedily add edges between low-degree nodes.
+    let mut attempts = 0usize;
+    let max_attempts = 50 * n * d;
+    while attempts < max_attempts {
+        attempts += 1;
+        let deficient: Vec<usize> = (0..n).filter(|&v| b.degree(v) < d).collect();
+        if deficient.is_empty() {
+            break;
+        }
+        let u = deficient[rng.gen_range(0..deficient.len())];
+        let v = rng.gen_range(0..n);
+        if u != v && !b.has_edge(u, v) && b.degree(v) < d + 1 {
+            b.add_edge(u, v);
+        }
+    }
+    b.shuffle_ports(&mut rng).build()
+}
+
+/// Lollipop graph: a clique of `clique` nodes attached to a path of `tail`
+/// nodes. A classic hard instance for walk-based exploration. Total nodes
+/// `clique + tail`.
+pub fn lollipop(clique: usize, tail: usize) -> Result<PortGraph, GraphError> {
+    if clique < 2 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("lollipop requires clique >= 2, got {clique}"),
+        });
+    }
+    let n = clique + tail;
+    let mut b = GraphBuilder::new(n).name(format!("lollipop(clique={clique},tail={tail})"));
+    for u in 0..clique {
+        for v in (u + 1)..clique {
+            b.add_edge(u, v);
+        }
+    }
+    for i in 0..tail {
+        let prev = if i == 0 { clique - 1 } else { clique + i - 1 };
+        b.add_edge(prev, clique + i);
+    }
+    b.build()
+}
+
+/// Barbell graph: two cliques of `clique` nodes joined by a path of `bridge`
+/// nodes. Robots starting in different bells are far apart — an adversarial
+/// placement for gathering. Total nodes `2 * clique + bridge`.
+pub fn barbell(clique: usize, bridge: usize) -> Result<PortGraph, GraphError> {
+    if clique < 2 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("barbell requires clique >= 2, got {clique}"),
+        });
+    }
+    let n = 2 * clique + bridge;
+    let mut b = GraphBuilder::new(n).name(format!("barbell(clique={clique},bridge={bridge})"));
+    // Left clique: 0..clique, right clique: clique..2*clique, bridge after.
+    for u in 0..clique {
+        for v in (u + 1)..clique {
+            b.add_edge(u, v);
+            b.add_edge(clique + u, clique + v);
+        }
+    }
+    if bridge == 0 {
+        b.add_edge(clique - 1, clique);
+    } else {
+        let first_bridge = 2 * clique;
+        b.add_edge(clique - 1, first_bridge);
+        for i in 1..bridge {
+            b.add_edge(first_bridge + i - 1, first_bridge + i);
+        }
+        b.add_edge(first_bridge + bridge - 1, clique);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn random_connected_is_connected_for_many_seeds() {
+        for seed in 0..20u64 {
+            let g = random_connected(20, 0.1, seed).unwrap();
+            assert_eq!(g.n(), 20);
+            assert!(g.is_connected());
+            assert!(g.m() >= 19);
+        }
+    }
+
+    #[test]
+    fn random_connected_p_zero_is_a_tree() {
+        let g = random_connected(30, 0.0, 5).unwrap();
+        assert_eq!(g.m(), 29);
+    }
+
+    #[test]
+    fn random_connected_p_one_is_complete() {
+        let g = random_connected(10, 1.0, 5).unwrap();
+        assert_eq!(g.m(), 45);
+    }
+
+    #[test]
+    fn random_connected_rejects_bad_p() {
+        assert!(random_connected(10, 1.5, 0).is_err());
+        assert!(random_connected(10, -0.1, 0).is_err());
+    }
+
+    #[test]
+    fn random_connected_deterministic_per_seed() {
+        assert_eq!(
+            random_connected(16, 0.2, 77).unwrap(),
+            random_connected(16, 0.2, 77).unwrap()
+        );
+    }
+
+    #[test]
+    fn random_regular_degrees_are_near_d() {
+        let g = random_regular(24, 4, 3).unwrap();
+        assert!(g.is_connected());
+        for v in g.nodes() {
+            assert!(g.degree(v) >= 2, "cycle base guarantees degree >= 2");
+            assert!(g.degree(v) <= 6, "degree {} too large", g.degree(v));
+        }
+        assert!(random_regular(3, 2, 0).is_err());
+        assert!(random_regular(10, 10, 0).is_err());
+    }
+
+    #[test]
+    fn lollipop_structure() {
+        let g = lollipop(5, 6).unwrap();
+        assert_eq!(g.n(), 11);
+        assert_eq!(g.m(), 10 + 6);
+        assert_eq!(g.degree(10), 1); // tail end
+        assert_eq!(algo::diameter(&g), 7);
+        assert!(lollipop(1, 3).is_err());
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(4, 3).unwrap();
+        assert_eq!(g.n(), 11);
+        // 2 * C(4,2) + 4 bridge edges (3 bridge nodes => 4 connecting edges).
+        assert_eq!(g.m(), 12 + 4);
+        assert!(g.is_connected());
+        // Distance between the two far corners spans the bridge.
+        let d = algo::distance_matrix(&g);
+        assert!(d[0][algo::farthest_node(&g, 0).0] >= 4);
+    }
+
+    #[test]
+    fn barbell_with_zero_bridge_joins_cliques_directly() {
+        let g = barbell(3, 0).unwrap();
+        assert_eq!(g.n(), 6);
+        assert!(g.is_connected());
+        assert_eq!(g.m(), 3 + 3 + 1);
+    }
+}

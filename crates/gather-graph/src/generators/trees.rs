@@ -1,0 +1,186 @@
+//! Tree families: balanced binary trees, caterpillars, spiders, brooms and
+//! uniformly random labelled trees.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::PortGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Balanced binary tree on `n` nodes (heap layout: node `v` has children
+/// `2v+1` and `2v+2` when they exist).
+pub fn balanced_binary_tree(n: usize) -> Result<PortGraph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut b = GraphBuilder::new(n).name(format!("binary_tree(n={n})"));
+    for v in 1..n {
+        b.add_edge((v - 1) / 2, v);
+    }
+    b.build()
+}
+
+/// Caterpillar: a spine path of `spine` nodes, each spine node carrying
+/// `legs` pendant leaves. Total nodes `spine * (1 + legs)`.
+pub fn caterpillar(spine: usize, legs: usize) -> Result<PortGraph, GraphError> {
+    if spine == 0 {
+        return Err(GraphError::Empty);
+    }
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::new(n).name(format!("caterpillar(spine={spine},legs={legs})"));
+    for s in 1..spine {
+        b.add_edge(s - 1, s);
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            let leaf = spine + s * legs + l;
+            b.add_edge(s, leaf);
+        }
+    }
+    b.build()
+}
+
+/// Spider (a.k.a. generalized star): `arms` paths of length `arm_len` all
+/// attached to a central node. Total nodes `1 + arms * arm_len`.
+pub fn spider(arms: usize, arm_len: usize) -> Result<PortGraph, GraphError> {
+    if arms == 0 || arm_len == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "spider requires arms >= 1 and arm_len >= 1".to_string(),
+        });
+    }
+    let n = 1 + arms * arm_len;
+    let mut b = GraphBuilder::new(n).name(format!("spider(arms={arms},len={arm_len})"));
+    for a in 0..arms {
+        let first = 1 + a * arm_len;
+        b.add_edge(0, first);
+        for i in 1..arm_len {
+            b.add_edge(first + i - 1, first + i);
+        }
+    }
+    b.build()
+}
+
+/// Broom: a path of `handle` nodes with `bristles` extra leaves attached to
+/// its last node. Total nodes `handle + bristles`.
+pub fn broom(handle: usize, bristles: usize) -> Result<PortGraph, GraphError> {
+    if handle == 0 {
+        return Err(GraphError::Empty);
+    }
+    let n = handle + bristles;
+    let mut b = GraphBuilder::new(n).name(format!("broom(handle={handle},bristles={bristles})"));
+    for v in 1..handle {
+        b.add_edge(v - 1, v);
+    }
+    for l in 0..bristles {
+        b.add_edge(handle - 1, handle + l);
+    }
+    b.build()
+}
+
+/// Uniformly random labelled tree on `n` nodes via a random Prüfer sequence,
+/// with ports shuffled by the same seed.
+pub fn random_tree(n: usize, seed: u64) -> Result<PortGraph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n).name(format!("random_tree(n={n},seed={seed})"));
+    if n == 1 {
+        return b.build();
+    }
+    if n == 2 {
+        b.add_edge(0, 1);
+        return b.build();
+    }
+    // Prüfer decoding.
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &p in &prufer {
+        degree[p] += 1;
+    }
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &p in &prufer {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("prufer decoding invariant");
+        b.add_edge(leaf, p);
+        degree[leaf] -= 1;
+        degree[p] -= 1;
+        if degree[p] == 1 {
+            leaves.push(std::cmp::Reverse(p));
+        }
+    }
+    let std::cmp::Reverse(a) = leaves.pop().expect("two leaves remain");
+    let std::cmp::Reverse(c) = leaves.pop().expect("two leaves remain");
+    b.add_edge(a, c);
+    b.shuffle_ports(&mut rng).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn binary_tree_is_a_tree() {
+        let g = balanced_binary_tree(15).unwrap();
+        assert_eq!(g.m(), 14);
+        assert!(g.is_connected());
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(algo::diameter(&g), 6);
+    }
+
+    #[test]
+    fn caterpillar_counts() {
+        let g = caterpillar(4, 2).unwrap();
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 11);
+        assert_eq!(g.degree(0), 3); // one spine neighbour + two legs
+        assert_eq!(g.degree(1), 4); // two spine neighbours + two legs
+    }
+
+    #[test]
+    fn caterpillar_without_legs_is_a_path() {
+        let g = caterpillar(5, 0).unwrap();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(algo::diameter(&g), 4);
+    }
+
+    #[test]
+    fn spider_counts() {
+        let g = spider(3, 4).unwrap();
+        assert_eq!(g.n(), 13);
+        assert_eq!(g.m(), 12);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(algo::diameter(&g), 8);
+        assert!(spider(0, 3).is_err());
+    }
+
+    #[test]
+    fn broom_counts() {
+        let g = broom(5, 4).unwrap();
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.m(), 8);
+        assert_eq!(g.degree(4), 5); // 1 path neighbour + 4 bristles
+    }
+
+    #[test]
+    fn random_tree_is_tree_for_various_n() {
+        for n in [1usize, 2, 3, 5, 10, 24, 50] {
+            let g = random_tree(n, 1234 + n as u64).unwrap();
+            assert_eq!(g.n(), n);
+            if n > 0 {
+                assert_eq!(g.m(), n - 1);
+            }
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn random_tree_deterministic_per_seed() {
+        assert_eq!(random_tree(20, 7).unwrap(), random_tree(20, 7).unwrap());
+        assert_ne!(random_tree(20, 7).unwrap(), random_tree(20, 8).unwrap());
+    }
+}

@@ -1,0 +1,438 @@
+//! The core anonymous port-labeled graph representation.
+
+use crate::error::GraphError;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in a [`PortGraph`].
+///
+/// Node identifiers exist only *outside* the robot model: the simulator and
+/// the test/bench harnesses use them to place robots and to check gathering,
+/// but robots never observe them.
+pub type NodeId = usize;
+
+/// A local port number at a node, in `0..degree(node)`.
+pub type PortId = usize;
+
+/// Sentinel used where "no port" is meaningful (e.g. the entry port of a
+/// robot that has not moved yet).
+pub const INVALID_PORT: PortId = usize::MAX;
+
+/// An undirected, connected, simple graph with per-node port labels.
+///
+/// For every node `v` the incident edges are numbered `0..degree(v)`; entry
+/// `adj[v][p] = (u, q)` means that leaving `v` through port `p` arrives at
+/// node `u` through `u`'s port `q` (so `adj[u][q] == (v, p)`).
+///
+/// The structure is immutable after construction (via [`crate::GraphBuilder`]
+/// or a generator), which lets the simulator share it freely across threads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortGraph {
+    pub(crate) adj: Vec<Vec<(NodeId, PortId)>>,
+    pub(crate) m: usize,
+    /// Optional human-readable name (family + parameters), used in reports.
+    pub(crate) name: String,
+}
+
+impl PortGraph {
+    /// Builds a graph directly from an adjacency structure, validating all
+    /// invariants (symmetry, port contiguity, simplicity, connectivity).
+    ///
+    /// Most callers should prefer [`crate::GraphBuilder`] or the
+    /// [`crate::generators`] module.
+    pub fn from_adjacency(
+        adj: Vec<Vec<(NodeId, PortId)>>,
+        name: impl Into<String>,
+    ) -> Result<Self, GraphError> {
+        let n = adj.len();
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut m = 0usize;
+        for (v, ports) in adj.iter().enumerate() {
+            for (p, &(u, q)) in ports.iter().enumerate() {
+                if u >= n {
+                    return Err(GraphError::NodeOutOfRange { node: u, n });
+                }
+                if u == v {
+                    return Err(GraphError::SelfLoop { node: v });
+                }
+                let back = adj[u]
+                    .get(q)
+                    .copied()
+                    .ok_or(GraphError::AsymmetricEdge { u: v, v: u })?;
+                if back != (v, p) {
+                    return Err(GraphError::AsymmetricEdge { u: v, v: u });
+                }
+                m += 1;
+            }
+            // Ports are implicitly contiguous because they are vector indices;
+            // duplicate neighbour entries mean a multi-edge.
+            let mut neighbours: Vec<NodeId> = ports.iter().map(|&(u, _)| u).collect();
+            neighbours.sort_unstable();
+            for w in neighbours.windows(2) {
+                if w[0] == w[1] {
+                    return Err(GraphError::DuplicateEdge { u: v, v: w[0] });
+                }
+            }
+        }
+        debug_assert!(m % 2 == 0);
+        let g = PortGraph {
+            adj,
+            m: m / 2,
+            name: name.into(),
+        };
+        if !g.is_connected() {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Human-readable name of the graph (family and parameters).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Replaces the graph's name, returning `self` for chaining.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree Δ over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes.
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// The `(neighbour, entry port at neighbour)` pair reached by leaving `v`
+    /// through local port `p`.
+    ///
+    /// Panics if `p >= degree(v)`; robot algorithms are expected to respect
+    /// the advertised degree.
+    #[inline]
+    pub fn neighbor_via(&self, v: NodeId, p: PortId) -> (NodeId, PortId) {
+        self.adj[v][p]
+    }
+
+    /// Like [`Self::neighbor_via`] but returns `None` instead of panicking on
+    /// an out-of-range port.
+    #[inline]
+    pub fn try_neighbor_via(&self, v: NodeId, p: PortId) -> Option<(NodeId, PortId)> {
+        self.adj[v].get(p).copied()
+    }
+
+    /// Iterator over `(port, neighbour, back_port)` triples at node `v`.
+    pub fn ports(&self, v: NodeId) -> impl Iterator<Item = (PortId, NodeId, PortId)> + '_ {
+        self.adj[v]
+            .iter()
+            .enumerate()
+            .map(|(p, &(u, q))| (p, u, q))
+    }
+
+    /// Iterator over the neighbours of `v` (in port order).
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[v].iter().map(|&(u, _)| u)
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.n()
+    }
+
+    /// Iterator over each undirected edge once, as `(u, port_at_u, v, port_at_v)`
+    /// with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, PortId, NodeId, PortId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(v, ports)| {
+            ports
+                .iter()
+                .enumerate()
+                .filter(move |&(_, &(u, _))| v < u)
+                .map(move |(p, &(u, q))| (v, p, u, q))
+        })
+    }
+
+    /// Returns the port at `u` leading to `v`, if `u` and `v` are adjacent.
+    pub fn port_towards(&self, u: NodeId, v: NodeId) -> Option<PortId> {
+        self.adj[u].iter().position(|&(w, _)| w == v)
+    }
+
+    /// True if `u` and `v` are adjacent.
+    pub fn are_adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        self.port_towards(u, v).is_some()
+    }
+
+    /// True if the graph is connected (it always is after successful
+    /// construction; exposed for builder-internal use and tests).
+    pub fn is_connected(&self) -> bool {
+        let n = self.n();
+        if n == 0 {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(v) = stack.pop() {
+            for &(u, _) in &self.adj[v] {
+                if !seen[u] {
+                    seen[u] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// A deterministic relabelling of the graph's nodes according to
+    /// `perm` (`perm[old] = new`), preserving port numbers.
+    ///
+    /// Used by tests to verify that algorithms only depend on the anonymous
+    /// structure, never on node ids.
+    pub fn relabeled(&self, perm: &[NodeId]) -> Result<Self, GraphError> {
+        let n = self.n();
+        if perm.len() != n {
+            return Err(GraphError::InvalidParameter {
+                reason: format!("permutation length {} != n {}", perm.len(), n),
+            });
+        }
+        let mut seen = vec![false; n];
+        for &p in perm {
+            if p >= n {
+                return Err(GraphError::NodeOutOfRange { node: p, n });
+            }
+            if seen[p] {
+                return Err(GraphError::InvalidParameter {
+                    reason: "permutation has repeated entries".to_string(),
+                });
+            }
+            seen[p] = true;
+        }
+        let mut adj = vec![Vec::new(); n];
+        for v in 0..n {
+            adj[perm[v]] = self.adj[v]
+                .iter()
+                .map(|&(u, q)| (perm[u], q))
+                .collect::<Vec<_>>();
+        }
+        PortGraph::from_adjacency(adj, format!("{}(relabeled)", self.name))
+    }
+
+    /// Total number of directed port slots, `sum_v degree(v) = 2m`.
+    pub fn total_ports(&self) -> usize {
+        2 * self.m
+    }
+
+    /// A compact multi-line summary used by reports and examples.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: n={}, m={}, degree range [{}, {}]",
+            self.name,
+            self.n(),
+            self.m(),
+            self.min_degree(),
+            self.max_degree()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> PortGraph {
+        GraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn triangle_basic_properties() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+        assert_eq!(g.total_ports(), 6);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn neighbor_via_roundtrips() {
+        let g = triangle();
+        for v in g.nodes() {
+            for p in 0..g.degree(v) {
+                let (u, q) = g.neighbor_via(v, p);
+                assert_eq!(g.neighbor_via(u, q), (v, p), "port symmetry violated");
+            }
+        }
+    }
+
+    #[test]
+    fn try_neighbor_via_out_of_range() {
+        let g = triangle();
+        assert_eq!(g.try_neighbor_via(0, 5), None);
+        assert!(g.try_neighbor_via(0, 1).is_some());
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, p, v, q) in edges {
+            assert!(u < v);
+            assert_eq!(g.neighbor_via(u, p), (v, q));
+        }
+    }
+
+    #[test]
+    fn port_towards_and_adjacency() {
+        let g = triangle();
+        assert!(g.are_adjacent(0, 1));
+        assert!(g.are_adjacent(1, 2));
+        let p = g.port_towards(0, 2).unwrap();
+        assert_eq!(g.neighbor_via(0, p).0, 2);
+        let g2 = GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .build()
+            .unwrap();
+        assert!(!g2.are_adjacent(0, 3));
+        assert_eq!(g2.port_towards(0, 3), None);
+    }
+
+    #[test]
+    fn from_adjacency_rejects_asymmetry() {
+        // 0 -> (1, 0) but 1 -> (0, 1) which does not exist at node 0.
+        let adj = vec![vec![(1, 0)], vec![(0, 1)]];
+        assert!(matches!(
+            PortGraph::from_adjacency(adj, "bad"),
+            Err(GraphError::AsymmetricEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn from_adjacency_rejects_self_loop() {
+        let adj = vec![vec![(0, 0)]];
+        assert!(matches!(
+            PortGraph::from_adjacency(adj, "loop"),
+            Err(GraphError::SelfLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn from_adjacency_rejects_empty() {
+        let adj: Vec<Vec<(NodeId, PortId)>> = vec![];
+        assert_eq!(PortGraph::from_adjacency(adj, "empty"), Err(GraphError::Empty));
+    }
+
+    #[test]
+    fn from_adjacency_rejects_disconnected() {
+        // Two disjoint edges: 0-1 and 2-3.
+        let adj = vec![
+            vec![(1, 0)],
+            vec![(0, 0)],
+            vec![(3, 0)],
+            vec![(2, 0)],
+        ];
+        assert_eq!(
+            PortGraph::from_adjacency(adj, "disc"),
+            Err(GraphError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn from_adjacency_rejects_multi_edge() {
+        // Node 0 has two ports to node 1.
+        let adj = vec![vec![(1, 0), (1, 1)], vec![(0, 0), (0, 1)]];
+        assert!(matches!(
+            PortGraph::from_adjacency(adj, "multi"),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn relabeled_preserves_structure() {
+        let g = GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(3, 0)
+            .build()
+            .unwrap();
+        let perm = vec![2, 0, 3, 1];
+        let h = g.relabeled(&perm).unwrap();
+        assert_eq!(h.n(), 4);
+        assert_eq!(h.m(), 4);
+        // Degrees are preserved under relabelling.
+        for v in 0..4 {
+            assert_eq!(g.degree(v), h.degree(perm[v]));
+        }
+        // Port structure is preserved: following the same port sequence from
+        // corresponding start nodes visits corresponding nodes.
+        let mut gv = 0usize;
+        let mut hv = perm[0];
+        for p in [0usize, 1, 0, 1] {
+            let p_g = p % g.degree(gv);
+            let p_h = p % h.degree(hv);
+            assert_eq!(p_g, p_h);
+            gv = g.neighbor_via(gv, p_g).0;
+            hv = h.neighbor_via(hv, p_h).0;
+            assert_eq!(perm[gv], hv);
+        }
+    }
+
+    #[test]
+    fn relabeled_rejects_bad_permutations() {
+        let g = triangle();
+        assert!(g.relabeled(&[0, 1]).is_err());
+        assert!(g.relabeled(&[0, 0, 1]).is_err());
+        assert!(g.relabeled(&[0, 1, 7]).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = triangle();
+        let s = serde_json::to_string(&g).unwrap();
+        let h: PortGraph = serde_json::from_str(&s).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn summary_mentions_name_and_sizes() {
+        let g = triangle().with_name("triangle");
+        let s = g.summary();
+        assert!(s.contains("triangle"));
+        assert!(s.contains("n=3"));
+        assert!(s.contains("m=3"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # gather-graph
+//!
+//! Anonymous, port-labeled, undirected graph substrate for mobile-robot
+//! algorithms on graphs.
+//!
+//! This crate implements the graph model used by the gathering-with-detection
+//! reproduction (Molla, Mondal, Moses Jr., IPDPS 2023):
+//!
+//! * nodes are **anonymous** — algorithms running "on" the graph never see a
+//!   node identifier, they only see the degree of the node they occupy;
+//! * every node assigns local **port numbers** `0..δ-1` to its incident
+//!   edges; the two endpoints of an edge may label it with different ports;
+//! * a robot that traverses an edge learns the port it left through and the
+//!   port it arrived on (the *entry port*).
+//!
+//! The crate provides:
+//!
+//! * [`PortGraph`] — the core representation (adjacency lists carrying
+//!   `(neighbour, back-port)` pairs), plus validation and queries;
+//! * [`GraphBuilder`] — safe construction with automatic port assignment or
+//!   explicit port control;
+//! * [`generators`] — a library of graph families used by the experiments
+//!   (paths, cycles, cliques, stars, trees, grids, tori, hypercubes,
+//!   lollipops, barbells, random connected graphs, …);
+//! * [`algo`] — BFS, all-pairs distances, diameter, spanning trees, Euler
+//!   tours, connectivity and a port-preserving isomorphism check used to
+//!   validate map construction;
+//! * [`portwalk`] — pure walking semantics (`(node, entry port) -> next`)
+//!   shared by the simulator and the exploration-sequence machinery;
+//! * [`dot`] — Graphviz export for debugging and documentation.
+//!
+//! Everything is deterministic; random generators take explicit seeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod builder;
+pub mod dot;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod portwalk;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{NodeId, PortGraph, PortId, INVALID_PORT};
+pub use portwalk::{PortStep, Position};

@@ -1,0 +1,202 @@
+//! Pure port-walk semantics shared by the simulator, the exploration
+//! sequences and the map-construction substrate.
+//!
+//! A walk on an anonymous port-labeled graph is fully described by the
+//! sequence of *exit ports* taken; when a walker arrives at a node it also
+//! learns its *entry port*. The helpers here convert between these views and
+//! provide the classic "offset" traversal rule used by universal exploration
+//! sequences: `next exit port = (entry port + offset) mod degree`.
+
+use crate::graph::{NodeId, PortGraph, PortId, INVALID_PORT};
+use serde::{Deserialize, Serialize};
+
+/// The position of a walker: the node it occupies and the port through which
+/// it entered that node (`INVALID_PORT` if it has not moved yet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Position {
+    /// Node currently occupied.
+    pub node: NodeId,
+    /// Port of `node` through which the walker arrived, or [`INVALID_PORT`].
+    pub entry: PortId,
+}
+
+impl Position {
+    /// A starting position (no previous move).
+    pub fn start(node: NodeId) -> Self {
+        Position {
+            node,
+            entry: INVALID_PORT,
+        }
+    }
+
+    /// True if the walker has not moved yet.
+    pub fn is_start(&self) -> bool {
+        self.entry == INVALID_PORT
+    }
+}
+
+/// One primitive movement decision of a walker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortStep {
+    /// Stay at the current node this round.
+    Stay,
+    /// Leave through the given local port.
+    Exit(PortId),
+}
+
+/// Applies a single step to a position, returning the next position.
+///
+/// `Exit(p)` with `p >= degree` is clamped with `p % degree` — this matches
+/// the convention used by exploration sequences, which are generated without
+/// knowing local degrees. A `Stay` leaves the position untouched (including
+/// the remembered entry port).
+pub fn step(graph: &PortGraph, pos: Position, step: PortStep) -> Position {
+    match step {
+        PortStep::Stay => pos,
+        PortStep::Exit(p) => {
+            let deg = graph.degree(pos.node);
+            debug_assert!(deg > 0, "connected graph with n >= 2 has no isolated nodes");
+            let p = if deg == 0 { return pos } else { p % deg };
+            let (u, q) = graph.neighbor_via(pos.node, p);
+            Position { node: u, entry: q }
+        }
+    }
+}
+
+/// Follows a sequence of exit ports from `start`, returning every position
+/// visited (including the start). Ports are taken modulo the local degree.
+pub fn follow_ports(graph: &PortGraph, start: NodeId, ports: &[PortId]) -> Vec<Position> {
+    let mut out = Vec::with_capacity(ports.len() + 1);
+    let mut pos = Position::start(start);
+    out.push(pos);
+    for &p in ports {
+        pos = step(graph, pos, PortStep::Exit(p));
+        out.push(pos);
+    }
+    out
+}
+
+/// Follows a sequence of *offsets* using the UXS rule
+/// `exit = (entry + offset) mod degree`, starting with `entry = 0` semantics
+/// (i.e. the first exit port is `offset mod degree`).
+///
+/// Returns every position visited, including the start.
+pub fn follow_offsets(graph: &PortGraph, start: NodeId, offsets: &[u64]) -> Vec<Position> {
+    let mut out = Vec::with_capacity(offsets.len() + 1);
+    let mut pos = Position::start(start);
+    out.push(pos);
+    for &off in offsets {
+        let deg = graph.degree(pos.node) as u64;
+        let entry = if pos.entry == INVALID_PORT { 0 } else { pos.entry as u64 };
+        let exit = ((entry + off) % deg) as PortId;
+        pos = step(graph, pos, PortStep::Exit(exit));
+        out.push(pos);
+    }
+    out
+}
+
+/// Given the ports taken on a forward walk and the entry ports observed,
+/// returns the port sequence that retraces the walk backwards to the start.
+///
+/// `entries[i]` must be the entry port observed after taking `ports[i]`.
+pub fn backtrack_ports(entries: &[PortId]) -> Vec<PortId> {
+    entries.iter().rev().copied().collect()
+}
+
+/// Walks a port path forward and returns the node reached together with the
+/// entry ports observed along the way (useful for later backtracking).
+pub fn walk_path(graph: &PortGraph, start: NodeId, ports: &[PortId]) -> (NodeId, Vec<PortId>) {
+    let mut node = start;
+    let mut entries = Vec::with_capacity(ports.len());
+    for &p in ports {
+        let deg = graph.degree(node);
+        let (u, q) = graph.neighbor_via(node, p % deg);
+        node = u;
+        entries.push(q);
+    }
+    (node, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators;
+
+    fn square() -> PortGraph {
+        GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(3, 0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn stay_keeps_position() {
+        let g = square();
+        let p = Position::start(2);
+        assert_eq!(step(&g, p, PortStep::Stay), p);
+    }
+
+    #[test]
+    fn exit_moves_and_records_entry_port() {
+        let g = square();
+        let p0 = Position::start(0);
+        let p1 = step(&g, p0, PortStep::Exit(0));
+        assert_eq!(p1.node, 1);
+        // Node 1's port back to 0 is port 0 (insertion order).
+        assert_eq!(p1.entry, 0);
+    }
+
+    #[test]
+    fn exit_port_wraps_modulo_degree() {
+        let g = square();
+        let p0 = Position::start(0);
+        let a = step(&g, p0, PortStep::Exit(1));
+        let b = step(&g, p0, PortStep::Exit(3)); // 3 % 2 == 1
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn follow_ports_records_every_position() {
+        let g = square();
+        let walk = follow_ports(&g, 0, &[0, 1, 1]);
+        assert_eq!(walk.len(), 4);
+        assert_eq!(walk[0].node, 0);
+        assert!(walk[0].is_start());
+        // The walk stays on the cycle.
+        for w in &walk[1..] {
+            assert!(w.node < 4);
+            assert!(!w.is_start());
+        }
+    }
+
+    #[test]
+    fn follow_offsets_on_cycle_with_offset_one_visits_all_nodes() {
+        // On a cycle built in order, offset 1 keeps moving in one direction,
+        // so n-1 steps visit every node.
+        let g = generators::cycle(6).unwrap();
+        let walk = follow_offsets(&g, 0, &[1, 1, 1, 1, 1]);
+        let mut nodes: Vec<_> = walk.iter().map(|p| p.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 6);
+    }
+
+    #[test]
+    fn walk_path_and_backtrack_return_to_start() {
+        let g = generators::random_connected(12, 0.3, 99).unwrap();
+        let ports: Vec<PortId> = vec![0, 1, 0, 2, 1];
+        let (end, entries) = walk_path(&g, 3, &ports);
+        let back = backtrack_ports(&entries);
+        let (home, _) = walk_path(&g, end, &back);
+        assert_eq!(home, 3);
+    }
+
+    #[test]
+    fn backtrack_of_empty_walk_is_empty() {
+        assert!(backtrack_ports(&[]).is_empty());
+    }
+}

@@ -1,0 +1,316 @@
+//! The partial map grown by the finder: identified nodes, canonical paths and
+//! partially resolved port slots.
+
+use gather_graph::{GraphError, PortGraph, PortId};
+use serde::{Deserialize, Serialize};
+
+/// Index of a node *inside the map* (unrelated to the real, hidden node ids).
+pub type MapNodeId = usize;
+
+/// One identified node of the partial map.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapNode {
+    /// Degree observed at the real node.
+    pub degree: usize,
+    /// Canonical exit-port path from the root to this node. Following these
+    /// ports from the start node always reaches the corresponding real node.
+    pub path: Vec<PortId>,
+    /// Port slots: `adj[p] = Some((w, q))` means the edge through port `p`
+    /// leads to map node `w`, entering it through port `q`.
+    pub adj: Vec<Option<(MapNodeId, PortId)>>,
+}
+
+/// A partially known, port-labeled map of the graph, rooted at the node the
+/// finder started on (map node 0).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialMap {
+    nodes: Vec<MapNode>,
+}
+
+impl PartialMap {
+    /// Starts a map containing only the root, whose degree has just been
+    /// observed.
+    pub fn new(root_degree: usize) -> Self {
+        PartialMap {
+            nodes: vec![MapNode {
+                degree: root_degree,
+                path: Vec::new(),
+                adj: vec![None; root_degree],
+            }],
+        }
+    }
+
+    /// Number of identified nodes so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of fully resolved undirected edges so far.
+    pub fn edge_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.adj.iter().filter(|s| s.is_some()).count())
+            .sum::<usize>()
+            / 2
+    }
+
+    /// The degree recorded for map node `v`.
+    pub fn degree(&self, v: MapNodeId) -> usize {
+        self.nodes[v].degree
+    }
+
+    /// The canonical exit-port path from the root to map node `v`.
+    pub fn path_of(&self, v: MapNodeId) -> &[PortId] {
+        &self.nodes[v].path
+    }
+
+    /// The resolved slot `(neighbour, entry port)` of `v` through port `p`.
+    pub fn slot(&self, v: MapNodeId, p: PortId) -> Option<(MapNodeId, PortId)> {
+        self.nodes[v].adj[p]
+    }
+
+    /// Adds a newly discovered node with the given canonical path and degree;
+    /// returns its map id.
+    pub fn add_node(&mut self, path: Vec<PortId>, degree: usize) -> MapNodeId {
+        let id = self.nodes.len();
+        self.nodes.push(MapNode {
+            degree,
+            path,
+            adj: vec![None; degree],
+        });
+        id
+    }
+
+    /// Records the undirected edge `u --p/q-- v` (both directions).
+    ///
+    /// Panics if either slot is already resolved to a different endpoint —
+    /// that would mean the mapping algorithm mis-identified a node.
+    pub fn set_edge(&mut self, u: MapNodeId, p: PortId, v: MapNodeId, q: PortId) {
+        let existing_u = self.nodes[u].adj[p];
+        let existing_v = self.nodes[v].adj[q];
+        assert!(
+            existing_u.is_none() || existing_u == Some((v, q)),
+            "slot ({u},{p}) already resolved to {existing_u:?}, refusing ({v},{q})"
+        );
+        assert!(
+            existing_v.is_none() || existing_v == Some((u, p)),
+            "slot ({v},{q}) already resolved to {existing_v:?}, refusing ({u},{p})"
+        );
+        self.nodes[u].adj[p] = Some((v, q));
+        self.nodes[v].adj[q] = Some((u, p));
+    }
+
+    /// The first unresolved `(node, port)` slot in (node id, port) order, if
+    /// any. Deterministic, which keeps the whole mapper deterministic.
+    pub fn next_unresolved(&self) -> Option<(MapNodeId, PortId)> {
+        for (v, node) in self.nodes.iter().enumerate() {
+            for (p, slot) in node.adj.iter().enumerate() {
+                if slot.is_none() {
+                    return Some((v, p));
+                }
+            }
+        }
+        None
+    }
+
+    /// Total number of unresolved slots.
+    pub fn unresolved_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.adj.iter().filter(|s| s.is_none()).count())
+            .sum()
+    }
+
+    /// True once every slot of every identified node is resolved — at that
+    /// point the map covers the whole (connected) graph.
+    pub fn is_complete(&self) -> bool {
+        self.next_unresolved().is_none()
+    }
+
+    /// True if `w` is already recorded as a neighbour of `u`.
+    pub fn are_neighbors(&self, u: MapNodeId, w: MapNodeId) -> bool {
+        self.nodes[u]
+            .adj
+            .iter()
+            .flatten()
+            .any(|&(x, _)| x == w)
+    }
+
+    /// The known nodes that could possibly be the far endpoint of the
+    /// unresolved slot `(u, p)`, given that peeking across observed a node of
+    /// degree `v_degree` entered through port `q`.
+    ///
+    /// Every returned candidate satisfies the *necessary* conditions
+    /// (matching degree, port `q` still unresolved, not `u` itself, not
+    /// already a neighbour of `u`); nodes failing any condition provably
+    /// differ from the far endpoint, so an empty return means the endpoint is
+    /// a new node.
+    pub fn candidates_for(
+        &self,
+        u: MapNodeId,
+        _p: PortId,
+        v_degree: usize,
+        q: PortId,
+    ) -> Vec<MapNodeId> {
+        (0..self.nodes.len())
+            .filter(|&w| {
+                w != u
+                    && self.nodes[w].degree == v_degree
+                    && q < self.nodes[w].degree
+                    && self.nodes[w].adj[q].is_none()
+                    && !self.are_neighbors(u, w)
+            })
+            .collect()
+    }
+
+    /// Approximate memory footprint in bits: each resolved slot stores a map
+    /// node id and a port (`2·log₂ n` bits each) and each node stores its
+    /// canonical path. This is the `O(m log n)` of Theorem 8.
+    pub fn memory_bits(&self) -> usize {
+        let n = self.nodes.len().max(2);
+        let log = (usize::BITS - (n - 1).leading_zeros()) as usize;
+        let slot_bits: usize = self
+            .nodes
+            .iter()
+            .map(|node| node.adj.len() * 2 * log + node.path.len() * log)
+            .sum();
+        slot_bits
+    }
+
+    /// Converts a complete map into a [`PortGraph`].
+    ///
+    /// Fails if the map is incomplete or the recorded structure violates a
+    /// graph invariant (which would indicate a mapper bug).
+    pub fn to_port_graph(&self) -> Result<PortGraph, GraphError> {
+        if !self.is_complete() {
+            return Err(GraphError::InvalidParameter {
+                reason: format!(
+                    "map incomplete: {} unresolved slots",
+                    self.unresolved_count()
+                ),
+            });
+        }
+        let adj: Vec<Vec<(usize, usize)>> = self
+            .nodes
+            .iter()
+            .map(|node| node.adj.iter().map(|s| s.expect("complete")).collect())
+            .collect();
+        PortGraph::from_adjacency(adj, "constructed_map")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the map of a triangle by hand.
+    fn triangle_map() -> PartialMap {
+        let mut m = PartialMap::new(2);
+        let a = m.add_node(vec![0], 2);
+        let b = m.add_node(vec![1], 2);
+        m.set_edge(0, 0, a, 0);
+        m.set_edge(0, 1, b, 0);
+        m.set_edge(a, 1, b, 1);
+        m
+    }
+
+    #[test]
+    fn new_map_has_only_the_root() {
+        let m = PartialMap::new(3);
+        assert_eq!(m.node_count(), 1);
+        assert_eq!(m.degree(0), 3);
+        assert_eq!(m.path_of(0), &[] as &[usize]);
+        assert_eq!(m.unresolved_count(), 3);
+        assert!(!m.is_complete());
+        assert_eq!(m.next_unresolved(), Some((0, 0)));
+    }
+
+    #[test]
+    fn triangle_map_completes_and_converts() {
+        let m = triangle_map();
+        assert!(m.is_complete());
+        assert_eq!(m.edge_count(), 3);
+        let g = m.to_port_graph().unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn incomplete_map_refuses_conversion() {
+        let mut m = PartialMap::new(2);
+        let a = m.add_node(vec![0], 1);
+        m.set_edge(0, 0, a, 0);
+        assert!(!m.is_complete());
+        assert!(m.to_port_graph().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "already resolved")]
+    fn conflicting_edge_panics() {
+        let mut m = PartialMap::new(2);
+        let a = m.add_node(vec![0], 2);
+        let b = m.add_node(vec![1], 2);
+        m.set_edge(0, 0, a, 0);
+        m.set_edge(0, 0, b, 0);
+    }
+
+    #[test]
+    fn set_edge_is_idempotent_for_the_same_endpoints() {
+        let mut m = PartialMap::new(1);
+        let a = m.add_node(vec![0], 1);
+        m.set_edge(0, 0, a, 0);
+        m.set_edge(0, 0, a, 0);
+        assert!(m.is_complete());
+    }
+
+    #[test]
+    fn candidates_apply_all_filters() {
+        let mut m = PartialMap::new(2);
+        let a = m.add_node(vec![0], 2); // same degree as the probe
+        let b = m.add_node(vec![1], 3); // different degree -> excluded
+        m.set_edge(0, 0, a, 0);
+        m.set_edge(0, 1, b, 0);
+        // Probing from `a` port 1, peeked degree 2, entry port 1.
+        let cands = m.candidates_for(a, 1, 2, 1);
+        // Node 0 (the root) has degree 2 but is already a's neighbour -> excluded.
+        // Node b has degree 3 -> excluded. Node a itself -> excluded.
+        assert!(cands.is_empty());
+
+        // A fresh degree-2 node with port 1 unresolved is a valid candidate.
+        let c = m.add_node(vec![1, 2], 2);
+        let cands = m.candidates_for(a, 1, 2, 1);
+        assert_eq!(cands, vec![c]);
+        // If its port 1 becomes resolved it is excluded again.
+        let d = m.add_node(vec![9], 5);
+        m.set_edge(c, 1, d, 0);
+        assert!(m.candidates_for(a, 1, 2, 1).is_empty());
+    }
+
+    #[test]
+    fn candidates_exclude_entry_port_out_of_range() {
+        let mut m = PartialMap::new(1);
+        let _a = m.add_node(vec![0], 1);
+        // Peeked degree 1 but entry port 3 (impossible for that candidate).
+        let cands = m.candidates_for(0, 0, 1, 3);
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn memory_bits_grow_with_the_map() {
+        let mut m = PartialMap::new(2);
+        let before = m.memory_bits();
+        let a = m.add_node(vec![0, 1, 0], 4);
+        m.set_edge(0, 0, a, 2);
+        assert!(m.memory_bits() > before);
+    }
+
+    #[test]
+    fn are_neighbors_reflects_resolved_slots_only() {
+        let mut m = PartialMap::new(2);
+        let a = m.add_node(vec![0], 2);
+        assert!(!m.are_neighbors(0, a));
+        m.set_edge(0, 0, a, 0);
+        assert!(m.are_neighbors(0, a));
+        assert!(m.are_neighbors(a, 0));
+    }
+}

@@ -1,0 +1,50 @@
+//! # gather-map
+//!
+//! Map construction of an anonymous, port-labeled graph by a **finder** robot
+//! assisted by co-located **helper** robots acting as a movable token — the
+//! substrate required by Phase 1 of `Undispersed-Gathering` (§2.2 of the
+//! paper), which cites the exploration-with-a-movable-token algorithm of
+//! Dieudonné, Pelc and Peleg (`[18]`).
+//!
+//! ## The algorithm we implement (substitution, see DESIGN.md)
+//!
+//! The finder grows a partial map (a set of identified nodes with known
+//! canonical port paths from the start node and partially resolved port
+//! slots). For every unresolved slot `(u, p)` it:
+//!
+//! 1. **peeks** across the edge to observe the degree of the far endpoint `v`
+//!    and the entry port `q`;
+//! 2. computes the set of already-known nodes that could possibly be `v`
+//!    (same degree, port `q` still unresolved, not already a neighbour of
+//!    `u`); if the set is empty, `v` is a **new node**;
+//! 3. otherwise performs **token equality tests**: it walks the helpers to
+//!    `v`, leaves them there, and visits each candidate `w` via its canonical
+//!    path — the helpers are present at `w` iff `w = v`.
+//!
+//! The result is a port-preserving isomorphic copy of the graph rooted at the
+//! start node, in `O(n⁴)` moves worst case (`O(n³)`-shaped on the sparse
+//! families used in the evaluation thanks to the filters in step 2). The
+//! paper's cited substrate achieves `O(n³)` worst case; see
+//! [`bounds::MapBoundPolicy`] for how the difference is handled when
+//! scheduling Phase 1.
+//!
+//! Two drivers are provided:
+//!
+//! * [`mapper::TokenMapper`] — a round-by-round state machine that consumes
+//!   per-round feedback (degree, entry port, token presence) and emits
+//!   per-round movement commands; this is what the `gather-core` finder robot
+//!   embeds;
+//! * [`mapper::build_map_offline`] — an offline driver that runs the same
+//!   state machine directly against a [`gather_graph::PortGraph`] for testing,
+//!   calibration and the map-construction benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod canonical;
+pub mod mapper;
+
+pub use bounds::{phase1_round_bound, MapBoundPolicy};
+pub use canonical::PartialMap;
+pub use mapper::{build_map_offline, MapperCommand, MapperFeedback, OfflineMapResult, TokenMapper};

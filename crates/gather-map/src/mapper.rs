@@ -1,0 +1,594 @@
+//! The token-based map-construction state machine.
+
+use crate::canonical::{MapNodeId, PartialMap};
+use gather_graph::{algo, GraphError, NodeId, PortGraph, PortId};
+use std::collections::VecDeque;
+
+/// The movement command the finder issues for the current round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapperCommand {
+    /// The finder moves through the given port; the helpers stay where they are.
+    MoveAlone(PortId),
+    /// The finder moves through the given port and the helpers (the token)
+    /// move with it. Only issued when the token is co-located with the finder.
+    MoveWithToken(PortId),
+    /// Map construction is complete and the finder is back at its start node
+    /// together with the token; nothing moves any more.
+    Done,
+}
+
+/// What the finder can observe at the start of a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapperFeedback {
+    /// Degree of the node the finder currently occupies.
+    pub degree: usize,
+    /// Entry port of the finder's most recent move (`None` before any move).
+    pub entry_port: Option<PortId>,
+    /// True if the finder's own helpers (its token) are co-located with it.
+    pub token_present: bool,
+}
+
+/// A queued primitive operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Alone(PortId),
+    WithToken(PortId),
+    Check(Checkpoint),
+}
+
+/// Decision points reached after the preceding moves have completed.
+#[derive(Debug, Clone)]
+enum Checkpoint {
+    /// Very first round: observe the root's degree and initialise the map.
+    InitRoot,
+    /// The finder has just crossed the unresolved slot `(u, p)` and is
+    /// standing on the far endpoint: record its degree and entry port.
+    PeekArrived { u: MapNodeId, p: PortId },
+    /// The finder is back at `u` after peeking: decide whether the far
+    /// endpoint is new or must be token-tested against candidates.
+    AfterPeek {
+        u: MapNodeId,
+        p: PortId,
+        v_degree: usize,
+        q: PortId,
+    },
+    /// The finder stands at `candidate` during a token test.
+    CandidateCheck {
+        u: MapNodeId,
+        p: PortId,
+        q: PortId,
+        v_degree: usize,
+        candidate: MapNodeId,
+        remaining: Vec<MapNodeId>,
+    },
+    /// Finder and token are back together at the root after a token test.
+    BackAtRoot,
+    /// The map is complete and the finder is back at the root.
+    FinishedAtRoot,
+}
+
+/// Round-by-round map construction by a finder with a movable token.
+///
+/// See the crate-level documentation for the algorithm. The caller drives the
+/// machine by calling [`TokenMapper::step`] once per executed round with the
+/// current [`MapperFeedback`] and performing the returned command.
+#[derive(Debug, Clone)]
+pub struct TokenMapper {
+    n: usize,
+    map: PartialMap,
+    initialised: bool,
+    /// The map node the finder occupies whenever it is "between excursions".
+    pos: MapNodeId,
+    queue: VecDeque<Op>,
+    complete: bool,
+    moves: u64,
+    rounds: u64,
+}
+
+impl TokenMapper {
+    /// Creates a mapper for an `n`-node graph. The finder must start
+    /// co-located with its helpers (the token).
+    pub fn new(n: usize) -> Self {
+        let mut queue = VecDeque::new();
+        queue.push_back(Op::Check(Checkpoint::InitRoot));
+        TokenMapper {
+            n,
+            map: PartialMap::new(0),
+            initialised: false,
+            pos: 0,
+            queue,
+            complete: false,
+            moves: 0,
+            rounds: 0,
+        }
+    }
+
+    /// The number of nodes of the graph being mapped (as told to the robots).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// True once the map is complete and the finder has returned to the root.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// The partial (or complete) map constructed so far.
+    pub fn map(&self) -> &PartialMap {
+        &self.map
+    }
+
+    /// The completed map as a [`PortGraph`] (root = map node 0 = start node).
+    pub fn into_port_graph(&self) -> Result<PortGraph, GraphError> {
+        self.map.to_port_graph()
+    }
+
+    /// Number of movement commands issued so far.
+    pub fn moves_issued(&self) -> u64 {
+        self.moves
+    }
+
+    /// Number of rounds (calls to [`TokenMapper::step`]) consumed so far.
+    pub fn rounds_consumed(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Approximate persistent state in bits (dominated by the map).
+    pub fn memory_bits(&self) -> usize {
+        self.map.memory_bits() + 4 * 64
+    }
+
+    /// Exit ports to walk from map node `from` to map node `to`
+    /// (via the root along canonical paths).
+    fn nav_ports(&self, from: MapNodeId, to: MapNodeId) -> Vec<PortId> {
+        if from == to {
+            return Vec::new();
+        }
+        let mut ports = self.backtrack_ports(from);
+        ports.extend_from_slice(self.map.path_of(to));
+        ports
+    }
+
+    /// Exit ports to walk from map node `v` back to the root by retracing its
+    /// canonical path.
+    fn backtrack_ports(&self, v: MapNodeId) -> Vec<PortId> {
+        let path = self.map.path_of(v);
+        let mut entries = Vec::with_capacity(path.len());
+        let mut cur = 0usize;
+        for &p in path {
+            let (next, q) = self
+                .map
+                .slot(cur, p)
+                .expect("edges along canonical paths are always resolved");
+            entries.push(q);
+            cur = next;
+        }
+        debug_assert_eq!(cur, v, "canonical path of {v} does not lead to it");
+        entries.reverse();
+        entries
+    }
+
+    fn push_alone(&mut self, ports: impl IntoIterator<Item = PortId>) {
+        for p in ports {
+            self.queue.push_back(Op::Alone(p));
+        }
+    }
+
+    fn push_with_token(&mut self, ports: impl IntoIterator<Item = PortId>) {
+        for p in ports {
+            self.queue.push_back(Op::WithToken(p));
+        }
+    }
+
+    /// Plans work for the next unresolved slot (or the trip home if none).
+    fn plan_next_slot(&mut self) {
+        match self.map.next_unresolved() {
+            Some((u, p)) => {
+                let nav = self.nav_ports(self.pos, u);
+                self.push_alone(nav);
+                self.queue.push_back(Op::Alone(p));
+                self.queue
+                    .push_back(Op::Check(Checkpoint::PeekArrived { u, p }));
+            }
+            None => {
+                if self.pos == 0 {
+                    self.complete = true;
+                } else {
+                    let nav = self.nav_ports(self.pos, 0);
+                    self.push_alone(nav);
+                    self.queue
+                        .push_back(Op::Check(Checkpoint::FinishedAtRoot));
+                }
+            }
+        }
+    }
+
+    fn process_checkpoint(&mut self, cp: Checkpoint, feedback: &MapperFeedback) {
+        match cp {
+            Checkpoint::InitRoot => {
+                self.map = PartialMap::new(feedback.degree);
+                self.initialised = true;
+                self.pos = 0;
+            }
+            Checkpoint::PeekArrived { u, p } => {
+                let q = feedback
+                    .entry_port
+                    .expect("peek move always has an entry port");
+                let v_degree = feedback.degree;
+                // Walk straight back to u and decide there.
+                self.queue.push_front(Op::Check(Checkpoint::AfterPeek {
+                    u,
+                    p,
+                    v_degree,
+                    q,
+                }));
+                self.queue.push_front(Op::Alone(q));
+            }
+            Checkpoint::AfterPeek { u, p, v_degree, q } => {
+                self.pos = u;
+                let candidates = self.map.candidates_for(u, p, v_degree, q);
+                if candidates.is_empty() {
+                    // The far endpoint is provably a new node.
+                    let mut path = self.map.path_of(u).to_vec();
+                    path.push(p);
+                    let x = self.map.add_node(path, v_degree);
+                    self.map.set_edge(u, p, x, q);
+                } else {
+                    // Token test: park the helpers on the far endpoint, then
+                    // visit each candidate and look for them.
+                    let to_root = self.backtrack_ports(u);
+                    let to_u = self.map.path_of(u).to_vec();
+                    // Finder alone back to the root (where the token waits).
+                    self.push_alone(to_root.clone());
+                    // Walk the token to u and across the slot.
+                    self.push_with_token(to_u);
+                    self.queue.push_back(Op::WithToken(p));
+                    // Finder returns alone to the root.
+                    self.queue.push_back(Op::Alone(q));
+                    self.push_alone(to_root);
+                    // Visit the first candidate.
+                    let first = candidates[0];
+                    let remaining = candidates[1..].to_vec();
+                    self.push_alone(self.map.path_of(first).to_vec());
+                    self.queue
+                        .push_back(Op::Check(Checkpoint::CandidateCheck {
+                            u,
+                            p,
+                            q,
+                            v_degree,
+                            candidate: first,
+                            remaining,
+                        }));
+                }
+            }
+            Checkpoint::CandidateCheck {
+                u,
+                p,
+                q,
+                v_degree,
+                candidate,
+                remaining,
+            } => {
+                self.pos = candidate;
+                if feedback.token_present {
+                    // candidate == far endpoint: record the edge and bring the
+                    // token home.
+                    self.map.set_edge(u, p, candidate, q);
+                    let home = self.backtrack_ports(candidate);
+                    self.push_with_token(home);
+                    self.queue.push_back(Op::Check(Checkpoint::BackAtRoot));
+                } else if let Some((&next, rest)) = remaining.split_first() {
+                    // Try the next candidate.
+                    let back = self.backtrack_ports(candidate);
+                    self.push_alone(back);
+                    self.push_alone(self.map.path_of(next).to_vec());
+                    self.queue
+                        .push_back(Op::Check(Checkpoint::CandidateCheck {
+                            u,
+                            p,
+                            q,
+                            v_degree,
+                            candidate: next,
+                            remaining: rest.to_vec(),
+                        }));
+                } else {
+                    // No candidate matched: the far endpoint is a new node.
+                    // Record it, then fetch the token parked there.
+                    let mut path = self.map.path_of(u).to_vec();
+                    path.push(p);
+                    let x = self.map.add_node(path, v_degree);
+                    self.map.set_edge(u, p, x, q);
+                    let back = self.backtrack_ports(candidate);
+                    self.push_alone(back);
+                    self.push_alone(self.map.path_of(u).to_vec());
+                    self.queue.push_back(Op::Alone(p));
+                    // Now at the new node with the token; bring it home.
+                    self.queue.push_back(Op::WithToken(q));
+                    let u_home = self.backtrack_ports(u);
+                    self.push_with_token(u_home);
+                    self.queue.push_back(Op::Check(Checkpoint::BackAtRoot));
+                }
+            }
+            Checkpoint::BackAtRoot => {
+                self.pos = 0;
+            }
+            Checkpoint::FinishedAtRoot => {
+                self.pos = 0;
+                self.complete = true;
+            }
+        }
+    }
+
+    /// Advances the machine by one round. `feedback` must describe the
+    /// finder's situation at the start of this round; the returned command is
+    /// the movement to perform in this round.
+    pub fn step(&mut self, feedback: &MapperFeedback) -> MapperCommand {
+        self.rounds += 1;
+        if self.complete {
+            return MapperCommand::Done;
+        }
+        // Resolve all decision points that are due at the current node.
+        while let Some(Op::Check(_)) = self.queue.front() {
+            let Some(Op::Check(cp)) = self.queue.pop_front() else {
+                unreachable!()
+            };
+            self.process_checkpoint(cp, feedback);
+            if self.complete {
+                return MapperCommand::Done;
+            }
+        }
+        if self.queue.is_empty() {
+            self.plan_next_slot();
+            if self.complete {
+                return MapperCommand::Done;
+            }
+            // Planning may start with a checkpoint only if it planned nothing,
+            // which `plan_next_slot` never does when incomplete.
+        }
+        match self.queue.pop_front() {
+            Some(Op::Alone(p)) => {
+                self.moves += 1;
+                MapperCommand::MoveAlone(p)
+            }
+            Some(Op::WithToken(p)) => {
+                self.moves += 1;
+                MapperCommand::MoveWithToken(p)
+            }
+            Some(Op::Check(_)) => unreachable!("checkpoints are always preceded by moves"),
+            None => MapperCommand::Done,
+        }
+    }
+}
+
+/// The result of running the mapper offline against a concrete graph.
+#[derive(Debug, Clone)]
+pub struct OfflineMapResult {
+    /// The constructed map (root = the start node).
+    pub map: PortGraph,
+    /// Rounds consumed (one per `step` call until `Done`).
+    pub rounds: u64,
+    /// Movement commands issued (each moves the finder by one edge).
+    pub moves: u64,
+    /// Peak memory estimate of the mapper in bits.
+    pub memory_bits: usize,
+}
+
+/// Runs the [`TokenMapper`] directly against a graph (no simulator), with the
+/// finder and token starting on `start`. Used by tests, calibration and the
+/// map-construction benchmarks.
+///
+/// Panics if the mapper issues an inconsistent command (e.g. moving the token
+/// while not co-located with it) or exceeds a generous safety budget — both
+/// would indicate a bug in the state machine.
+pub fn build_map_offline(graph: &PortGraph, start: NodeId) -> OfflineMapResult {
+    let n = graph.n();
+    let mut mapper = TokenMapper::new(n);
+    let mut finder = start;
+    let mut token = start;
+    let mut entry: Option<PortId> = None;
+    let budget = crate::bounds::phase1_round_bound(n, crate::bounds::MapBoundPolicy::Implemented);
+    loop {
+        let feedback = MapperFeedback {
+            degree: graph.degree(finder),
+            entry_port: entry,
+            token_present: finder == token,
+        };
+        match mapper.step(&feedback) {
+            MapperCommand::Done => break,
+            MapperCommand::MoveAlone(p) => {
+                let (next, q) = graph.neighbor_via(finder, p);
+                finder = next;
+                entry = Some(q);
+            }
+            MapperCommand::MoveWithToken(p) => {
+                assert_eq!(
+                    finder, token,
+                    "mapper tried to move the token while not co-located with it"
+                );
+                let (next, q) = graph.neighbor_via(finder, p);
+                finder = next;
+                token = next;
+                entry = Some(q);
+            }
+        }
+        assert!(
+            mapper.rounds_consumed() <= budget,
+            "mapper exceeded its round budget ({budget}) on {}",
+            graph.name()
+        );
+    }
+    assert_eq!(finder, start, "finder must finish at its start node");
+    assert_eq!(token, start, "token must finish at the start node");
+    let map = mapper
+        .into_port_graph()
+        .expect("mapper reported completion with an incomplete map");
+    assert!(
+        algo::is_port_isomorphic(&map, graph, 0, start),
+        "constructed map is not a port-preserving isomorphic copy of {} rooted at {start}",
+        graph.name()
+    );
+    OfflineMapResult {
+        map,
+        rounds: mapper.rounds_consumed(),
+        moves: mapper.moves_issued(),
+        memory_bits: mapper.memory_bits(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{phase1_round_bound, MapBoundPolicy};
+    use gather_graph::generators::{self, Family};
+
+    #[test]
+    fn maps_a_single_node_graph_without_moving() {
+        let g = generators::path(1).unwrap();
+        let result = build_map_offline(&g, 0);
+        assert_eq!(result.map.n(), 1);
+        assert_eq!(result.moves, 0);
+    }
+
+    #[test]
+    fn maps_a_two_node_graph() {
+        let g = generators::path(2).unwrap();
+        let result = build_map_offline(&g, 0);
+        assert_eq!(result.map.n(), 2);
+        assert_eq!(result.map.m(), 1);
+    }
+
+    #[test]
+    fn maps_every_standard_family_from_every_start_node_small() {
+        for family in Family::ALL {
+            let g = family.instantiate(8, 5).unwrap();
+            for start in [0, g.n() / 2, g.n() - 1] {
+                let result = build_map_offline(&g, start);
+                assert_eq!(result.map.n(), g.n(), "{}", g.name());
+                assert_eq!(result.map.m(), g.m(), "{}", g.name());
+            }
+        }
+    }
+
+    #[test]
+    fn maps_medium_random_graphs() {
+        for seed in 0..4u64 {
+            let g = generators::random_connected(16, 0.25, seed).unwrap();
+            let result = build_map_offline(&g, (seed as usize) % g.n());
+            assert_eq!(result.map.n(), 16);
+        }
+    }
+
+    #[test]
+    fn rounds_stay_within_the_implemented_bound_with_margin_for_precommit() {
+        // The robot-side integration needs one extra round per token move, so
+        // twice the offline rounds must still fit the Implemented bound.
+        for family in Family::ALL {
+            let g = family.instantiate(10, 3).unwrap();
+            let result = build_map_offline(&g, 0);
+            let bound = phase1_round_bound(g.n(), MapBoundPolicy::Implemented);
+            assert!(
+                2 * result.rounds + 4 <= bound,
+                "{}: 2*{} exceeds implemented bound {}",
+                g.name(),
+                result.rounds,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_stay_within_the_paper_bound_on_benchmark_families() {
+        // The Paper bound (20 n^3) is not a worst-case guarantee of this
+        // mapper, but it must hold on the families the benchmarks use.
+        for family in Family::ALL {
+            for n in [8usize, 12] {
+                let g = family.instantiate(n, 7).unwrap();
+                let result = build_map_offline(&g, 0);
+                let bound = phase1_round_bound(g.n(), MapBoundPolicy::Paper);
+                assert!(
+                    2 * result.rounds + 4 <= bound,
+                    "{}: 2*{} exceeds paper bound {}",
+                    g.name(),
+                    result.rounds,
+                    bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_is_deterministic() {
+        let g = generators::random_connected(12, 0.3, 9).unwrap();
+        let a = build_map_offline(&g, 3);
+        let b = build_map_offline(&g, 3);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.moves, b.moves);
+        assert_eq!(a.map, b.map);
+    }
+
+    #[test]
+    fn memory_is_of_order_m_log_n() {
+        let g = generators::complete(10).unwrap();
+        let result = build_map_offline(&g, 0);
+        let n = g.n();
+        let m = g.m();
+        let log = (usize::BITS - (n - 1).leading_zeros()) as usize;
+        // Within a small constant factor of m log n (path storage adds a bit).
+        assert!(result.memory_bits >= 2 * m * log);
+        assert!(
+            result.memory_bits <= 64 * m * log + 1024,
+            "memory {} not O(m log n) ~ {}",
+            result.memory_bits,
+            m * log
+        );
+    }
+
+    #[test]
+    fn incremental_api_reports_progress() {
+        let g = generators::cycle(5).unwrap();
+        let mut mapper = TokenMapper::new(5);
+        assert!(!mapper.is_complete());
+        assert_eq!(mapper.moves_issued(), 0);
+        // Drive a few rounds by hand.
+        let mut finder = 0usize;
+        let mut token = 0usize;
+        let mut entry = None;
+        for _ in 0..50 {
+            let fb = MapperFeedback {
+                degree: g.degree(finder),
+                entry_port: entry,
+                token_present: finder == token,
+            };
+            match mapper.step(&fb) {
+                MapperCommand::Done => break,
+                MapperCommand::MoveAlone(p) => {
+                    let (nx, q) = g.neighbor_via(finder, p);
+                    finder = nx;
+                    entry = Some(q);
+                }
+                MapperCommand::MoveWithToken(p) => {
+                    let (nx, q) = g.neighbor_via(finder, p);
+                    finder = nx;
+                    token = nx;
+                    entry = Some(q);
+                }
+            }
+        }
+        assert!(mapper.map().node_count() >= 2);
+        assert!(mapper.rounds_consumed() > 0);
+    }
+
+    #[test]
+    fn done_is_sticky() {
+        let g = generators::path(1).unwrap();
+        let mut mapper = TokenMapper::new(1);
+        let fb = MapperFeedback {
+            degree: g.degree(0),
+            entry_port: None,
+            token_present: true,
+        };
+        assert_eq!(mapper.step(&fb), MapperCommand::Done);
+        assert_eq!(mapper.step(&fb), MapperCommand::Done);
+        assert!(mapper.is_complete());
+    }
+}

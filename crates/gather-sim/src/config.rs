@@ -1,0 +1,90 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Options controlling a single simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Hard cap on the number of rounds simulated. If the robots have not all
+    /// terminated by then the outcome reports `timed_out = true`. This is a
+    /// safety net for the experiment harness, not part of the model.
+    pub max_rounds: u64,
+    /// Record a full per-round position trace (memory-heavy; intended for
+    /// examples and debugging on small instances).
+    pub record_trace: bool,
+    /// Stop the simulation as soon as every robot has terminated *and*
+    /// gathering is complete — always true; kept for symmetry/clarity.
+    pub stop_when_all_terminated: bool,
+    /// Additionally stop as soon as all robots are first co-located, without
+    /// waiting for detection/termination. Useful for measuring "gathering
+    /// time" separately from "gathering with detection time".
+    pub stop_at_first_gathering: bool,
+    /// Additionally stop as soon as any two robots are first co-located
+    /// (i.e. the configuration first becomes *undispersed*). Used by the
+    /// `i-Hop-Meeting` experiments.
+    pub stop_at_first_contact: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_rounds: 50_000_000,
+            record_trace: false,
+            stop_when_all_terminated: true,
+            stop_at_first_gathering: false,
+            stop_at_first_contact: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Config with a custom round cap.
+    pub fn with_max_rounds(max_rounds: u64) -> Self {
+        SimConfig {
+            max_rounds,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Enables trace recording.
+    pub fn traced(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Stop as soon as the robots are first all co-located.
+    pub fn until_first_gathering(mut self) -> Self {
+        self.stop_at_first_gathering = true;
+        self
+    }
+
+    /// Stop as soon as any two robots are first co-located.
+    pub fn until_first_contact(mut self) -> Self {
+        self.stop_at_first_contact = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = SimConfig::default();
+        assert!(c.max_rounds > 1_000_000);
+        assert!(!c.record_trace);
+        assert!(c.stop_when_all_terminated);
+        assert!(!c.stop_at_first_gathering);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::with_max_rounds(10).traced().until_first_gathering();
+        assert_eq!(c.max_rounds, 10);
+        assert!(c.record_trace);
+        assert!(c.stop_at_first_gathering);
+        assert!(!c.stop_at_first_contact);
+        assert!(SimConfig::default().until_first_contact().stop_at_first_contact);
+    }
+}

@@ -1,0 +1,608 @@
+//! The synchronous round loop.
+
+use crate::config::SimConfig;
+use crate::metrics::Metrics;
+use crate::robot::{Action, Observation, Robot, RobotId};
+use crate::trace::Trace;
+use gather_graph::{NodeId, PortGraph, PortId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How often (in rounds) per-robot memory estimates are sampled.
+const MEMORY_SAMPLE_INTERVAL: u64 = 64;
+
+/// The result of simulating a robot algorithm on a graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Rounds executed before the simulation stopped.
+    pub rounds: u64,
+    /// True if, when the simulation stopped, all robots occupied one node.
+    pub gathered: bool,
+    /// The node on which the robots gathered (if they did).
+    pub gather_node: Option<NodeId>,
+    /// The first round at whose *start* all robots were co-located, if any.
+    pub first_gather_round: Option<u64>,
+    /// The first round at whose *start* at least two robots were co-located
+    /// (the configuration first became undispersed), if any.
+    pub first_contact_round: Option<u64>,
+    /// True if every robot terminated (declared detection).
+    pub all_terminated: bool,
+    /// The round by which the last robot terminated, if all did.
+    pub termination_round: Option<u64>,
+    /// True if any robot terminated while the robots were **not** all
+    /// co-located — i.e. the algorithm detected gathering incorrectly.
+    pub false_detection: bool,
+    /// True if the round cap was reached before the stopping condition.
+    pub timed_out: bool,
+    /// Cost metrics (rounds, moves, messages, memory).
+    pub metrics: Metrics,
+    /// Final node of every robot.
+    pub final_positions: BTreeMap<RobotId, NodeId>,
+    /// Optional per-round trace (only if requested in [`SimConfig`]).
+    pub trace: Option<Trace>,
+}
+
+impl SimOutcome {
+    /// True when the run demonstrates *gathering with detection*: all robots
+    /// ended on one node, all terminated, and no robot terminated early.
+    pub fn is_correct_gathering_with_detection(&self) -> bool {
+        self.gathered && self.all_terminated && !self.false_detection && !self.timed_out
+    }
+}
+
+/// Drives a set of robots implementing the same algorithm over a graph.
+pub struct Simulator<'g> {
+    graph: &'g PortGraph,
+    config: SimConfig,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator over `graph` with the given configuration.
+    pub fn new(graph: &'g PortGraph, config: SimConfig) -> Self {
+        Simulator { graph, config }
+    }
+
+    /// The graph being simulated.
+    pub fn graph(&self) -> &PortGraph {
+        self.graph
+    }
+
+    /// Runs the robots (each paired with its start node) until every robot
+    /// terminates, the stopping condition of the config fires, or the round
+    /// cap is hit.
+    ///
+    /// Robot ids must be unique and start nodes must be valid node indices.
+    pub fn run<R: Robot>(&self, robots: Vec<(R, NodeId)>) -> SimOutcome {
+        assert!(!robots.is_empty(), "at least one robot is required");
+        let n = self.graph.n();
+        let k = robots.len();
+        let ids: Vec<RobotId> = robots.iter().map(|(r, _)| r.id()).collect();
+        {
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "robot ids must be unique");
+        }
+        for &(_, node) in &robots {
+            assert!(node < n, "start node {node} out of range (n = {n})");
+        }
+
+        let mut agents: Vec<R> = Vec::with_capacity(k);
+        let mut positions: Vec<NodeId> = Vec::with_capacity(k);
+        for (r, node) in robots {
+            agents.push(r);
+            positions.push(node);
+        }
+        let mut entry_ports: Vec<Option<PortId>> = vec![None; k];
+        let mut terminated: Vec<bool> = vec![false; k];
+
+        let mut metrics = Metrics::new(&ids);
+        let mut trace = if self.config.record_trace {
+            Some(Trace::new(ids.clone()))
+        } else {
+            None
+        };
+
+        // Reusable per-round buffers.
+        let mut occupants: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut touched_nodes: Vec<NodeId> = Vec::with_capacity(k);
+        let mut observations: Vec<Observation> = Vec::with_capacity(k);
+        let mut announcements: Vec<Option<<R as Robot>::Msg>> = Vec::with_capacity(k);
+        let mut actions: Vec<Action> = Vec::with_capacity(k);
+
+        let mut first_gather_round: Option<u64> = None;
+        let mut first_contact_round: Option<u64> = None;
+        let mut termination_round: Option<u64> = None;
+        let mut false_detection = false;
+        let mut round: u64 = 0;
+        let mut timed_out = false;
+
+        loop {
+            // --- Start-of-round bookkeeping -------------------------------
+            let gathered_now = positions.iter().all(|&p| p == positions[0]);
+            if gathered_now && first_gather_round.is_none() {
+                first_gather_round = Some(round);
+            }
+            let contact_now = if first_contact_round.is_some() {
+                true
+            } else if k > 1 {
+                let mut sorted = positions.clone();
+                sorted.sort_unstable();
+                let contact = sorted.windows(2).any(|w| w[0] == w[1]);
+                if contact {
+                    first_contact_round = Some(round);
+                }
+                contact
+            } else {
+                first_contact_round = Some(round);
+                true
+            };
+            if let Some(t) = trace.as_mut() {
+                t.push(positions.clone());
+            }
+            if terminated.iter().all(|&t| t) {
+                break;
+            }
+            if self.config.stop_at_first_gathering && gathered_now {
+                break;
+            }
+            if self.config.stop_at_first_contact && contact_now {
+                break;
+            }
+            if round >= self.config.max_rounds {
+                timed_out = true;
+                break;
+            }
+
+            // --- Build occupancy ------------------------------------------
+            for &node in &touched_nodes {
+                occupants[node].clear();
+            }
+            touched_nodes.clear();
+            for (i, &node) in positions.iter().enumerate() {
+                if occupants[node].is_empty() {
+                    touched_nodes.push(node);
+                }
+                occupants[node].push(i);
+            }
+
+            // --- Phase A: observations and announcements ------------------
+            observations.clear();
+            announcements.clear();
+            for i in 0..k {
+                let node = positions[i];
+                let obs = Observation {
+                    round,
+                    n,
+                    degree: self.graph.degree(node),
+                    entry_port: entry_ports[i],
+                    colocated: occupants[node].len() - 1,
+                };
+                observations.push(obs);
+                if terminated[i] {
+                    announcements.push(None);
+                } else {
+                    announcements.push(Some(agents[i].announce(&obs)));
+                }
+            }
+
+            // --- Phase B: decisions ---------------------------------------
+            actions.clear();
+            for i in 0..k {
+                if terminated[i] {
+                    actions.push(Action::Stay);
+                    continue;
+                }
+                let node = positions[i];
+                // Inbox: announcements of co-located, non-terminated peers,
+                // sorted by robot id for determinism.
+                let mut inbox: Vec<(RobotId, <R as Robot>::Msg)> = occupants[node]
+                    .iter()
+                    .filter(|&&j| j != i && !terminated[j])
+                    .filter_map(|&j| announcements[j].clone().map(|m| (ids[j], m)))
+                    .collect();
+                inbox.sort_by_key(|&(id, _)| id);
+                metrics.messages_delivered += inbox.len() as u64;
+                let action = agents[i].decide(&observations[i], &inbox);
+                actions.push(action);
+            }
+
+            // --- Apply actions simultaneously -----------------------------
+            for i in 0..k {
+                match actions[i] {
+                    Action::Stay => {}
+                    Action::Move(p) => {
+                        let node = positions[i];
+                        let deg = self.graph.degree(node);
+                        assert!(
+                            p < deg,
+                            "robot {} attempted invalid port {} at a node of degree {} (round {})",
+                            ids[i],
+                            p,
+                            deg,
+                            round
+                        );
+                        let (next, entry) = self.graph.neighbor_via(node, p);
+                        positions[i] = next;
+                        entry_ports[i] = Some(entry);
+                        metrics.record_move(ids[i]);
+                    }
+                    Action::Terminate => {
+                        terminated[i] = true;
+                        if !positions.iter().all(|&p| p == positions[0]) {
+                            false_detection = true;
+                        }
+                    }
+                }
+            }
+            if terminated.iter().all(|&t| t) && termination_round.is_none() {
+                termination_round = Some(round);
+            }
+
+            // --- Periodic memory sampling ---------------------------------
+            if round % MEMORY_SAMPLE_INTERVAL == 0 {
+                for i in 0..k {
+                    metrics.record_memory(ids[i], agents[i].memory_estimate_bits());
+                }
+            }
+
+            round += 1;
+        }
+
+        // Final memory sample.
+        for i in 0..k {
+            metrics.record_memory(ids[i], agents[i].memory_estimate_bits());
+        }
+        metrics.rounds = round;
+
+        let gathered = positions.iter().all(|&p| p == positions[0]);
+        let all_terminated = terminated.iter().all(|&t| t);
+        let final_positions: BTreeMap<RobotId, NodeId> = ids
+            .iter()
+            .copied()
+            .zip(positions.iter().copied())
+            .collect();
+        SimOutcome {
+            rounds: round,
+            gathered,
+            gather_node: if gathered { Some(positions[0]) } else { None },
+            first_gather_round,
+            first_contact_round,
+            all_terminated,
+            termination_round,
+            false_detection,
+            timed_out,
+            metrics,
+            final_positions,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_graph::generators;
+
+    /// Walks out of port 0 every round, forever.
+    struct PortZeroWalker {
+        id: RobotId,
+    }
+
+    impl Robot for PortZeroWalker {
+        type Msg = ();
+        fn id(&self) -> RobotId {
+            self.id
+        }
+        fn announce(&mut self, _obs: &Observation) -> Self::Msg {}
+        fn decide(&mut self, _obs: &Observation, _inbox: &[(RobotId, ())]) -> Action {
+            Action::Move(0)
+        }
+    }
+
+    /// Stays put and terminates after a fixed round.
+    struct Sitter {
+        id: RobotId,
+        terminate_at: u64,
+        done: bool,
+    }
+
+    impl Robot for Sitter {
+        type Msg = ();
+        fn id(&self) -> RobotId {
+            self.id
+        }
+        fn announce(&mut self, _obs: &Observation) -> Self::Msg {}
+        fn decide(&mut self, obs: &Observation, _inbox: &[(RobotId, ())]) -> Action {
+            if obs.round >= self.terminate_at {
+                self.done = true;
+                Action::Terminate
+            } else {
+                Action::Stay
+            }
+        }
+        fn has_terminated(&self) -> bool {
+            self.done
+        }
+    }
+
+    /// Announces its id; moves toward port 0 only if it has heard a larger id.
+    struct Chatter {
+        id: RobotId,
+        heard_larger: bool,
+    }
+
+    impl Robot for Chatter {
+        type Msg = RobotId;
+        fn id(&self) -> RobotId {
+            self.id
+        }
+        fn announce(&mut self, _obs: &Observation) -> Self::Msg {
+            self.id
+        }
+        fn decide(&mut self, _obs: &Observation, inbox: &[(RobotId, RobotId)]) -> Action {
+            if inbox.iter().any(|&(_, other)| other > self.id) {
+                self.heard_larger = true;
+            }
+            Action::Stay
+        }
+    }
+
+    #[test]
+    fn single_sitter_terminates_and_counts_rounds() {
+        let g = generators::path(4).unwrap();
+        let sim = Simulator::new(&g, SimConfig::default());
+        let out = sim.run(vec![(
+            Sitter {
+                id: 1,
+                terminate_at: 5,
+                done: false,
+            },
+            2,
+        )]);
+        assert!(out.all_terminated);
+        assert!(out.gathered, "a single robot is trivially gathered");
+        assert_eq!(out.gather_node, Some(2));
+        assert_eq!(out.termination_round, Some(5));
+        assert!(!out.false_detection);
+        assert!(!out.timed_out);
+        assert_eq!(out.metrics.total_moves, 0);
+        assert!(out.is_correct_gathering_with_detection());
+    }
+
+    #[test]
+    fn walker_moves_every_round_until_cap() {
+        let g = generators::cycle(5).unwrap();
+        let sim = Simulator::new(&g, SimConfig::with_max_rounds(10));
+        let out = sim.run(vec![(PortZeroWalker { id: 1 }, 0)]);
+        assert!(out.timed_out);
+        assert_eq!(out.rounds, 10);
+        assert_eq!(out.metrics.total_moves, 10);
+        assert_eq!(out.metrics.moves_per_robot[&1], 10);
+    }
+
+    #[test]
+    fn false_detection_is_flagged() {
+        let g = generators::path(5).unwrap();
+        let sim = Simulator::new(&g, SimConfig::with_max_rounds(100));
+        // Two sitters far apart that terminate immediately: termination while
+        // not gathered must be flagged as a false detection.
+        let out = sim.run(vec![
+            (
+                Sitter {
+                    id: 1,
+                    terminate_at: 0,
+                    done: false,
+                },
+                0,
+            ),
+            (
+                Sitter {
+                    id: 2,
+                    terminate_at: 0,
+                    done: false,
+                },
+                4,
+            ),
+        ]);
+        assert!(out.all_terminated);
+        assert!(!out.gathered);
+        assert!(out.false_detection);
+        assert!(!out.is_correct_gathering_with_detection());
+    }
+
+    #[test]
+    fn first_gather_round_recorded_for_initially_gathered_robots() {
+        let g = generators::path(3).unwrap();
+        let sim = Simulator::new(&g, SimConfig::with_max_rounds(3));
+        let out = sim.run(vec![
+            (PortZeroWalker { id: 1 }, 1),
+            (PortZeroWalker { id: 2 }, 1),
+        ]);
+        assert_eq!(out.first_gather_round, Some(0));
+    }
+
+    #[test]
+    fn stop_at_first_gathering_halts_early() {
+        let g = generators::path(3).unwrap();
+        // Walkers starting on both ends of a path meet in the middle... they
+        // would actually swap forever on a 2-path, so use co-located start.
+        let sim = Simulator::new(&g, SimConfig::with_max_rounds(50).until_first_gathering());
+        let out = sim.run(vec![
+            (PortZeroWalker { id: 1 }, 2),
+            (PortZeroWalker { id: 2 }, 2),
+        ]);
+        assert_eq!(out.rounds, 0);
+        assert!(out.gathered);
+        assert!(!out.all_terminated);
+    }
+
+    #[test]
+    fn messages_are_delivered_only_to_co_located_robots() {
+        let g = generators::path(4).unwrap();
+        let sim = Simulator::new(&g, SimConfig::with_max_rounds(3));
+        let out = sim.run(vec![
+            (
+                Chatter {
+                    id: 1,
+                    heard_larger: false,
+                },
+                0,
+            ),
+            (
+                Chatter {
+                    id: 9,
+                    heard_larger: false,
+                },
+                3,
+            ),
+        ]);
+        // Robots never share a node, so no messages are delivered.
+        assert_eq!(out.metrics.messages_delivered, 0);
+
+        let sim2 = Simulator::new(&g, SimConfig::with_max_rounds(3));
+        let out2 = sim2.run(vec![
+            (
+                Chatter {
+                    id: 1,
+                    heard_larger: false,
+                },
+                2,
+            ),
+            (
+                Chatter {
+                    id: 9,
+                    heard_larger: false,
+                },
+                2,
+            ),
+        ]);
+        // Two co-located robots exchange 2 messages per round.
+        assert_eq!(out2.metrics.messages_delivered, 2 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "robot ids must be unique")]
+    fn duplicate_ids_panic() {
+        let g = generators::path(3).unwrap();
+        let sim = Simulator::new(&g, SimConfig::default());
+        let _ = sim.run(vec![
+            (PortZeroWalker { id: 1 }, 0),
+            (PortZeroWalker { id: 1 }, 1),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_start_node_panics() {
+        let g = generators::path(3).unwrap();
+        let sim = Simulator::new(&g, SimConfig::default());
+        let _ = sim.run(vec![(PortZeroWalker { id: 1 }, 9)]);
+    }
+
+    #[test]
+    fn trace_is_recorded_when_requested() {
+        let g = generators::cycle(4).unwrap();
+        let sim = Simulator::new(&g, SimConfig::with_max_rounds(5).traced());
+        let out = sim.run(vec![(PortZeroWalker { id: 3 }, 0)]);
+        let trace = out.trace.expect("trace requested");
+        assert_eq!(trace.robots, vec![3]);
+        assert!(trace.len() >= 5);
+    }
+
+    /// Terminates immediately; used to check how the engine treats parked,
+    /// terminated robots.
+    struct InstantQuitter {
+        id: RobotId,
+    }
+
+    impl Robot for InstantQuitter {
+        type Msg = ();
+        fn id(&self) -> RobotId {
+            self.id
+        }
+        fn announce(&mut self, _obs: &Observation) -> Self::Msg {}
+        fn decide(&mut self, _obs: &Observation, _inbox: &[(RobotId, ())]) -> Action {
+            Action::Terminate
+        }
+        fn has_terminated(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn terminated_robots_stop_announcing_but_still_count_as_co_located() {
+        let g = generators::path(3).unwrap();
+        let sim = Simulator::new(&g, SimConfig::with_max_rounds(5));
+        // A quitter and a chatter share a node; the chatter never hears the
+        // quitter (it is terminated from round 0 onwards) but still sees a
+        // non-zero co-location count via the observation.
+        let out = sim.run(vec![
+            (
+                Chatter {
+                    id: 2,
+                    heard_larger: false,
+                },
+                1,
+            ),
+            (
+                Chatter {
+                    id: 9,
+                    heard_larger: false,
+                },
+                1,
+            ),
+        ]);
+        // Both chatters exchange messages every round (none terminated here).
+        assert!(out.metrics.messages_delivered > 0);
+
+        let sim2 = Simulator::new(&g, SimConfig::with_max_rounds(5));
+        let out2 = sim2.run(vec![
+            (InstantQuitter { id: 1 }, 1),
+            (InstantQuitter { id: 2 }, 1),
+        ]);
+        // Two co-located quitters terminate together: correct detection.
+        assert!(out2.all_terminated);
+        assert!(!out2.false_detection);
+        assert_eq!(out2.metrics.messages_delivered, 2, "only the first round exchanges messages");
+    }
+
+    #[test]
+    fn first_contact_round_is_tracked_and_stopping_on_it_works() {
+        let g = generators::path(4).unwrap();
+        // Port-0 walkers starting at nodes 1 and 3: round 0 takes them to
+        // nodes 0 and 2, round 1 brings both to node 1, so the first contact
+        // is observed at the start of round 2.
+        let sim = Simulator::new(
+            &g,
+            SimConfig::with_max_rounds(10).until_first_contact(),
+        );
+        let out = sim.run(vec![(PortZeroWalker { id: 1 }, 1), (PortZeroWalker { id: 2 }, 3)]);
+        assert_eq!(out.first_contact_round, Some(2));
+        assert_eq!(out.rounds, 2, "simulation stops at first contact");
+        assert!(!out.all_terminated);
+    }
+
+    #[test]
+    fn single_robot_counts_as_contact_immediately() {
+        let g = generators::path(3).unwrap();
+        let sim = Simulator::new(&g, SimConfig::with_max_rounds(3));
+        let out = sim.run(vec![(PortZeroWalker { id: 1 }, 0)]);
+        assert_eq!(out.first_contact_round, Some(0));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = generators::random_connected(12, 0.3, 5).unwrap();
+        let run = || {
+            let sim = Simulator::new(&g, SimConfig::with_max_rounds(200));
+            sim.run(vec![
+                (PortZeroWalker { id: 1 }, 0),
+                (PortZeroWalker { id: 2 }, 5),
+                (PortZeroWalker { id: 3 }, 7),
+            ])
+            .final_positions
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,43 @@
+//! # gather-sim
+//!
+//! A synchronous simulator for mobile robots on anonymous port-labeled
+//! graphs, implementing the execution model of the gathering-with-detection
+//! paper (Molla, Mondal, Moses Jr., IPDPS 2023):
+//!
+//! * the system proceeds in **synchronous rounds**;
+//! * in a round, robots co-located on the same node first exchange messages
+//!   (Face-to-Face model) and compute, then each robot optionally moves
+//!   through a port of its current node;
+//! * robots know `n` and their own label; they never observe node
+//!   identifiers, `k`, `m`, `Δ` or `D`;
+//! * a robot that moves learns the port through which it entered the new node.
+//!
+//! The crate provides:
+//!
+//! * [`robot`] — the [`robot::Robot`] state-machine trait and the
+//!   observation/action types that enforce the knowledge model;
+//! * [`engine`] — the round loop, gathering/termination detection and
+//!   validation of detection correctness;
+//! * [`metrics`] — rounds, moves, messages and memory accounting;
+//! * [`placement`] — initial placement generators (dispersed, undispersed,
+//!   adversarial spread, exact-distance pairs, …) and label assignment;
+//! * [`trace`] — optional per-round position traces for debugging/examples;
+//! * [`runner`] — a crossbeam-based parallel sweep runner for experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod placement;
+pub mod robot;
+pub mod runner;
+pub mod trace;
+
+pub use config::SimConfig;
+pub use engine::{SimOutcome, Simulator};
+pub use metrics::Metrics;
+pub use placement::{Placement, PlacementKind};
+pub use robot::{Action, Observation, Robot, RobotId};
+pub use trace::Trace;

@@ -1,0 +1,105 @@
+//! Metrics collected by the simulation engine.
+
+use crate::robot::RobotId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregate and per-robot cost metrics for a simulation run.
+///
+/// The model's primary cost is the number of rounds; the paper also discusses
+/// the total number of edge traversals ("cost") and per-robot memory, so all
+/// three are tracked.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Rounds actually executed.
+    pub rounds: u64,
+    /// Total edge traversals summed over all robots.
+    pub total_moves: u64,
+    /// Total number of announcements delivered to co-located robots
+    /// (a proxy for communication volume).
+    pub messages_delivered: u64,
+    /// Edge traversals per robot.
+    pub moves_per_robot: BTreeMap<RobotId, u64>,
+    /// Peak reported memory per robot in bits (see
+    /// [`crate::robot::Robot::memory_estimate_bits`]).
+    pub peak_memory_bits: BTreeMap<RobotId, usize>,
+}
+
+impl Metrics {
+    /// Creates empty metrics for the given robot ids.
+    pub fn new(robots: &[RobotId]) -> Self {
+        let mut m = Metrics::default();
+        for &r in robots {
+            m.moves_per_robot.insert(r, 0);
+            m.peak_memory_bits.insert(r, 0);
+        }
+        m
+    }
+
+    /// Records one move by robot `r`.
+    pub fn record_move(&mut self, r: RobotId) {
+        self.total_moves += 1;
+        *self.moves_per_robot.entry(r).or_insert(0) += 1;
+    }
+
+    /// Records the current memory estimate for robot `r`, keeping the peak.
+    pub fn record_memory(&mut self, r: RobotId, bits: usize) {
+        let e = self.peak_memory_bits.entry(r).or_insert(0);
+        if bits > *e {
+            *e = bits;
+        }
+    }
+
+    /// The largest number of moves made by any single robot.
+    pub fn max_moves_by_any_robot(&self) -> u64 {
+        self.moves_per_robot.values().copied().max().unwrap_or(0)
+    }
+
+    /// The largest peak memory reported by any robot, in bits.
+    pub fn max_memory_bits(&self) -> usize {
+        self.peak_memory_bits.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_initialises_all_robots() {
+        let m = Metrics::new(&[3, 1, 2]);
+        assert_eq!(m.moves_per_robot.len(), 3);
+        assert_eq!(m.total_moves, 0);
+        assert_eq!(m.max_moves_by_any_robot(), 0);
+    }
+
+    #[test]
+    fn record_move_accumulates() {
+        let mut m = Metrics::new(&[1, 2]);
+        m.record_move(1);
+        m.record_move(1);
+        m.record_move(2);
+        assert_eq!(m.total_moves, 3);
+        assert_eq!(m.moves_per_robot[&1], 2);
+        assert_eq!(m.max_moves_by_any_robot(), 2);
+    }
+
+    #[test]
+    fn record_memory_keeps_peak() {
+        let mut m = Metrics::new(&[1]);
+        m.record_memory(1, 100);
+        m.record_memory(1, 50);
+        m.record_memory(1, 120);
+        assert_eq!(m.peak_memory_bits[&1], 120);
+        assert_eq!(m.max_memory_bits(), 120);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut m = Metrics::new(&[1]);
+        m.record_move(1);
+        let s = serde_json::to_string(&m).unwrap();
+        let back: Metrics = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+}

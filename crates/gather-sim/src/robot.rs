@@ -1,0 +1,153 @@
+//! The robot state-machine interface and the knowledge model it enforces.
+
+use gather_graph::PortId;
+use serde::{Deserialize, Serialize};
+
+/// A robot label. The model assigns distinct labels from `[1, n^b]` for some
+/// constant `b > 1`; robots of *different* bit lengths are explicitly allowed
+/// and several algorithms exploit that.
+pub type RobotId = u64;
+
+/// What a robot can observe at the start of a round, before communicating.
+///
+/// This struct is deliberately minimal: it contains everything the model
+/// allows a robot to know and nothing else. In particular there is **no node
+/// identifier** — only the degree of the current node and the port through
+/// which the robot arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The current round number, starting at 0. All robots start
+    /// simultaneously, so this is common knowledge.
+    pub round: u64,
+    /// Number of nodes in the graph (known to every robot).
+    pub n: usize,
+    /// Degree of the node the robot currently occupies.
+    pub degree: usize,
+    /// Port through which the robot entered its current node on its most
+    /// recent move, or `None` if it has never moved (or chose to stay last
+    /// round — the entry port of the last actual move is retained).
+    pub entry_port: Option<PortId>,
+    /// Number of robots co-located with this robot at the start of the round
+    /// (not counting itself). This is the weakest form of detection and is
+    /// implied by the Face-to-Face message model (a robot sees who it can
+    /// talk to).
+    pub colocated: usize,
+}
+
+/// The movement decision a robot takes at the end of a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Remain at the current node.
+    Stay,
+    /// Leave through the given local port (must be `< degree`).
+    Move(PortId),
+    /// Stop executing forever. Used when the robot has *detected* that
+    /// gathering is complete. The robot remains parked on its node.
+    Terminate,
+}
+
+/// A deterministic robot algorithm, executed independently by every robot.
+///
+/// One round proceeds in two sub-steps, matching the paper's model
+/// ("communicate and compute, then move"):
+///
+/// 1. [`Robot::announce`] — the robot publishes a message at its node. The
+///    engine delivers the messages of all co-located robots to each robot.
+///    Announcements are computed from the robot's state at the start of the
+///    round only (they cannot depend on other announcements), which is what
+///    makes the exchange well-defined.
+/// 2. [`Robot::decide`] — the robot reads the announcements of its
+///    co-located peers, updates its internal state, and returns its
+///    [`Action`] for this round.
+///
+/// Since the Face-to-Face model allows arbitrary local computation, a robot
+/// may locally *simulate* the deterministic decision rule of a co-located
+/// peer from that peer's announcement (the gathering algorithms use this to
+/// follow the *actual* move of a leader rather than its announced intention).
+pub trait Robot {
+    /// The message type exchanged between co-located robots.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// This robot's label.
+    fn id(&self) -> RobotId;
+
+    /// Publish this round's announcement.
+    fn announce(&mut self, obs: &Observation) -> Self::Msg;
+
+    /// Read co-located announcements (own announcement excluded) and decide
+    /// this round's action. `inbox` is sorted by robot id for determinism.
+    fn decide(&mut self, obs: &Observation, inbox: &[(RobotId, Self::Msg)]) -> Action;
+
+    /// True once the robot has decided gathering is complete (it returned
+    /// [`Action::Terminate`], or will never act again). The engine uses this
+    /// to validate detection; implementations should return `true` exactly
+    /// when they have terminated.
+    fn has_terminated(&self) -> bool {
+        false
+    }
+
+    /// An estimate of the robot's persistent state in bits, used by the
+    /// memory experiments (`O(m log n)` claims). The default of 0 means
+    /// "not reported".
+    fn memory_estimate_bits(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial robot used to exercise the trait's default methods.
+    struct Walker {
+        id: RobotId,
+    }
+
+    impl Robot for Walker {
+        type Msg = ();
+
+        fn id(&self) -> RobotId {
+            self.id
+        }
+
+        fn announce(&mut self, _obs: &Observation) -> Self::Msg {}
+
+        fn decide(&mut self, obs: &Observation, _inbox: &[(RobotId, ())]) -> Action {
+            if obs.degree > 0 {
+                Action::Move(0)
+            } else {
+                Action::Stay
+            }
+        }
+    }
+
+    #[test]
+    fn default_trait_methods() {
+        let r = Walker { id: 7 };
+        assert_eq!(r.id(), 7);
+        assert!(!r.has_terminated());
+        assert_eq!(r.memory_estimate_bits(), 0);
+    }
+
+    #[test]
+    fn observation_is_copy_and_serialisable() {
+        let obs = Observation {
+            round: 3,
+            n: 10,
+            degree: 2,
+            entry_port: Some(1),
+            colocated: 0,
+        };
+        let copy = obs;
+        assert_eq!(copy, obs);
+        let s = serde_json::to_string(&obs).unwrap();
+        assert!(s.contains("\"round\":3"));
+    }
+
+    #[test]
+    fn action_equality() {
+        assert_eq!(Action::Move(2), Action::Move(2));
+        assert_ne!(Action::Move(2), Action::Move(3));
+        assert_ne!(Action::Stay, Action::Terminate);
+    }
+}

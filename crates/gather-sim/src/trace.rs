@@ -1,0 +1,122 @@
+//! Optional per-round position traces.
+
+use crate::robot::RobotId;
+use gather_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A recording of robot positions over time.
+///
+/// `positions[t]` holds the node of every robot (in the order of
+/// [`Trace::robots`]) at the *start* of round `t`. The final entry is the
+/// configuration after the last executed round.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Robot ids, fixing the column order of `positions`.
+    pub robots: Vec<RobotId>,
+    /// One row per recorded round.
+    pub positions: Vec<Vec<NodeId>>,
+}
+
+impl Trace {
+    /// Creates an empty trace for the given robots.
+    pub fn new(robots: Vec<RobotId>) -> Self {
+        Trace {
+            robots,
+            positions: Vec::new(),
+        }
+    }
+
+    /// Appends a row of positions (must match the robot count).
+    pub fn push(&mut self, row: Vec<NodeId>) {
+        debug_assert_eq!(row.len(), self.robots.len());
+        self.positions.push(row);
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The position of robot `id` at recorded row `t`, if present.
+    pub fn position_of(&self, id: RobotId, t: usize) -> Option<NodeId> {
+        let col = self.robots.iter().position(|&r| r == id)?;
+        self.positions.get(t).map(|row| row[col])
+    }
+
+    /// The first recorded row index at which all robots share a node.
+    pub fn first_gathered_row(&self) -> Option<usize> {
+        self.positions.iter().position(|row| {
+            row.first()
+                .map(|&first| row.iter().all(|&p| p == first))
+                .unwrap_or(false)
+        })
+    }
+
+    /// Renders a compact text timeline (for examples and debugging); rows are
+    /// sampled with the given stride so long traces stay readable.
+    pub fn render(&self, stride: usize) -> String {
+        let stride = stride.max(1);
+        let mut out = String::new();
+        out.push_str("round | positions (robot:node)\n");
+        for (t, row) in self.positions.iter().enumerate() {
+            if t % stride != 0 && t + 1 != self.positions.len() {
+                continue;
+            }
+            out.push_str(&format!("{t:>5} | "));
+            for (i, &node) in row.iter().enumerate() {
+                out.push_str(&format!("{}:{} ", self.robots[i], node));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut t = Trace::new(vec![10, 20]);
+        t.push(vec![0, 3]);
+        t.push(vec![1, 3]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.position_of(10, 1), Some(1));
+        assert_eq!(t.position_of(20, 0), Some(3));
+        assert_eq!(t.position_of(99, 0), None);
+    }
+
+    #[test]
+    fn first_gathered_row_detects_co_location() {
+        let mut t = Trace::new(vec![1, 2, 3]);
+        t.push(vec![0, 1, 2]);
+        t.push(vec![1, 1, 2]);
+        t.push(vec![1, 1, 1]);
+        assert_eq!(t.first_gathered_row(), Some(2));
+    }
+
+    #[test]
+    fn first_gathered_row_none_when_never_gathered() {
+        let mut t = Trace::new(vec![1, 2]);
+        t.push(vec![0, 1]);
+        assert_eq!(t.first_gathered_row(), None);
+    }
+
+    #[test]
+    fn render_includes_last_row() {
+        let mut t = Trace::new(vec![1]);
+        for i in 0..10 {
+            t.push(vec![i]);
+        }
+        let s = t.render(4);
+        assert!(s.contains("    0 |"));
+        assert!(s.contains("    9 |"), "last row must always be shown:\n{s}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Calibration of sequence lengths against a suite of graphs.
+//!
+//! The experiment harness wants sequences as short as possible (round counts
+//! scale linearly with `T`) while still provably covering every graph it will
+//! simulate. Calibration measures the worst-case cover length of the shared
+//! sequence over a suite and pads it with a safety factor; the result is used
+//! as [`crate::LengthPolicy::Calibrated`], and the experiments re-verify
+//! cover on every individual graph before trusting it.
+
+use crate::policy::LengthPolicy;
+use crate::sequence::Uxs;
+use crate::verify::max_cover_length;
+use gather_graph::PortGraph;
+
+/// The multiplicative safety margin applied to measured cover lengths.
+pub const CALIBRATION_MARGIN: usize = 2;
+
+/// Measures the worst-case cover length of the canonical sequence for `n`
+/// over the given graphs and returns a padded length suitable for
+/// [`LengthPolicy::Calibrated`].
+///
+/// Returns `None` if even the theoretical-length sequence fails to cover some
+/// graph (which would indicate a graph far outside the benchmark families).
+pub fn calibrate_against(n: usize, graphs: &[PortGraph]) -> Option<usize> {
+    // Generate a generously long probe sequence (cubic is the random-walk
+    // cover-time regime; fall back to the theoretical length if needed).
+    for probe_policy in [LengthPolicy::Polynomial(3), LengthPolicy::Theoretical] {
+        let uxs = Uxs::for_n(n, probe_policy);
+        let mut worst = 0usize;
+        let mut all_covered = true;
+        for g in graphs {
+            match max_cover_length(g, &uxs) {
+                Some(len) => worst = worst.max(len),
+                None => {
+                    all_covered = false;
+                    break;
+                }
+            }
+        }
+        if all_covered {
+            return Some((worst.max(1)) * CALIBRATION_MARGIN);
+        }
+    }
+    None
+}
+
+/// Calibrates against the standard graph suite at size `n` (see
+/// [`gather_graph::generators::standard_suite`]).
+pub fn calibrated_length_for_suite(n: usize, seed: u64) -> Option<usize> {
+    let graphs: Vec<PortGraph> = gather_graph::generators::standard_suite(n, seed)
+        .into_iter()
+        .filter_map(|spec| spec.build().ok())
+        .collect();
+    calibrate_against(n, &graphs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::covers_from_all_starts;
+    use gather_graph::generators;
+
+    #[test]
+    fn calibrated_length_covers_the_suite_it_was_calibrated_on() {
+        let n = 10;
+        let len = calibrated_length_for_suite(n, 3).expect("calibration succeeds");
+        assert!(len > 0);
+        let policy = LengthPolicy::Calibrated(len);
+        for spec in generators::standard_suite(n, 3) {
+            let g = spec.build().unwrap();
+            let uxs = Uxs::for_n(g.n(), policy);
+            // Calibration used per-graph n; graphs whose size differs from n
+            // (grids/hypercubes) get their own sequence and are checked too.
+            if g.n() == n {
+                assert!(
+                    covers_from_all_starts(&g, &uxs),
+                    "{} not covered after calibration",
+                    g.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibrating_on_a_single_easy_graph_is_cheap() {
+        let g = generators::cycle(8).unwrap();
+        let len = calibrate_against(8, &[g.clone()]).unwrap();
+        // Cover length of a cycle is at most a few times n under random
+        // offsets; with the margin it stays far below the cubic bound.
+        assert!(len < LengthPolicy::Polynomial(3).length(8));
+        let uxs = Uxs::for_n(8, LengthPolicy::Calibrated(len));
+        assert!(covers_from_all_starts(&g, &uxs));
+    }
+
+    #[test]
+    fn calibration_includes_safety_margin() {
+        let g = generators::path(6).unwrap();
+        let uxs = Uxs::for_n(6, LengthPolicy::Polynomial(3));
+        let raw = max_cover_length(&g, &uxs).unwrap();
+        let calibrated = calibrate_against(6, &[g]).unwrap();
+        assert_eq!(calibrated, raw * CALIBRATION_MARGIN);
+    }
+}

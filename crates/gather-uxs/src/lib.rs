@@ -1,0 +1,53 @@
+//! # gather-uxs
+//!
+//! Deterministic exploration sequences — the substrate standing in for the
+//! *universal exploration sequence* (UXS) of Ta-Shma and Zwick used by the
+//! paper's §2.1 gathering algorithm.
+//!
+//! ## What the paper needs
+//!
+//! §2.1 only uses the UXS as a black box with two properties:
+//!
+//! 1. every robot can compute the **same** sequence knowing only `n`;
+//! 2. following the sequence for `T` rounds from **any** starting node visits
+//!    every node of **any** `n`-node graph, where `T = Õ(n⁵)` is a bound known
+//!    to every robot.
+//!
+//! ## What we build (substitution, see DESIGN.md)
+//!
+//! Explicit UXS constructions are galactic (they go through Reingold's
+//! zig-zag-product expanders) and are never implemented in practice. We
+//! substitute a deterministic offset sequence produced by a SplitMix64
+//! generator **seeded only by `n`**, so property 1 holds exactly. Property 2
+//! is provided in two flavours selected by [`LengthPolicy`]:
+//!
+//! * [`LengthPolicy::Theoretical`] — length `n⁵·⌈log₂ n⌉`, matching the
+//!   paper's asymptotics (a random offset sequence of this length covers any
+//!   `n`-node graph except with probability vanishing far faster than any
+//!   polynomial; the experiments additionally *verify* cover on every graph
+//!   they touch);
+//! * [`LengthPolicy::Polynomial`]/[`LengthPolicy::Fixed`]/
+//!   [`LengthPolicy::Calibrated`] — shorter lengths for simulation
+//!   feasibility, verified against the benchmark graph families by
+//!   [`calibrate`]/[`verify`].
+//!
+//! The walker rule is the standard UXS rule: on arriving through entry port
+//! `q` at a node of degree `δ`, the next exit port is `(q + sᵢ) mod δ`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod policy;
+pub mod sequence;
+pub mod verify;
+pub mod walker;
+
+pub use calibrate::{calibrate_against, calibrated_length_for_suite};
+pub use policy::LengthPolicy;
+pub use sequence::Uxs;
+pub use verify::{
+    cover_length_from, cover_length_from_with_entry, covers_from_all_starts,
+    covers_from_all_starts_and_entries, max_cover_length,
+};
+pub use walker::UxsWalker;

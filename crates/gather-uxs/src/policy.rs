@@ -1,0 +1,103 @@
+//! Length policies for exploration sequences.
+
+use serde::{Deserialize, Serialize};
+
+/// How long the exploration sequence for an `n`-node graph should be.
+///
+/// The paper's bound `T = Õ(n⁵)` is what [`LengthPolicy::Theoretical`]
+/// reproduces; the other policies exist so that experiments on larger `n`
+/// finish in reasonable wall-clock time while remaining *verified* to cover
+/// the graphs they are used on (see [`crate::verify`] and
+/// [`crate::calibrate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LengthPolicy {
+    /// `n⁵ · ⌈log₂ n⌉` — the paper's asymptotic bound Õ(n⁵).
+    Theoretical,
+    /// `n^p · ⌈log₂ n⌉` for a chosen exponent `p` (the experiments use
+    /// `p = 3`, the random-walk cover-time exponent, unless stated).
+    Polynomial(u32),
+    /// A length obtained from [`crate::calibrate`] for a specific graph
+    /// suite, stored explicitly so results are reproducible.
+    Calibrated(usize),
+    /// An explicit length (tests and micro-benchmarks).
+    Fixed(usize),
+}
+
+impl LengthPolicy {
+    /// The sequence length prescribed for an `n`-node graph.
+    pub fn length(&self, n: usize) -> usize {
+        let n = n.max(2);
+        let log = usize::BITS as usize - (n - 1).leading_zeros() as usize; // ceil(log2 n)
+        match *self {
+            LengthPolicy::Theoretical => n.pow(5).saturating_mul(log),
+            LengthPolicy::Polynomial(p) => n.pow(p).saturating_mul(log),
+            LengthPolicy::Calibrated(len) => len,
+            LengthPolicy::Fixed(len) => len,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            LengthPolicy::Theoretical => "theoretical(n^5 log n)".to_string(),
+            LengthPolicy::Polynomial(p) => format!("polynomial(n^{p} log n)"),
+            LengthPolicy::Calibrated(len) => format!("calibrated({len})"),
+            LengthPolicy::Fixed(len) => format!("fixed({len})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theoretical_matches_formula() {
+        // n = 8: log2 = 3, 8^5 = 32768 -> 98304.
+        assert_eq!(LengthPolicy::Theoretical.length(8), 32768 * 3);
+    }
+
+    #[test]
+    fn polynomial_matches_formula() {
+        assert_eq!(LengthPolicy::Polynomial(3).length(8), 512 * 3);
+        assert_eq!(LengthPolicy::Polynomial(2).length(16), 256 * 4);
+    }
+
+    #[test]
+    fn fixed_and_calibrated_ignore_n() {
+        assert_eq!(LengthPolicy::Fixed(100).length(50), 100);
+        assert_eq!(LengthPolicy::Calibrated(7).length(3), 7);
+    }
+
+    #[test]
+    fn tiny_n_is_clamped() {
+        // n <= 2 is treated as n = 2 so the length is never zero.
+        assert!(LengthPolicy::Theoretical.length(1) > 0);
+        assert!(LengthPolicy::Polynomial(3).length(0) > 0);
+    }
+
+    #[test]
+    fn length_is_monotone_in_n_for_theoretical() {
+        let p = LengthPolicy::Theoretical;
+        let mut prev = 0;
+        for n in 2..20 {
+            let len = p.length(n);
+            assert!(len >= prev);
+            prev = len;
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            LengthPolicy::Theoretical.name(),
+            LengthPolicy::Polynomial(3).name(),
+            LengthPolicy::Calibrated(10).name(),
+            LengthPolicy::Fixed(10).name(),
+        ];
+        let mut dedup = names.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

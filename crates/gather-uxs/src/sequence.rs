@@ -1,0 +1,154 @@
+//! The deterministic exploration sequence itself.
+
+use crate::policy::LengthPolicy;
+use std::sync::Arc;
+
+/// A deterministic exploration sequence for `n`-node graphs.
+///
+/// The sequence is a list of non-negative *offsets*; a walker arriving at a
+/// node of degree `δ` through entry port `q` leaves through port
+/// `(q + offset) mod δ` (for the very first step the entry port is taken to
+/// be 0). Every robot computes the identical sequence from `n` and the
+/// [`LengthPolicy`], which is exactly the knowledge model of the paper.
+///
+/// Offsets are produced by SplitMix64 seeded by `n` only. The offsets are
+/// shared behind an [`Arc`], so cloning a `Uxs` (e.g. one per robot) does not
+/// duplicate the underlying storage.
+#[derive(Debug, Clone)]
+pub struct Uxs {
+    n: usize,
+    policy: LengthPolicy,
+    offsets: Arc<Vec<u64>>,
+}
+
+/// SplitMix64 step — a tiny, well-mixed deterministic PRNG used only to
+/// derive the shared sequence from `n`.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Uxs {
+    /// Builds the exploration sequence for `n`-node graphs under `policy`.
+    pub fn for_n(n: usize, policy: LengthPolicy) -> Self {
+        let len = policy.length(n);
+        let mut state = (n as u64).wrapping_mul(0xA076_1D64_78BD_642F) ^ 0x5851_F42D_4C95_7F2D;
+        let mut offsets = Vec::with_capacity(len);
+        for _ in 0..len {
+            // Offsets in [1, u64::MAX]: an offset of 0 (mod δ) would mean
+            // immediately bouncing back along the entry edge, which is legal
+            // but wasteful, so 0 is allowed only via the modulo, not forced.
+            offsets.push(splitmix64(&mut state));
+        }
+        Uxs {
+            n,
+            policy,
+            offsets: Arc::new(offsets),
+        }
+    }
+
+    /// The number of nodes this sequence was generated for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The policy used to size the sequence.
+    pub fn policy(&self) -> LengthPolicy {
+        self.policy
+    }
+
+    /// Length of the sequence = the exploration bound `T` in rounds.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// True if the sequence is empty (only possible with `Fixed(0)`).
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// The offset at position `i`.
+    pub fn offset(&self, i: usize) -> Option<u64> {
+        self.offsets.get(i).copied()
+    }
+
+    /// The raw offsets.
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Approximate memory footprint of the *shared* sequence in bits — the
+    /// `M` of Theorem 6's `O(M + log n)` memory bound.
+    pub fn memory_bits(&self) -> usize {
+        self.offsets.len() * 64
+    }
+}
+
+impl PartialEq for Uxs {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.policy == other.policy && self.offsets == other.offsets
+    }
+}
+impl Eq for Uxs {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_n_and_policy_give_identical_sequences() {
+        let a = Uxs::for_n(10, LengthPolicy::Fixed(1000));
+        let b = Uxs::for_n(10, LengthPolicy::Fixed(1000));
+        assert_eq!(a, b);
+        assert_eq!(a.offsets(), b.offsets());
+    }
+
+    #[test]
+    fn different_n_gives_different_sequences() {
+        let a = Uxs::for_n(10, LengthPolicy::Fixed(64));
+        let b = Uxs::for_n(11, LengthPolicy::Fixed(64));
+        assert_ne!(a.offsets(), b.offsets());
+    }
+
+    #[test]
+    fn length_matches_policy() {
+        let u = Uxs::for_n(6, LengthPolicy::Polynomial(3));
+        assert_eq!(u.len(), LengthPolicy::Polynomial(3).length(6));
+        assert!(!u.is_empty());
+        assert_eq!(u.n(), 6);
+        assert_eq!(u.policy(), LengthPolicy::Polynomial(3));
+    }
+
+    #[test]
+    fn offsets_are_well_spread() {
+        // Sanity check the generator: over 4096 offsets mod 7, every residue
+        // appears a reasonable number of times.
+        let u = Uxs::for_n(9, LengthPolicy::Fixed(4096));
+        let mut counts = [0usize; 7];
+        for &o in u.offsets() {
+            counts[(o % 7) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 4096 / 14, "residue badly under-represented: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let u = Uxs::for_n(8, LengthPolicy::Fixed(100));
+        let v = u.clone();
+        assert!(Arc::ptr_eq(&u.offsets, &v.offsets));
+    }
+
+    #[test]
+    fn offset_accessor_bounds() {
+        let u = Uxs::for_n(8, LengthPolicy::Fixed(10));
+        assert!(u.offset(9).is_some());
+        assert!(u.offset(10).is_none());
+        assert_eq!(u.memory_bits(), 640);
+    }
+}

@@ -1,0 +1,171 @@
+//! Cover verification: does a sequence explore a given graph?
+
+use crate::sequence::Uxs;
+use gather_graph::{portwalk, NodeId, PortGraph, Position, PortStep};
+
+/// Follows the sequence from `start` and returns the number of steps after
+/// which every node of the graph has been visited, or `None` if the sequence
+/// ends first. The walker is assumed fresh (its first step uses entry port 0).
+pub fn cover_length_from(graph: &PortGraph, uxs: &Uxs, start: NodeId) -> Option<usize> {
+    cover_length_from_with_entry(graph, uxs, start, 0)
+}
+
+/// Like [`cover_length_from`] but with an explicit *initial entry port*.
+///
+/// During the §2.1 algorithm a robot restarts the sequence from wherever it
+/// happens to stand, with whatever entry port its last move left behind, so
+/// the cover property must hold for every `(start, entry)` combination — this
+/// is what [`covers_from_all_starts_and_entries`] checks.
+pub fn cover_length_from_with_entry(
+    graph: &PortGraph,
+    uxs: &Uxs,
+    start: NodeId,
+    initial_entry: usize,
+) -> Option<usize> {
+    let n = graph.n();
+    let mut visited = vec![false; n];
+    let mut remaining = n;
+    let mut pos = Position::start(start);
+    let mut first_entry = Some(initial_entry as u64);
+    if !visited[pos.node] {
+        visited[pos.node] = true;
+        remaining -= 1;
+    }
+    if remaining == 0 {
+        return Some(0);
+    }
+    for (i, &offset) in uxs.offsets().iter().enumerate() {
+        let deg = graph.degree(pos.node) as u64;
+        let entry = match first_entry.take() {
+            Some(e) => e % deg.max(1),
+            None => {
+                if pos.is_start() {
+                    0
+                } else {
+                    pos.entry as u64
+                }
+            }
+        };
+        let exit = ((entry + offset) % deg) as usize;
+        pos = portwalk::step(graph, pos, PortStep::Exit(exit));
+        if !visited[pos.node] {
+            visited[pos.node] = true;
+            remaining -= 1;
+            if remaining == 0 {
+                return Some(i + 1);
+            }
+        }
+    }
+    None
+}
+
+/// True if the sequence visits every node from every start node **and** every
+/// possible initial entry port — the exact property the §2.1 algorithm needs
+/// when robots restart the sequence mid-run.
+pub fn covers_from_all_starts_and_entries(graph: &PortGraph, uxs: &Uxs) -> bool {
+    graph.nodes().all(|start| {
+        let deg = graph.degree(start).max(1);
+        (0..deg).all(|entry| cover_length_from_with_entry(graph, uxs, start, entry).is_some())
+    })
+}
+
+/// True if the sequence visits every node of the graph from **every** start
+/// node — the property the §2.1 algorithm relies on.
+pub fn covers_from_all_starts(graph: &PortGraph, uxs: &Uxs) -> bool {
+    graph
+        .nodes()
+        .all(|start| cover_length_from(graph, uxs, start).is_some())
+}
+
+/// The worst-case (over start nodes) number of steps needed to visit every
+/// node, or `None` if some start node is not covered.
+pub fn max_cover_length(graph: &PortGraph, uxs: &Uxs) -> Option<usize> {
+    let mut worst = 0usize;
+    for start in graph.nodes() {
+        match cover_length_from(graph, uxs, start) {
+            Some(len) => worst = worst.max(len),
+            None => return None,
+        }
+    }
+    Some(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LengthPolicy;
+    use gather_graph::generators;
+
+    #[test]
+    fn single_node_graph_is_covered_immediately() {
+        let g = generators::path(1).unwrap();
+        let uxs = Uxs::for_n(1, LengthPolicy::Fixed(0));
+        assert_eq!(cover_length_from(&g, &uxs, 0), Some(0));
+        assert!(covers_from_all_starts(&g, &uxs));
+    }
+
+    #[test]
+    fn too_short_sequence_fails_to_cover() {
+        let g = generators::path(10).unwrap();
+        let uxs = Uxs::for_n(10, LengthPolicy::Fixed(3));
+        assert_eq!(cover_length_from(&g, &uxs, 0), None);
+        assert!(!covers_from_all_starts(&g, &uxs));
+        assert_eq!(max_cover_length(&g, &uxs), None);
+    }
+
+    #[test]
+    fn cubic_length_covers_small_standard_families() {
+        let policy = LengthPolicy::Polynomial(3);
+        for family in gather_graph::generators::Family::ALL {
+            let g = family.instantiate(10, 7).unwrap();
+            let uxs = Uxs::for_n(g.n(), policy);
+            assert!(
+                covers_from_all_starts(&g, &uxs),
+                "{} (n={}) not covered by {}",
+                g.name(),
+                g.n(),
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cubic_length_covers_from_every_entry_port_too() {
+        // The stronger property actually used by the §2.1 algorithm when it
+        // restarts the sequence mid-run.
+        let policy = LengthPolicy::Polynomial(3);
+        for family in gather_graph::generators::Family::ALL {
+            let g = family.instantiate(9, 11).unwrap();
+            let uxs = Uxs::for_n(g.n(), policy);
+            assert!(
+                covers_from_all_starts_and_entries(&g, &uxs),
+                "{} not covered from every (start, entry) pair",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn entry_port_zero_matches_the_plain_cover_check() {
+        let g = generators::cycle(9).unwrap();
+        let uxs = Uxs::for_n(9, LengthPolicy::Polynomial(3));
+        for start in g.nodes() {
+            assert_eq!(
+                cover_length_from(&g, &uxs, start),
+                cover_length_from_with_entry(&g, &uxs, start, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn max_cover_length_is_at_least_per_start_cover_length() {
+        let g = generators::lollipop(5, 5).unwrap();
+        let uxs = Uxs::for_n(g.n(), LengthPolicy::Polynomial(3));
+        let max = max_cover_length(&g, &uxs).expect("covered");
+        for start in g.nodes() {
+            let this = cover_length_from(&g, &uxs, start).expect("covered");
+            assert!(this <= max);
+        }
+        assert!(max >= g.n() - 1, "cannot cover n nodes in fewer than n-1 moves");
+    }
+}

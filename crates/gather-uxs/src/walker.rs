@@ -1,0 +1,129 @@
+//! Robot-side application of an exploration sequence.
+
+use crate::sequence::Uxs;
+use gather_graph::PortId;
+
+/// Applies a [`Uxs`] step by step from the point of view of a robot that can
+/// only see its current node's degree and its entry port.
+///
+/// The walker owns its progress index so a robot can pause (e.g. while
+/// waiting out the other half of a 2T phase) and resume, or reset to replay
+/// the sequence from the beginning.
+#[derive(Debug, Clone)]
+pub struct UxsWalker {
+    uxs: Uxs,
+    index: usize,
+}
+
+impl UxsWalker {
+    /// Creates a walker at the beginning of the sequence.
+    pub fn new(uxs: Uxs) -> Self {
+        UxsWalker { uxs, index: 0 }
+    }
+
+    /// The underlying sequence.
+    pub fn uxs(&self) -> &Uxs {
+        &self.uxs
+    }
+
+    /// How many steps have been consumed.
+    pub fn position(&self) -> usize {
+        self.index
+    }
+
+    /// True when the sequence is exhausted.
+    pub fn is_finished(&self) -> bool {
+        self.index >= self.uxs.len()
+    }
+
+    /// Restarts the sequence from the beginning.
+    pub fn reset(&mut self) {
+        self.index = 0;
+    }
+
+    /// Consumes the next offset and returns the exit port to take from a node
+    /// of degree `degree` entered through `entry_port` (`None` for a robot
+    /// that has not moved yet, treated as entry port 0 per the UXS rule).
+    ///
+    /// Returns `None` when the sequence is exhausted; the caller should then
+    /// stay put.
+    pub fn next_port(&mut self, entry_port: Option<PortId>, degree: usize) -> Option<PortId> {
+        if degree == 0 {
+            // Single-node graph: nothing to do, but still consume the step so
+            // phase accounting stays aligned.
+            if self.index < self.uxs.len() {
+                self.index += 1;
+            }
+            return None;
+        }
+        let offset = self.uxs.offset(self.index)?;
+        self.index += 1;
+        let entry = entry_port.unwrap_or(0) as u64;
+        Some(((entry + offset) % degree as u64) as PortId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LengthPolicy;
+    use gather_graph::{generators, portwalk, Position, PortStep};
+
+    #[test]
+    fn walker_consumes_sequence_in_order() {
+        let uxs = Uxs::for_n(5, LengthPolicy::Fixed(4));
+        let mut w = UxsWalker::new(uxs.clone());
+        assert_eq!(w.position(), 0);
+        assert!(!w.is_finished());
+        for i in 0..4 {
+            assert_eq!(w.position(), i);
+            let p = w.next_port(None, 3);
+            assert!(p.is_some());
+            assert!(p.unwrap() < 3);
+        }
+        assert!(w.is_finished());
+        assert_eq!(w.next_port(None, 3), None);
+    }
+
+    #[test]
+    fn reset_replays_identically() {
+        let uxs = Uxs::for_n(7, LengthPolicy::Fixed(16));
+        let mut w = UxsWalker::new(uxs);
+        let first: Vec<_> = (0..16).map(|_| w.next_port(Some(1), 4)).collect();
+        w.reset();
+        let second: Vec<_> = (0..16).map(|_| w.next_port(Some(1), 4)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn walker_matches_offline_follow_offsets() {
+        // Driving a walker over an actual graph must reproduce exactly the
+        // offline `portwalk::follow_offsets` trajectory.
+        let g = generators::random_connected(9, 0.3, 1).unwrap();
+        let uxs = Uxs::for_n(9, LengthPolicy::Fixed(200));
+        let offline = portwalk::follow_offsets(&g, 4, uxs.offsets());
+
+        let mut w = UxsWalker::new(uxs);
+        let mut pos = Position::start(4);
+        let mut online = vec![pos];
+        loop {
+            let entry = if pos.is_start() { None } else { Some(pos.entry) };
+            match w.next_port(entry, g.degree(pos.node)) {
+                Some(port) => {
+                    pos = portwalk::step(&g, pos, PortStep::Exit(port));
+                    online.push(pos);
+                }
+                None => break,
+            }
+        }
+        assert_eq!(offline, online);
+    }
+
+    #[test]
+    fn degree_zero_consumes_but_stays() {
+        let uxs = Uxs::for_n(2, LengthPolicy::Fixed(3));
+        let mut w = UxsWalker::new(uxs);
+        assert_eq!(w.next_port(None, 0), None);
+        assert_eq!(w.position(), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! # gathering
+//!
+//! Facade crate for the reproduction of *"Fast Deterministic Gathering with
+//! Detection on Arbitrary Graphs: The Power of Many Robots"* (Molla, Mondal,
+//! Moses Jr., IPDPS 2023).
+//!
+//! It re-exports the workspace crates under stable module names and provides
+//! a [`prelude`] for the examples and downstream users:
+//!
+//! * [`graph`] — anonymous port-labeled graphs, generators and algorithms;
+//! * [`sim`] — the synchronous Face-to-Face mobile-robot simulator;
+//! * [`uxs`] — deterministic universal-exploration-sequence substrate;
+//! * [`map`] — map construction with a movable token;
+//! * [`core`] — the gathering algorithms (`Faster-Gathering`,
+//!   `Undispersed-Gathering`, `i-Hop-Meeting`, the UXS algorithm) and
+//!   baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gathering::prelude::*;
+//!
+//! // A 12-node random connected graph and 5 robots placed at random
+//! // distinct nodes (a dispersed configuration).
+//! let graph = generators::random_connected(12, 0.25, 7).unwrap();
+//! let ids = placement::sequential_ids(5);
+//! let start = placement::generate(&graph, PlacementKind::DispersedRandom, &ids, 3);
+//!
+//! // Run the paper's Faster-Gathering algorithm.
+//! let outcome = run_algorithm(&graph, &start, &RunSpec::new(Algorithm::Faster));
+//! assert!(outcome.is_correct_gathering_with_detection());
+//! println!("gathered in {} rounds", outcome.rounds);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gather_core as core;
+pub use gather_graph as graph;
+pub use gather_map as map;
+pub use gather_sim as sim;
+pub use gather_uxs as uxs;
+
+/// Commonly used items, re-exported for examples and quick experiments.
+pub mod prelude {
+    pub use gather_core::{
+        analysis, run_algorithm, Algorithm, FasterRobot, GatherConfig, HopMeetingRobot, RunSpec,
+        UndispersedRobot, UxsGatherRobot,
+    };
+    pub use gather_graph::{algo, dot, generators, GraphBuilder, PortGraph};
+    pub use gather_sim::{
+        placement, Placement, PlacementKind, Robot, SimConfig, SimOutcome, Simulator,
+    };
+    pub use gather_uxs::{LengthPolicy, Uxs};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_re_exports_work_together() {
+        let graph = generators::cycle(5).unwrap();
+        let start = Placement::new(vec![(1, 0), (2, 0)]);
+        let out = run_algorithm(&graph, &start, &RunSpec::new(Algorithm::Undispersed));
+        assert!(out.is_correct_gathering_with_detection());
+    }
+}

@@ -1,6 +1,8 @@
 //! Wall-clock companion of experiment T1: Faster-Gathering vs the UXS
 //! baseline across Theorem 16's robot-count regimes on a fixed graph.
 
+// TODO(api): port to the scenario/sweep API; uses the deprecated run_algorithm shim.
+#![allow(deprecated)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gather_core::{run_algorithm, Algorithm, GatherConfig, RunSpec};
 use gather_graph::generators;
@@ -12,7 +14,11 @@ fn bench_regimes(c: &mut Criterion) {
     let graph = generators::random_connected(8, 0.3, 7).unwrap();
     let n = graph.n();
     let config = GatherConfig::fast();
-    for (label, k) in [("k_gt_half_n", n / 2 + 1), ("k_gt_third_n", n / 3 + 1), ("k_eq_2", 2)] {
+    for (label, k) in [
+        ("k_gt_half_n", n / 2 + 1),
+        ("k_gt_third_n", n / 3 + 1),
+        ("k_eq_2", 2),
+    ] {
         let ids = placement::sequential_ids(k);
         let start = placement::generate(&graph, PlacementKind::MaxSpread, &ids, 11);
         for algorithm in [Algorithm::Faster, Algorithm::UxsOnly] {

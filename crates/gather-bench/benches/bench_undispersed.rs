@@ -1,5 +1,7 @@
 //! Wall-clock companion of experiment T2: Undispersed-Gathering as `n` grows.
 
+// TODO(api): port to the scenario/sweep API; uses the deprecated run_algorithm shim.
+#![allow(deprecated)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gather_core::{run_algorithm, Algorithm, GatherConfig, RunSpec};
 use gather_graph::generators;

@@ -1,6 +1,8 @@
 //! Wall-clock companion of experiment F4: the UXS-based gathering algorithm
 //! as `n` and the label magnitude grow.
 
+// TODO(api): port to the scenario/sweep API; uses the deprecated run_algorithm shim.
+#![allow(deprecated)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gather_core::{run_algorithm, Algorithm, GatherConfig, RunSpec};
 use gather_graph::generators;
@@ -16,7 +18,11 @@ fn bench_uxs_by_n(c: &mut Criterion) {
         let start = placement::generate(&graph, PlacementKind::MaxSpread, &ids, 3);
         group.bench_with_input(BenchmarkId::new("uxs_gathering", n), &start, |b, s| {
             b.iter(|| {
-                run_algorithm(&graph, s, &RunSpec::new(Algorithm::UxsOnly).with_config(config))
+                run_algorithm(
+                    &graph,
+                    s,
+                    &RunSpec::new(Algorithm::UxsOnly).with_config(config),
+                )
             })
         });
     }
@@ -30,11 +36,19 @@ fn bench_uxs_by_label(c: &mut Criterion) {
     let graph = generators::cycle(8).unwrap();
     for largest in [3u64, 15, 63] {
         let start = Placement::new(vec![(1, 0), (largest, 4)]);
-        group.bench_with_input(BenchmarkId::new("largest_label", largest), &start, |b, s| {
-            b.iter(|| {
-                run_algorithm(&graph, s, &RunSpec::new(Algorithm::UxsOnly).with_config(config))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("largest_label", largest),
+            &start,
+            |b, s| {
+                b.iter(|| {
+                    run_algorithm(
+                        &graph,
+                        s,
+                        &RunSpec::new(Algorithm::UxsOnly).with_config(config),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

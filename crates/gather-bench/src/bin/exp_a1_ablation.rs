@@ -3,6 +3,8 @@
 //! candidate filters inside the token mapper (measured as candidate-test
 //! pressure via the move count on dense vs sparse graphs).
 
+// TODO(api): port to the scenario/sweep API; uses the deprecated run_algorithm shim.
+#![allow(deprecated)]
 use gather_bench::{quick_mode, ratio, Table};
 use gather_core::{run_algorithm, schedule, Algorithm, GatherConfig, RunSpec};
 use gather_graph::generators;
@@ -55,7 +57,14 @@ fn main() {
     let mut bound_table = Table::new(
         "A1b",
         "Ablation: Phase 1 budget policy vs measured map-construction rounds",
-        &["family", "n", "policy", "R1 budget", "measured map rounds", "budget utilisation"],
+        &[
+            "family",
+            "n",
+            "policy",
+            "R1 budget",
+            "measured map rounds",
+            "budget utilisation",
+        ],
     );
     for family in [generators::Family::Cycle, generators::Family::RandomSparse] {
         let g = family.instantiate(n, 4).unwrap();

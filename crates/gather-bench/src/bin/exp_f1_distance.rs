@@ -2,6 +2,8 @@
 //! initial closest-pair distance `i`, showing the per-step regime structure
 //! and the crossover towards the UXS fallback.
 
+// TODO(api): port to the scenario/sweep API; uses the deprecated run_algorithm shim.
+#![allow(deprecated)]
 use gather_bench::{quick_mode, Table};
 use gather_core::{run_algorithm, schedule, Algorithm, GatherConfig, RunSpec};
 use gather_graph::generators;
@@ -28,7 +30,13 @@ fn main() {
     let mut table = Table::new(
         "F1",
         "Rounds vs initial closest-pair distance (Theorem 12)",
-        &["graph", "distance i", "rounds", "terminated in", "detection ok"],
+        &[
+            "graph",
+            "distance i",
+            "rounds",
+            "terminated in",
+            "detection ok",
+        ],
     );
 
     for graph in &graphs {

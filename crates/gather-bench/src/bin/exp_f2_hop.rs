@@ -20,7 +20,12 @@ fn main() {
         "F2",
         "i-Hop-Meeting: rounds until the configuration becomes undispersed (Lemmas 9/10)",
         &[
-            "graph", "radius i", "pair distance", "cycle T(i)", "budget", "contact round",
+            "graph",
+            "radius i",
+            "pair distance",
+            "cycle T(i)",
+            "budget",
+            "contact round",
             "within budget",
         ],
     );
@@ -57,7 +62,9 @@ fn main() {
                 schedule::hop_cycle_rounds(radius, n).to_string(),
                 budget.to_string(),
                 contact.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
-                contact.map(|r| (r <= budget).to_string()).unwrap_or_else(|| "false".into()),
+                contact
+                    .map(|r| (r <= budget).to_string())
+                    .unwrap_or_else(|| "false".into()),
             ]);
         }
     }

@@ -10,19 +10,32 @@ use gather_sim::placement::{self, PlacementKind};
 fn main() {
     let n_target = if quick_mode() { 16 } else { 32 };
     let seeds: u64 = if quick_mode() { 10 } else { 50 };
-    let families = [Family::Cycle, Family::Grid, Family::RandomSparse, Family::RandomTree];
+    let families = [
+        Family::Cycle,
+        Family::Grid,
+        Family::RandomSparse,
+        Family::RandomTree,
+    ];
 
     let mut table = Table::new(
         "F3",
         "Closest robot pair vs robot count (Lemma 15): measured max over placements vs bound",
         &[
-            "family", "n", "k", "k/n", "Lemma 15 bound", "max closest (random)",
-            "max closest (max-spread)", "violations",
+            "family",
+            "n",
+            "k",
+            "k/n",
+            "Lemma 15 bound",
+            "max closest (random)",
+            "max closest (max-spread)",
+            "violations",
         ],
     );
 
     for &family in &families {
-        let graph = family.instantiate(n_target, 9).expect("family instantiates");
+        let graph = family
+            .instantiate(n_target, 9)
+            .expect("family instantiates");
         let n = graph.n();
         for divisor in [2usize, 3, 4, 6] {
             let k = n / divisor + 1;

@@ -2,6 +2,8 @@
 //! robots from any configuration and detects completion; rounds scale with
 //! T · log L where L is the largest label.
 
+// TODO(api): port to the scenario/sweep API; uses the deprecated run_algorithm shim.
+#![allow(deprecated)]
 use gather_bench::{quick_mode, ratio, Table};
 use gather_core::{run_algorithm, Algorithm, GatherConfig, RunSpec};
 use gather_graph::generators::Family;
@@ -9,7 +11,11 @@ use gather_sim::placement::{self, PlacementKind};
 use gather_uxs::LengthPolicy;
 
 fn main() {
-    let sizes: &[usize] = if quick_mode() { &[6, 8] } else { &[6, 8, 10, 12] };
+    let sizes: &[usize] = if quick_mode() {
+        &[6, 8]
+    } else {
+        &[6, 8, 10, 12]
+    };
     let families = [Family::Cycle, Family::RandomSparse, Family::Lollipop];
     let config = GatherConfig::fast();
 
@@ -17,13 +23,22 @@ fn main() {
         "F4",
         "UXS-based gathering with detection (Theorem 6): rounds vs n and vs label magnitude",
         &[
-            "family", "n", "k", "labels", "T", "rounds", "rounds/T", "detection ok",
+            "family",
+            "n",
+            "k",
+            "labels",
+            "T",
+            "rounds",
+            "rounds/T",
+            "detection ok",
         ],
     );
 
     for &family in &families {
         for &n_target in sizes {
-            let graph = family.instantiate(n_target, 2).expect("family instantiates");
+            let graph = family
+                .instantiate(n_target, 2)
+                .expect("family instantiates");
             let n = graph.n();
             let t = config.uxs_policy.length(n) as u64;
             let k = 3.min(n);

@@ -2,6 +2,8 @@
 //! Undispersed-/Faster-Gathering (dominated by the map) and O(M + log n) for
 //! the UXS algorithm (dominated by the shared sequence).
 
+// TODO(api): port to the scenario/sweep API; uses the deprecated run_algorithm shim.
+#![allow(deprecated)]
 use gather_bench::{quick_mode, ratio, Table};
 use gather_core::{run_algorithm, Algorithm, GatherConfig, RunSpec};
 use gather_graph::generators::Family;
@@ -10,22 +12,38 @@ use gather_sim::placement::{self, PlacementKind};
 use gather_uxs::Uxs;
 
 fn main() {
-    let sizes: &[usize] = if quick_mode() { &[8, 12] } else { &[8, 12, 16, 24] };
-    let families = [Family::Cycle, Family::RandomSparse, Family::RandomDense, Family::Complete];
+    let sizes: &[usize] = if quick_mode() {
+        &[8, 12]
+    } else {
+        &[8, 12, 16, 24]
+    };
+    let families = [
+        Family::Cycle,
+        Family::RandomSparse,
+        Family::RandomDense,
+        Family::Complete,
+    ];
     let config = GatherConfig::fast();
 
     let mut table = Table::new(
         "T3",
         "Per-robot memory (bits) vs the O(m log n) claim",
         &[
-            "family", "n", "m", "m*log2(n)", "map memory (offline)", "peak robot memory",
+            "family",
+            "n",
+            "m",
+            "m*log2(n)",
+            "map memory (offline)",
+            "peak robot memory",
             "robot/claim ratio",
         ],
     );
 
     for &family in &families {
         for &n_target in sizes {
-            let graph = family.instantiate(n_target, 6).expect("family instantiates");
+            let graph = family
+                .instantiate(n_target, 6)
+                .expect("family instantiates");
             let n = graph.n();
             let m = graph.m();
             let log = (usize::BITS - (n - 1).leading_zeros()) as usize;
@@ -38,7 +56,11 @@ fn main() {
                 &start,
                 &RunSpec::new(Algorithm::Undispersed).with_config(config),
             );
-            assert!(out.is_correct_gathering_with_detection(), "{}", graph.name());
+            assert!(
+                out.is_correct_gathering_with_detection(),
+                "{}",
+                graph.name()
+            );
             let peak = out.metrics.max_memory_bits();
             table.push_row(vec![
                 family.name().to_string(),
@@ -58,7 +80,12 @@ fn main() {
     let mut uxs_table = Table::new(
         "T3b",
         "UXS algorithm memory: the shared sequence M dominates, per-robot state is O(log n)",
-        &["n", "sequence length T", "shared sequence bits (M)", "per-robot state bits"],
+        &[
+            "n",
+            "sequence length T",
+            "shared sequence bits (M)",
+            "per-robot state bits",
+        ],
     );
     for &n in sizes {
         let uxs = Uxs::for_n(n, config.uxs_policy);

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use gather_core::sweep::SweepReport;
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
@@ -49,14 +50,58 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("## {} — {}\n\n", self.id, self.title));
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        // Separator row in the same leading-pipe style as the other rows:
+        // `| --- | --- |`.
         out.push_str(&format!(
             "|{}\n",
-            self.headers.iter().map(|_| "---|").collect::<String>()
+            self.headers.iter().map(|_| " --- |").collect::<String>()
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
         out
+    }
+
+    /// Builds a table directly from the structured rows of a
+    /// [`gather_core::sweep::Sweep`] run, in row order. Failed scenarios
+    /// render their error in the `rounds` column.
+    pub fn from_sweep(id: &str, title: &str, report: &SweepReport) -> Self {
+        let mut table = Table::new(
+            id,
+            title,
+            &[
+                "family",
+                "n",
+                "k",
+                "placement",
+                "algorithm",
+                "seed",
+                "closest pair",
+                "rounds",
+                "moves",
+                "detected ok",
+            ],
+        );
+        for row in &report.rows {
+            table.push_row(vec![
+                row.family.clone(),
+                row.n.to_string(),
+                row.k.to_string(),
+                format!("{:?}", row.kind),
+                row.algorithm.clone(),
+                row.seed.to_string(),
+                row.closest_pair
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "-".to_string()),
+                match &row.error {
+                    None => row.rounds.to_string(),
+                    Some(e) => format!("error: {e}"),
+                },
+                row.total_moves.to_string(),
+                row.detected_ok.to_string(),
+            ]);
+        }
+        table
     }
 
     /// Prints the markdown rendering to stdout.
@@ -92,7 +137,9 @@ pub fn results_dir() -> PathBuf {
 /// True when the harness should run a reduced parameter sweep (set
 /// `GATHER_QUICK=1`, used by smoke tests and CI).
 pub fn quick_mode() -> bool {
-    std::env::var("GATHER_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("GATHER_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Formats a ratio with two decimals, guarding against division by zero.
@@ -107,7 +154,12 @@ pub fn ratio(numerator: u64, denominator: u64) -> String {
 /// Fits the exponent `p` of `rounds ≈ c · n^p` from two measurements by
 /// log-log slope — used to report the empirical growth rate next to the
 /// paper's asymptotic claim.
-pub fn fitted_exponent(n_small: usize, rounds_small: u64, n_large: usize, rounds_large: u64) -> f64 {
+pub fn fitted_exponent(
+    n_small: usize,
+    rounds_small: u64,
+    n_large: usize,
+    rounds_large: u64,
+) -> f64 {
     if rounds_small == 0 || n_small == 0 || n_small == n_large {
         return f64::NAN;
     }
@@ -130,6 +182,50 @@ mod tests {
         assert!(md.contains("| a | b |"));
         assert!(md.contains("| x | y |"));
         assert_eq!(md.matches('\n').count(), 6);
+    }
+
+    #[test]
+    fn table_markdown_exact_output_is_pinned() {
+        let mut t = Table::new("T9", "demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        // The separator row must carry a leading `|` and per-column cells in
+        // the same style as header/data rows — valid GFM.
+        assert_eq!(
+            t.to_markdown(),
+            "## T9 — demo\n\n\
+             | a | b |\n\
+             | --- | --- |\n\
+             | 1 | 2 |\n"
+        );
+    }
+
+    #[test]
+    fn from_sweep_renders_rows_in_order() {
+        use gather_core::scenario::{AlgorithmSpec, GraphSpec, PlacementSpec};
+        use gather_core::sweep::Sweep;
+        use gather_graph::generators::Family;
+        use gather_sim::PlacementKind;
+
+        let report = Sweep::new()
+            .graph(GraphSpec::new(Family::Cycle, 6))
+            .placement(PlacementSpec::new(PlacementKind::UndispersedRandom, 3))
+            .algorithms([
+                AlgorithmSpec::new("faster_gathering"),
+                AlgorithmSpec::new("uxs_gathering"),
+            ])
+            .threads(1)
+            .run_default();
+        let table = Table::from_sweep("S0", "sweep bridge", &report);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.rows[0][4], "faster_gathering");
+        assert_eq!(table.rows[1][4], "uxs_gathering");
+        assert!(
+            table.rows.iter().all(|r| r[9] == "true"),
+            "{:?}",
+            table.rows
+        );
+        let md = table.to_markdown();
+        assert!(md.contains("| cycle | 6 | 3 |"));
     }
 
     #[test]

@@ -34,9 +34,7 @@ pub fn lemma15_bound(n: usize, k: usize) -> Option<usize> {
     }
     // The bound 2c - 2 improves as c decreases, so find the smallest c that
     // still guarantees a close pair.
-    (1..=n)
-        .find(|&c| k >= n / c + 1)
-        .map(|c| 2 * c - 2)
+    (1..=n).find(|&c| k > n / c).map(|c| 2 * c - 2)
 }
 
 /// The number of robots needed for Lemma 15 to guarantee a pair within
@@ -63,9 +61,9 @@ pub fn verify_lemma15(graph: &PortGraph, positions: &[NodeId]) -> bool {
 /// returns the exponent shorthand `3`, `4` or `5` for `O(n³)`, `O(n⁴ log n)`
 /// and `Õ(n⁵)` respectively.
 pub fn theorem16_regime(n: usize, k: usize) -> u32 {
-    if k >= n / 2 + 1 {
+    if k > n / 2 {
         3
-    } else if k >= n / 3 + 1 {
+    } else if k > n / 3 {
         4
     } else {
         5

@@ -1,18 +1,21 @@
-//! A small high-level API: pick an algorithm, a graph and a placement, get a
-//! simulation outcome back. This is what the examples and the experiment
-//! harness use.
+//! The seed's original high-level API, kept as thin shims over the
+//! [`crate::registry`].
+//!
+//! New code should prefer the scenario-first API: describe an experiment as a
+//! serializable [`crate::scenario::ScenarioSpec`] (or a whole grid as a
+//! [`crate::sweep::Sweep`]) and execute it through an
+//! [`crate::registry::AlgorithmRegistry`]. The [`Algorithm`] enum survives as
+//! a convenient, exhaustively-matchable handle for the four built-in paper
+//! algorithms — its `name()` values are exactly their registry keys — while
+//! [`run_algorithm`] and [`RunSpec`] merely delegate to the registry.
 
-use crate::baseline::ExpandingRobot;
 use crate::config::GatherConfig;
-use crate::faster::FasterRobot;
-use crate::undispersed::UndispersedRobot;
-use crate::uxs_gathering::UxsGatherRobot;
+use crate::registry;
 use gather_graph::PortGraph;
-use gather_sim::{placement::Placement, SimConfig, SimOutcome, Simulator};
-use gather_uxs::Uxs;
+use gather_sim::{placement::Placement, SimConfig, SimOutcome};
 use serde::{Deserialize, Serialize};
 
-/// The algorithms this crate provides.
+/// The four built-in paper algorithms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Algorithm {
     /// `Faster-Gathering` (§2.3) — the paper's main contribution.
@@ -26,7 +29,16 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
-    /// Short stable name used in result tables.
+    /// All built-in algorithms, in a stable order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Faster,
+        Algorithm::UxsOnly,
+        Algorithm::Undispersed,
+        Algorithm::ExpandingBaseline,
+    ];
+
+    /// Short stable name used in result tables — and as the registry key of
+    /// the corresponding built-in [`crate::registry::AlgorithmFactory`].
     pub fn name(&self) -> &'static str {
         match self {
             Algorithm::Faster => "faster_gathering",
@@ -37,7 +49,7 @@ impl Algorithm {
     }
 }
 
-/// Everything needed to run one simulation.
+/// Everything needed to run one simulation (legacy shim).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunSpec {
     /// Which algorithm to run.
@@ -54,7 +66,7 @@ impl RunSpec {
         RunSpec {
             algorithm,
             config: GatherConfig::fast(),
-            max_rounds: 2_000_000_000,
+            max_rounds: crate::scenario::DEFAULT_MAX_ROUNDS,
         }
     }
 
@@ -73,67 +85,47 @@ impl RunSpec {
 
 /// Runs `spec.algorithm` on the given graph and placement and returns the
 /// simulation outcome (rounds, correctness of detection, metrics, …).
+///
+/// Thin shim over [`crate::registry::AlgorithmRegistry::run`] with the global
+/// built-in registry; kept so the seed's experiment binaries and examples
+/// continue to compile.
+#[deprecated(
+    since = "0.2.0",
+    note = "describe the run as a `scenario::ScenarioSpec` (or sweep grids with `sweep::Sweep`) \
+            and execute it via `registry::global()`; this shim only reaches the four built-ins"
+)]
 pub fn run_algorithm(graph: &PortGraph, placement: &Placement, spec: &RunSpec) -> SimOutcome {
-    let n = graph.n();
-    let sim_config = SimConfig::with_max_rounds(spec.max_rounds);
-    let sim = Simulator::new(graph, sim_config);
-    match spec.algorithm {
-        Algorithm::Faster => {
-            let robots: Vec<(FasterRobot, usize)> = placement
-                .robots
-                .iter()
-                .map(|&(id, node)| (FasterRobot::new(id, n, &spec.config), node))
-                .collect();
-            sim.run(robots)
-        }
-        Algorithm::UxsOnly => {
-            // Share one sequence across robots (they would all compute the
-            // same one from n anyway).
-            let uxs = Uxs::for_n(n, spec.config.uxs_policy);
-            let robots: Vec<(UxsGatherRobot, usize)> = placement
-                .robots
-                .iter()
-                .map(|&(id, node)| (UxsGatherRobot::with_sequence(id, uxs.clone()), node))
-                .collect();
-            sim.run(robots)
-        }
-        Algorithm::Undispersed => {
-            let robots: Vec<(UndispersedRobot, usize)> = placement
-                .robots
-                .iter()
-                .map(|&(id, node)| (UndispersedRobot::new(id, n, &spec.config), node))
-                .collect();
-            sim.run(robots)
-        }
-        Algorithm::ExpandingBaseline => {
-            let robots: Vec<(ExpandingRobot, usize)> = placement
-                .robots
-                .iter()
-                .map(|&(id, node)| (ExpandingRobot::new(id, n), node))
-                .collect();
-            sim.run(robots)
-        }
-    }
+    registry::global()
+        .run(
+            spec.algorithm.name(),
+            graph,
+            placement,
+            &spec.config,
+            SimConfig::with_max_rounds(spec.max_rounds),
+        )
+        .expect("built-in algorithms are always registered")
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use gather_graph::generators;
     use gather_sim::placement::{self, PlacementKind};
 
     #[test]
-    fn names_are_unique() {
-        let names = [
-            Algorithm::Faster.name(),
-            Algorithm::UxsOnly.name(),
-            Algorithm::Undispersed.name(),
-            Algorithm::ExpandingBaseline.name(),
-        ];
-        let mut d = names.to_vec();
-        d.sort();
-        d.dedup();
-        assert_eq!(d.len(), names.len());
+    fn names_are_unique_and_match_the_registry() {
+        let mut names: Vec<_> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Algorithm::ALL.len());
+        for alg in Algorithm::ALL {
+            assert!(
+                registry::global().contains(alg.name()),
+                "{} not registered",
+                alg.name()
+            );
+        }
     }
 
     #[test]
@@ -182,5 +174,25 @@ mod tests {
             faster.rounds,
             uxs.rounds
         );
+    }
+
+    #[test]
+    fn shim_and_registry_agree_exactly() {
+        let g = generators::grid(3, 3).unwrap();
+        let ids = placement::sequential_ids(4);
+        let p = placement::generate(&g, PlacementKind::UndispersedRandom, &ids, 5);
+        let spec = RunSpec::new(Algorithm::Faster);
+        let via_shim = run_algorithm(&g, &p, &spec);
+        let via_registry = registry::global()
+            .run(
+                "faster_gathering",
+                &g,
+                &p,
+                &spec.config,
+                gather_sim::SimConfig::with_max_rounds(spec.max_rounds),
+            )
+            .unwrap();
+        assert_eq!(via_shim.rounds, via_registry.rounds);
+        assert_eq!(via_shim.final_positions, via_registry.final_positions);
     }
 }

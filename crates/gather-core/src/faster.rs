@@ -154,9 +154,9 @@ impl FasterRobot {
             .collect();
         robot.segment_idx = 0;
         robot.active = match robot.schedule[0].kind {
-            SegmentKind::Undispersed => ActiveSub::Undispersed(Box::new(
-                UndispersedGathering::new(id, n, config),
-            )),
+            SegmentKind::Undispersed => {
+                ActiveSub::Undispersed(Box::new(UndispersedGathering::new(id, n, config)))
+            }
             SegmentKind::Hop(radius) => ActiveSub::Hop(HopMeeting::new(id, n, radius)),
             SegmentKind::Check => ActiveSub::Check,
             SegmentKind::Uxs => ActiveSub::Uxs(Box::new(UxsGathering::new(id, n, config))),
@@ -425,7 +425,10 @@ mod tests {
             .collect();
         let sim = Simulator::new(&g, SimConfig::with_max_rounds(100_000_000));
         let informed = sim.run(robots);
-        assert!(informed.is_correct_gathering_with_detection(), "{informed:?}");
+        assert!(
+            informed.is_correct_gathering_with_detection(),
+            "{informed:?}"
+        );
         assert!(
             informed.rounds < oblivious.rounds,
             "knowing the distance ({}) must not be slower than not knowing it ({})",

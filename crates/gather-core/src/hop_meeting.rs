@@ -104,7 +104,11 @@ impl BoundedDfs {
                 None
             } else {
                 self.moves += 1;
-                Some(popped.return_port.expect("non-root frames know their way back"))
+                Some(
+                    popped
+                        .return_port
+                        .expect("non-root frames know their way back"),
+                )
             }
         }
     }
@@ -282,17 +286,12 @@ mod tests {
         let mut entry: Option<PortId> = None;
         let mut visited = vec![start];
         let mut rounds = 0u64;
-        loop {
-            match dfs.next_move(graph.degree(node), entry) {
-                Some(p) => {
-                    let (next, q) = graph.neighbor_via(node, p);
-                    node = next;
-                    entry = Some(q);
-                    visited.push(node);
-                    rounds += 1;
-                }
-                None => break,
-            }
+        while let Some(p) = dfs.next_move(graph.degree(node), entry) {
+            let (next, q) = graph.neighbor_via(node, p);
+            node = next;
+            entry = Some(q);
+            visited.push(node);
+            rounds += 1;
             assert!(rounds < 1_000_000, "runaway DFS");
         }
         assert_eq!(node, start, "DFS must return to its home node");
@@ -411,7 +410,11 @@ mod tests {
             fn announce(&mut self, obs: &Observation) -> Msg {
                 SubAlgorithm::announce(&mut self.0, obs)
             }
-            fn decide(&mut self, obs: &Observation, inbox: &[(RobotId, Msg)]) -> gather_sim::Action {
+            fn decide(
+                &mut self,
+                obs: &Observation,
+                inbox: &[(RobotId, Msg)],
+            ) -> gather_sim::Action {
                 match self.0.decide(obs, inbox) {
                     SubAction::Move(p) => gather_sim::Action::Move(p),
                     _ => gather_sim::Action::Stay,

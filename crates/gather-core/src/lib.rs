@@ -22,6 +22,23 @@
 //! face-to-face. Every schedule is a pure function of `n` (see [`schedule`])
 //! so simultaneous-start robots stay synchronised, which is what detection
 //! relies on.
+//!
+//! ## The scenario-first public API
+//!
+//! Experiments are *sweeps* over graph families × placements × algorithms,
+//! so the public API is built around three pieces:
+//!
+//! * [`scenario`] — a fully serde-serializable [`scenario::ScenarioSpec`]
+//!   describing one run as a JSON-roundtrippable value;
+//! * [`registry`] — an open [`registry::AlgorithmRegistry`] of named
+//!   [`registry::AlgorithmFactory`] implementations (the four paper
+//!   algorithms are pre-registered; downstream crates add their own);
+//! * [`sweep`] — a [`sweep::Sweep`] builder expanding cartesian grids of
+//!   scenarios and executing them over the parallel runner, returning
+//!   structured [`sweep::SweepReport`] rows.
+//!
+//! The seed's `run_algorithm`/`RunSpec` entry points survive in [`api`] as
+//! deprecated shims over the registry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,17 +51,28 @@ pub mod faster;
 pub mod hop_meeting;
 pub mod ids;
 pub mod messages;
+pub mod registry;
+pub mod scenario;
 pub mod schedule;
 pub mod subalgo;
+pub mod sweep;
 pub mod undispersed;
 pub mod uxs_gathering;
 
-pub use api::{run_algorithm, Algorithm, RunSpec};
+#[allow(deprecated)]
+pub use api::run_algorithm;
+pub use api::{Algorithm, RunSpec};
 pub use baseline::ExpandingRobot;
 pub use config::GatherConfig;
 pub use faster::{build_schedule, FasterRobot, Segment, SegmentKind};
 pub use hop_meeting::{BoundedDfs, HopMeeting, HopMeetingRobot};
 pub use messages::{Msg, Role};
+pub use registry::{AlgorithmFactory, AlgorithmRegistry};
+pub use scenario::{
+    AlgorithmSpec, GraphSpec, LabelSpec, PlacementSpec, ScenarioError, ScenarioOutcome,
+    ScenarioSpec,
+};
 pub use subalgo::{SubAction, SubAlgorithm};
+pub use sweep::{Sweep, SweepReport, SweepRow};
 pub use undispersed::{UndispersedGathering, UndispersedRobot};
 pub use uxs_gathering::{UxsGatherRobot, UxsGathering};

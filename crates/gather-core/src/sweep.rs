@@ -1,0 +1,343 @@
+//! Cartesian parameter sweeps over scenario axes, executed in parallel.
+//!
+//! A [`Sweep`] is a builder over the four scenario axes — graphs, placements,
+//! algorithms, seeds — whose cartesian product expands into concrete
+//! [`ScenarioSpec`] values. [`Sweep::run`] distributes those scenarios over
+//! the [`gather_sim::runner::run_parallel`] thread pool and returns a
+//! [`SweepReport`] of structured rows in a deterministic order (axis order is
+//! graph → placement → algorithm → seed, independent of thread count), which
+//! `gather-bench`'s `Table` renders directly.
+
+use crate::registry::AlgorithmRegistry;
+use crate::scenario::{AlgorithmSpec, GraphSpec, PlacementSpec, ScenarioSpec, DEFAULT_MAX_ROUNDS};
+use gather_sim::placement::PlacementKind;
+use gather_sim::runner;
+use serde::{Deserialize, Serialize};
+
+/// Builder for a cartesian sweep over scenario axes.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    graphs: Vec<GraphSpec>,
+    placements: Vec<PlacementSpec>,
+    algorithms: Vec<AlgorithmSpec>,
+    seeds: Vec<u64>,
+    max_rounds: u64,
+    threads: usize,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Sweep::new()
+    }
+}
+
+impl Sweep {
+    /// An empty sweep: seed 0, default round cap, all available threads.
+    pub fn new() -> Self {
+        Sweep {
+            graphs: Vec::new(),
+            placements: Vec::new(),
+            algorithms: Vec::new(),
+            seeds: vec![0],
+            max_rounds: DEFAULT_MAX_ROUNDS,
+            threads: runner::default_threads(),
+        }
+    }
+
+    /// Adds one graph axis point.
+    pub fn graph(mut self, g: GraphSpec) -> Self {
+        self.graphs.push(g);
+        self
+    }
+
+    /// Adds many graph axis points.
+    pub fn graphs(mut self, gs: impl IntoIterator<Item = GraphSpec>) -> Self {
+        self.graphs.extend(gs);
+        self
+    }
+
+    /// Adds one placement axis point.
+    pub fn placement(mut self, p: PlacementSpec) -> Self {
+        self.placements.push(p);
+        self
+    }
+
+    /// Adds many placement axis points.
+    pub fn placements(mut self, ps: impl IntoIterator<Item = PlacementSpec>) -> Self {
+        self.placements.extend(ps);
+        self
+    }
+
+    /// Adds one algorithm axis point.
+    pub fn algorithm(mut self, a: AlgorithmSpec) -> Self {
+        self.algorithms.push(a);
+        self
+    }
+
+    /// Adds many algorithm axis points.
+    pub fn algorithms(mut self, algos: impl IntoIterator<Item = AlgorithmSpec>) -> Self {
+        self.algorithms.extend(algos);
+        self
+    }
+
+    /// Replaces the seed axis (default: the single seed 0).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        if self.seeds.is_empty() {
+            self.seeds.push(0);
+        }
+        self
+    }
+
+    /// Replaces the per-scenario round cap.
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Replaces the worker-thread count (default: available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Expands the axes into concrete scenarios, in the deterministic report
+    /// order: graph → placement → algorithm → seed.
+    pub fn specs(&self) -> Vec<ScenarioSpec> {
+        let mut out = Vec::with_capacity(
+            self.graphs.len() * self.placements.len() * self.algorithms.len() * self.seeds.len(),
+        );
+        for &graph in &self.graphs {
+            for &placement in &self.placements {
+                for algorithm in &self.algorithms {
+                    for &seed in &self.seeds {
+                        out.push(
+                            ScenarioSpec::new(graph, placement, algorithm.clone())
+                                .with_seed(seed)
+                                .with_max_rounds(self.max_rounds),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs every scenario over the thread pool and collects one row each.
+    ///
+    /// Scenario-level failures (infeasible placement, unknown algorithm,
+    /// graph construction error) become rows with an `error` instead of
+    /// aborting the whole sweep. Row order equals [`Sweep::specs`] order
+    /// regardless of `threads`.
+    pub fn run(&self, registry: &AlgorithmRegistry) -> SweepReport {
+        let specs = self.specs();
+        let jobs: Vec<_> = specs
+            .into_iter()
+            .map(|spec| {
+                move || {
+                    let row = match spec.run(registry) {
+                        Ok(result) => SweepRow {
+                            family: spec.graph.family.name().to_string(),
+                            n: result.n,
+                            k: result.k,
+                            kind: spec.placement.kind,
+                            algorithm: spec.algorithm.name.clone(),
+                            seed: spec.seed,
+                            closest_pair: result.closest_pair,
+                            rounds: result.outcome.rounds,
+                            total_moves: result.outcome.metrics.total_moves,
+                            messages: result.outcome.metrics.messages_delivered,
+                            peak_memory_bits: result.outcome.metrics.max_memory_bits(),
+                            detected_ok: result.outcome.is_correct_gathering_with_detection(),
+                            error: None,
+                        },
+                        Err(e) => SweepRow {
+                            family: spec.graph.family.name().to_string(),
+                            n: spec.graph.n,
+                            k: spec.placement.k,
+                            kind: spec.placement.kind,
+                            algorithm: spec.algorithm.name.clone(),
+                            seed: spec.seed,
+                            closest_pair: None,
+                            rounds: 0,
+                            total_moves: 0,
+                            messages: 0,
+                            peak_memory_bits: 0,
+                            detected_ok: false,
+                            error: Some(e.to_string()),
+                        },
+                    };
+                    (spec, row)
+                }
+            })
+            .collect();
+        let results = runner::run_parallel(jobs, self.threads);
+        let (specs, rows) = results.into_iter().unzip();
+        SweepReport { specs, rows }
+    }
+
+    /// [`Sweep::run`] against the built-in global registry.
+    pub fn run_default(&self) -> SweepReport {
+        self.run(crate::registry::global())
+    }
+}
+
+/// One structured result row of a sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Graph family name (stable table name).
+    pub family: String,
+    /// Realised node count (requested count if the scenario failed).
+    pub n: usize,
+    /// Realised robot count (requested count if the scenario failed).
+    pub k: usize,
+    /// Placement strategy.
+    pub kind: PlacementKind,
+    /// Algorithm registry name.
+    pub algorithm: String,
+    /// Master scenario seed.
+    pub seed: u64,
+    /// Closest-pair distance of the initial placement.
+    pub closest_pair: Option<usize>,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total edge traversals.
+    pub total_moves: u64,
+    /// Announcements delivered.
+    pub messages: u64,
+    /// Largest peak memory reported by any robot, in bits.
+    pub peak_memory_bits: usize,
+    /// True for a correct gathering with detection.
+    pub detected_ok: bool,
+    /// Scenario-level failure, if the run never happened.
+    pub error: Option<String>,
+}
+
+/// The structured output of one sweep: rows plus the specs that produced
+/// them, kept index-aligned.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// The expanded scenarios, in row order.
+    pub specs: Vec<ScenarioSpec>,
+    /// One row per scenario.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepReport {
+    /// The rows that ran successfully.
+    pub fn ok_rows(&self) -> impl Iterator<Item = &SweepRow> {
+        self.rows.iter().filter(|r| r.error.is_none())
+    }
+
+    /// The rows that failed to run, with their errors.
+    pub fn failed_rows(&self) -> impl Iterator<Item = &SweepRow> {
+        self.rows.iter().filter(|r| r.error.is_some())
+    }
+
+    /// True if every scenario ran and detected correctly.
+    pub fn all_detected_ok(&self) -> bool {
+        self.rows.iter().all(|r| r.detected_ok && r.error.is_none())
+    }
+
+    /// Serializes the whole report to pretty JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("SweepReport serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_graph::generators::Family;
+
+    fn tiny_sweep() -> Sweep {
+        Sweep::new()
+            .graphs([
+                GraphSpec::new(Family::Cycle, 6),
+                GraphSpec::new(Family::Path, 5),
+            ])
+            .placement(PlacementSpec::new(PlacementKind::UndispersedRandom, 3))
+            .algorithms([
+                AlgorithmSpec::new("faster_gathering"),
+                AlgorithmSpec::new("uxs_gathering"),
+            ])
+            .seeds([1, 2])
+    }
+
+    #[test]
+    fn specs_expand_in_axis_order() {
+        let specs = tiny_sweep().specs();
+        assert_eq!(specs.len(), 2 * 2 * 2);
+        assert_eq!(specs[0].graph.family, Family::Cycle);
+        assert_eq!(specs[0].algorithm.name, "faster_gathering");
+        assert_eq!(specs[0].seed, 1);
+        assert_eq!(specs[1].seed, 2);
+        assert_eq!(specs[2].algorithm.name, "uxs_gathering");
+        assert_eq!(specs[4].graph.family, Family::Path);
+    }
+
+    #[test]
+    fn sweep_rows_align_with_specs_and_detect_correctly() {
+        let report = tiny_sweep().threads(2).run_default();
+        assert_eq!(report.rows.len(), report.specs.len());
+        assert!(report.all_detected_ok(), "{:?}", report.rows);
+        for (spec, row) in report.specs.iter().zip(&report.rows) {
+            assert_eq!(spec.algorithm.name, row.algorithm);
+            assert_eq!(spec.graph.family.name(), row.family);
+            assert_eq!(spec.seed, row.seed);
+            assert!(row.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn failures_become_rows_not_panics() {
+        let report = Sweep::new()
+            .graph(GraphSpec::new(Family::Path, 4))
+            .placement(PlacementSpec::new(PlacementKind::DispersedRandom, 40))
+            .algorithm(AlgorithmSpec::new("faster_gathering"))
+            .run_default();
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.failed_rows().count(), 1);
+        assert!(!report.all_detected_ok());
+        let err = report.rows[0].error.as_deref().unwrap();
+        assert!(err.contains("k <= n"), "{err}");
+    }
+
+    #[test]
+    fn infeasible_pair_distance_cells_survive_as_error_rows() {
+        // cycle(12) has diameter 6: the d=7 cell must become an error row
+        // while the d=2 cell still runs — the worker thread must not panic.
+        let report = Sweep::new()
+            .graph(GraphSpec::new(Family::Cycle, 12))
+            .placements([
+                PlacementSpec::new(PlacementKind::PairAtDistance(2), 2),
+                PlacementSpec::new(PlacementKind::PairAtDistance(7), 2),
+            ])
+            .algorithm(AlgorithmSpec::new("faster_gathering"))
+            .threads(2)
+            .run_default();
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows[0].detected_ok, "{:?}", report.rows[0]);
+        let err = report.rows[1].error.as_deref().unwrap();
+        assert!(err.contains("diameter"), "{err}");
+    }
+
+    #[test]
+    fn empty_axes_produce_an_empty_report() {
+        let report = Sweep::new().run_default();
+        assert!(report.rows.is_empty());
+        assert!(report.all_detected_ok(), "vacuously true");
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = Sweep::new()
+            .graph(GraphSpec::new(Family::Cycle, 5))
+            .placement(PlacementSpec::new(PlacementKind::AllOnOneNode, 2))
+            .algorithm(AlgorithmSpec::new("uxs_gathering"))
+            .run_default();
+        let json = report.to_json_pretty();
+        let back: SweepReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rows, report.rows);
+    }
+}

@@ -149,9 +149,9 @@ impl UndispersedGathering {
                     self.map_failed = true;
                     return SubAction::Stay;
                 }
-                let token_present = inbox.iter().any(|(_, m)| {
-                    matches!(m, Msg::Phase1Helper { groupid } if *groupid == self.id)
-                });
+                let token_present = inbox.iter().any(
+                    |(_, m)| matches!(m, Msg::Phase1Helper { groupid } if *groupid == self.id),
+                );
                 let feedback = MapperFeedback {
                     degree: obs.degree,
                     entry_port: obs.entry_port,
@@ -234,7 +234,7 @@ impl UndispersedGathering {
         match self.role {
             Role::Finder => {
                 let my_gid = self.groupid.expect("finders always have a group");
-                if min_other_gid.map_or(true, |m| my_gid <= m) {
+                if min_other_gid.is_none_or(|m| my_gid <= m) {
                     // Continue the spanning-tree tour.
                     if self.map_failed {
                         return SubAction::Stay;
@@ -493,7 +493,11 @@ mod tests {
         let p = placement::Placement::new(vec![(2, 0), (7, 0), (9, 5), (13, 11)]);
         let out = run_undispersed(&g, &p, &GatherConfig::fast());
         assert!(out.is_correct_gathering_with_detection(), "{out:?}");
-        assert_eq!(out.gather_node, Some(0), "everyone gathers at the finder's start node");
+        assert_eq!(
+            out.gather_node,
+            Some(0),
+            "everyone gathers at the finder's start node"
+        );
     }
 
     #[test]

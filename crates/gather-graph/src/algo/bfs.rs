@@ -56,7 +56,11 @@ pub fn eccentricity(graph: &PortGraph, v: NodeId) -> usize {
 
 /// Diameter of the graph (maximum eccentricity).
 pub fn diameter(graph: &PortGraph) -> usize {
-    graph.nodes().map(|v| eccentricity(graph, v)).max().unwrap_or(0)
+    graph
+        .nodes()
+        .map(|v| eccentricity(graph, v))
+        .max()
+        .unwrap_or(0)
 }
 
 /// The node farthest from `source` and its distance (ties broken by the
@@ -155,12 +159,12 @@ mod tests {
     fn distance_matrix_is_symmetric_with_zero_diagonal() {
         let g = generators::random_connected(15, 0.25, 4).unwrap();
         let d = distance_matrix(&g);
-        for i in 0..15 {
-            assert_eq!(d[i][i], 0);
-            for j in 0..15 {
-                assert_eq!(d[i][j], d[j][i]);
+        for (i, row) in d.iter().enumerate() {
+            assert_eq!(row[i], 0);
+            for (j, &dij) in row.iter().enumerate() {
+                assert_eq!(dij, d[j][i]);
                 if i != j {
-                    assert!(d[i][j] >= 1);
+                    assert!(dij >= 1);
                 }
             }
         }

@@ -50,7 +50,7 @@ pub fn port_isomorphism_from(
             }
         }
     }
-    if map.iter().any(|&x| x == usize::MAX) {
+    if map.contains(&usize::MAX) {
         return None;
     }
     Some(map)

@@ -64,11 +64,13 @@ impl GraphBuilder {
     /// generator code.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
         if u >= self.n {
-            self.errors.push(GraphError::NodeOutOfRange { node: u, n: self.n });
+            self.errors
+                .push(GraphError::NodeOutOfRange { node: u, n: self.n });
             return;
         }
         if v >= self.n {
-            self.errors.push(GraphError::NodeOutOfRange { node: v, n: self.n });
+            self.errors
+                .push(GraphError::NodeOutOfRange { node: v, n: self.n });
             return;
         }
         if u == v {
@@ -159,7 +161,11 @@ mod tests {
 
     #[test]
     fn duplicate_edge_reported() {
-        let err = GraphBuilder::new(2).edge(0, 1).edge(1, 0).build().unwrap_err();
+        let err = GraphBuilder::new(2)
+            .edge(0, 1)
+            .edge(1, 0)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, GraphError::DuplicateEdge { .. }));
     }
 
@@ -177,7 +183,11 @@ mod tests {
 
     #[test]
     fn disconnected_reported() {
-        let err = GraphBuilder::new(4).edge(0, 1).edge(2, 3).build().unwrap_err();
+        let err = GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(2, 3)
+            .build()
+            .unwrap_err();
         assert_eq!(err, GraphError::Disconnected);
     }
 
@@ -242,7 +252,11 @@ mod tests {
 
     #[test]
     fn named_builder_propagates_name() {
-        let g = GraphBuilder::new(2).name("tiny").edge(0, 1).build().unwrap();
+        let g = GraphBuilder::new(2)
+            .name("tiny")
+            .edge(0, 1)
+            .build()
+            .unwrap();
         assert_eq!(g.name(), "tiny");
     }
 }

@@ -58,7 +58,8 @@ pub fn maze(
     let mut stack = vec![start];
     visited[start] = true;
     while let Some(&v) = stack.last() {
-        let mut unvisited: Vec<usize> = neighbours(v).into_iter().filter(|&u| !visited[u]).collect();
+        let mut unvisited: Vec<usize> =
+            neighbours(v).into_iter().filter(|&u| !visited[u]).collect();
         if unvisited.is_empty() {
             stack.pop();
             continue;

@@ -75,7 +75,7 @@ impl PortGraph {
                 }
             }
         }
-        debug_assert!(m % 2 == 0);
+        debug_assert!(m.is_multiple_of(2));
         let g = PortGraph {
             adj,
             m: m / 2,
@@ -146,10 +146,7 @@ impl PortGraph {
 
     /// Iterator over `(port, neighbour, back_port)` triples at node `v`.
     pub fn ports(&self, v: NodeId) -> impl Iterator<Item = (PortId, NodeId, PortId)> + '_ {
-        self.adj[v]
-            .iter()
-            .enumerate()
-            .map(|(p, &(u, q))| (p, u, q))
+        self.adj[v].iter().enumerate().map(|(p, &(u, q))| (p, u, q))
     }
 
     /// Iterator over the neighbours of `v` (in port order).
@@ -352,18 +349,16 @@ mod tests {
     #[test]
     fn from_adjacency_rejects_empty() {
         let adj: Vec<Vec<(NodeId, PortId)>> = vec![];
-        assert_eq!(PortGraph::from_adjacency(adj, "empty"), Err(GraphError::Empty));
+        assert_eq!(
+            PortGraph::from_adjacency(adj, "empty"),
+            Err(GraphError::Empty)
+        );
     }
 
     #[test]
     fn from_adjacency_rejects_disconnected() {
         // Two disjoint edges: 0-1 and 2-3.
-        let adj = vec![
-            vec![(1, 0)],
-            vec![(0, 0)],
-            vec![(3, 0)],
-            vec![(2, 0)],
-        ];
+        let adj = vec![vec![(1, 0)], vec![(0, 0)], vec![(3, 0)], vec![(2, 0)]];
         assert_eq!(
             PortGraph::from_adjacency(adj, "disc"),
             Err(GraphError::Disconnected)
@@ -394,8 +389,8 @@ mod tests {
         assert_eq!(h.n(), 4);
         assert_eq!(h.m(), 4);
         // Degrees are preserved under relabelling.
-        for v in 0..4 {
-            assert_eq!(g.degree(v), h.degree(perm[v]));
+        for (v, &pv) in perm.iter().enumerate() {
+            assert_eq!(g.degree(v), h.degree(pv));
         }
         // Port structure is preserved: following the same port sequence from
         // corresponding start nodes visits corresponding nodes.

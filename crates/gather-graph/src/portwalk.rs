@@ -87,7 +87,11 @@ pub fn follow_offsets(graph: &PortGraph, start: NodeId, offsets: &[u64]) -> Vec<
     out.push(pos);
     for &off in offsets {
         let deg = graph.degree(pos.node) as u64;
-        let entry = if pos.entry == INVALID_PORT { 0 } else { pos.entry as u64 };
+        let entry = if pos.entry == INVALID_PORT {
+            0
+        } else {
+            pos.entry as u64
+        };
         let exit = ((entry + off) % deg) as PortId;
         pos = step(graph, pos, PortStep::Exit(exit));
         out.push(pos);

@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Which bound is used to size Phase 1 of `Undispersed-Gathering`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum MapBoundPolicy {
     /// `R1 = 20·n³` — the paper's asymptotic bound with an explicit constant.
     /// Valid whenever the implemented mapper finishes within it, which holds
@@ -20,13 +20,8 @@ pub enum MapBoundPolicy {
     /// `R1 = 8·n⁴ + 64·n² + 256` — a provably safe bound for the implemented
     /// token-test mapper including the one-round pre-commit overhead of each
     /// token-carrying move. This is the default.
+    #[default]
     Implemented,
-}
-
-impl Default for MapBoundPolicy {
-    fn default() -> Self {
-        MapBoundPolicy::Implemented
-    }
 }
 
 impl MapBoundPolicy {

@@ -129,11 +129,7 @@ impl PartialMap {
 
     /// True if `w` is already recorded as a neighbour of `u`.
     pub fn are_neighbors(&self, u: MapNodeId, w: MapNodeId) -> bool {
-        self.nodes[u]
-            .adj
-            .iter()
-            .flatten()
-            .any(|&(x, _)| x == w)
+        self.nodes[u].adj.iter().flatten().any(|&(x, _)| x == w)
     }
 
     /// The known nodes that could possibly be the far endpoint of the

@@ -196,8 +196,7 @@ impl TokenMapper {
                 } else {
                     let nav = self.nav_ports(self.pos, 0);
                     self.push_alone(nav);
-                    self.queue
-                        .push_back(Op::Check(Checkpoint::FinishedAtRoot));
+                    self.queue.push_back(Op::Check(Checkpoint::FinishedAtRoot));
                 }
             }
         }
@@ -216,12 +215,8 @@ impl TokenMapper {
                     .expect("peek move always has an entry port");
                 let v_degree = feedback.degree;
                 // Walk straight back to u and decide there.
-                self.queue.push_front(Op::Check(Checkpoint::AfterPeek {
-                    u,
-                    p,
-                    v_degree,
-                    q,
-                }));
+                self.queue
+                    .push_front(Op::Check(Checkpoint::AfterPeek { u, p, v_degree, q }));
                 self.queue.push_front(Op::Alone(q));
             }
             Checkpoint::AfterPeek { u, p, v_degree, q } => {
@@ -250,15 +245,14 @@ impl TokenMapper {
                     let first = candidates[0];
                     let remaining = candidates[1..].to_vec();
                     self.push_alone(self.map.path_of(first).to_vec());
-                    self.queue
-                        .push_back(Op::Check(Checkpoint::CandidateCheck {
-                            u,
-                            p,
-                            q,
-                            v_degree,
-                            candidate: first,
-                            remaining,
-                        }));
+                    self.queue.push_back(Op::Check(Checkpoint::CandidateCheck {
+                        u,
+                        p,
+                        q,
+                        v_degree,
+                        candidate: first,
+                        remaining,
+                    }));
                 }
             }
             Checkpoint::CandidateCheck {
@@ -282,15 +276,14 @@ impl TokenMapper {
                     let back = self.backtrack_ports(candidate);
                     self.push_alone(back);
                     self.push_alone(self.map.path_of(next).to_vec());
-                    self.queue
-                        .push_back(Op::Check(Checkpoint::CandidateCheck {
-                            u,
-                            p,
-                            q,
-                            v_degree,
-                            candidate: next,
-                            remaining: rest.to_vec(),
-                        }));
+                    self.queue.push_back(Op::Check(Checkpoint::CandidateCheck {
+                        u,
+                        p,
+                        q,
+                        v_degree,
+                        candidate: next,
+                        remaining: rest.to_vec(),
+                    }));
                 } else {
                     // No candidate matched: the far endpoint is a new node.
                     // Record it, then fetch the token parked there.

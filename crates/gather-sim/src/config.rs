@@ -80,11 +80,17 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = SimConfig::with_max_rounds(10).traced().until_first_gathering();
+        let c = SimConfig::with_max_rounds(10)
+            .traced()
+            .until_first_gathering();
         assert_eq!(c.max_rounds, 10);
         assert!(c.record_trace);
         assert!(c.stop_at_first_gathering);
         assert!(!c.stop_at_first_contact);
-        assert!(SimConfig::default().until_first_contact().stop_at_first_contact);
+        assert!(
+            SimConfig::default()
+                .until_first_contact()
+                .stop_at_first_contact
+        );
     }
 }

@@ -240,7 +240,7 @@ impl<'g> Simulator<'g> {
             }
 
             // --- Periodic memory sampling ---------------------------------
-            if round % MEMORY_SAMPLE_INTERVAL == 0 {
+            if round.is_multiple_of(MEMORY_SAMPLE_INTERVAL) {
                 for i in 0..k {
                     metrics.record_memory(ids[i], agents[i].memory_estimate_bits());
                 }
@@ -257,11 +257,8 @@ impl<'g> Simulator<'g> {
 
         let gathered = positions.iter().all(|&p| p == positions[0]);
         let all_terminated = terminated.iter().all(|&t| t);
-        let final_positions: BTreeMap<RobotId, NodeId> = ids
-            .iter()
-            .copied()
-            .zip(positions.iter().copied())
-            .collect();
+        let final_positions: BTreeMap<RobotId, NodeId> =
+            ids.iter().copied().zip(positions.iter().copied()).collect();
         SimOutcome {
             rounds: round,
             gathered,
@@ -564,7 +561,10 @@ mod tests {
         // Two co-located quitters terminate together: correct detection.
         assert!(out2.all_terminated);
         assert!(!out2.false_detection);
-        assert_eq!(out2.metrics.messages_delivered, 2, "only the first round exchanges messages");
+        assert_eq!(
+            out2.metrics.messages_delivered, 2,
+            "only the first round exchanges messages"
+        );
     }
 
     #[test]
@@ -573,11 +573,11 @@ mod tests {
         // Port-0 walkers starting at nodes 1 and 3: round 0 takes them to
         // nodes 0 and 2, round 1 brings both to node 1, so the first contact
         // is observed at the start of round 2.
-        let sim = Simulator::new(
-            &g,
-            SimConfig::with_max_rounds(10).until_first_contact(),
-        );
-        let out = sim.run(vec![(PortZeroWalker { id: 1 }, 1), (PortZeroWalker { id: 2 }, 3)]);
+        let sim = Simulator::new(&g, SimConfig::with_max_rounds(10).until_first_contact());
+        let out = sim.run(vec![
+            (PortZeroWalker { id: 1 }, 1),
+            (PortZeroWalker { id: 2 }, 3),
+        ]);
         assert_eq!(out.first_contact_round, Some(2));
         assert_eq!(out.rounds, 2, "simulation stops at first contact");
         assert!(!out.all_terminated);

@@ -22,7 +22,8 @@
 //! * [`placement`] — initial placement generators (dispersed, undispersed,
 //!   adversarial spread, exact-distance pairs, …) and label assignment;
 //! * [`trace`] — optional per-round position traces for debugging/examples;
-//! * [`runner`] — a crossbeam-based parallel sweep runner for experiments.
+//! * [`runner`] — a `std::thread::scope`-based parallel sweep runner for
+//!   experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,5 +40,5 @@ pub use config::SimConfig;
 pub use engine::{SimOutcome, Simulator};
 pub use metrics::Metrics;
 pub use placement::{Placement, PlacementKind};
-pub use robot::{Action, Observation, Robot, RobotId};
+pub use robot::{Action, DynMsg, DynRobot, Observation, Robot, RobotId};
 pub use trace::Trace;

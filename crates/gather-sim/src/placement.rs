@@ -119,7 +119,10 @@ pub fn sequential_ids(k: usize) -> Vec<RobotId> {
 /// paper's label range. Requires `n^b >= k`.
 pub fn random_ids(k: usize, n: usize, b: u32, seed: u64) -> Vec<RobotId> {
     let max = (n as u128).saturating_pow(b).min(u64::MAX as u128) as u64;
-    assert!(max as usize >= k, "label space [1, n^b] too small for k robots");
+    assert!(
+        max as usize >= k,
+        "label space [1, n^b] too small for k robots"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut chosen = std::collections::BTreeSet::new();
     while chosen.len() < k {
@@ -140,10 +143,7 @@ fn farthest_point_nodes(graph: &PortGraph, count: usize, rng: &mut StdRng) -> Ve
     while chosen.len() < count {
         let mut best_node = 0usize;
         let mut best_score = 0usize;
-        for v in 0..n {
-            if chosen.contains(&v) {
-                continue;
-            }
+        for v in (0..n).filter(|v| !chosen.contains(v)) {
             let score = chosen.iter().map(|&c| dist[c][v]).min().unwrap_or(0);
             if score > best_score {
                 best_score = score;
@@ -169,12 +169,7 @@ fn farthest_point_nodes(graph: &PortGraph, count: usize, rng: &mut StdRng) -> Ve
 ///
 /// Panics if the requested kind is impossible on this graph (e.g. a dispersed
 /// placement with `k > n`, or a pair distance larger than the diameter).
-pub fn generate(
-    graph: &PortGraph,
-    kind: PlacementKind,
-    ids: &[RobotId],
-    seed: u64,
-) -> Placement {
+pub fn generate(graph: &PortGraph, kind: PlacementKind, ids: &[RobotId], seed: u64) -> Placement {
     let n = graph.n();
     let k = ids.len();
     assert!(k >= 1, "need at least one robot");
@@ -212,7 +207,7 @@ pub fn generate(
             let (b, _) = algo::farthest_node(graph, a);
             let half = k / 2;
             let mut v = vec![a; half];
-            v.extend(std::iter::repeat(b).take(k - half));
+            v.extend(std::iter::repeat_n(b, k - half));
             v
         }
         PlacementKind::PairAtDistance(d) => {
@@ -221,9 +216,9 @@ pub fn generate(
             let dist = algo::distance_matrix(graph);
             // Find a pair at exactly distance d, deterministically but seeded.
             let mut candidates: Vec<(NodeId, NodeId)> = Vec::new();
-            for u in 0..n {
-                for v in (u + 1)..n {
-                    if dist[u][v] == d {
+            for (u, row) in dist.iter().enumerate() {
+                for (v, &duv) in row.iter().enumerate().skip(u + 1) {
+                    if duv == d {
                         candidates.push((u, v));
                     }
                 }
@@ -240,10 +235,7 @@ pub fn generate(
             // every picked node so the closest pair stays exactly (a, b).
             while picked.len() < k {
                 let mut best: Option<(usize, NodeId)> = None;
-                for v in 0..n {
-                    if picked.contains(&v) {
-                        continue;
-                    }
+                for v in (0..n).filter(|v| !picked.contains(v)) {
                     let min_d = picked.iter().map(|&c| dist[c][v]).min().unwrap_or(0);
                     if best.map(|(s, _)| min_d > s).unwrap_or(true) {
                         best = Some((min_d, v));
@@ -257,7 +249,11 @@ pub fn generate(
             picked
         }
     };
-    assert_eq!(nodes.len(), k, "placement generator produced wrong robot count");
+    assert_eq!(
+        nodes.len(),
+        k,
+        "placement generator produced wrong robot count"
+    );
     Placement::new(ids.iter().copied().zip(nodes).collect())
 }
 
@@ -287,7 +283,12 @@ mod tests {
     fn dispersed_random_is_dispersed() {
         let g = generators::random_connected(20, 0.2, 1).unwrap();
         for seed in 0..10 {
-            let p = generate(&g, PlacementKind::DispersedRandom, &sequential_ids(12), seed);
+            let p = generate(
+                &g,
+                PlacementKind::DispersedRandom,
+                &sequential_ids(12),
+                seed,
+            );
             assert!(p.is_dispersed());
             assert_eq!(p.k(), 12);
         }
@@ -297,7 +298,12 @@ mod tests {
     fn undispersed_random_is_undispersed() {
         let g = generators::random_connected(20, 0.2, 1).unwrap();
         for seed in 0..10 {
-            let p = generate(&g, PlacementKind::UndispersedRandom, &sequential_ids(8), seed);
+            let p = generate(
+                &g,
+                PlacementKind::UndispersedRandom,
+                &sequential_ids(8),
+                seed,
+            );
             assert!(p.is_undispersed());
             assert_eq!(p.closest_pair_distance(&g), Some(0));
         }

@@ -2,6 +2,9 @@
 
 use gather_graph::PortId;
 use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
 
 /// A robot label. The model assigns distinct labels from `[1, n^b]` for some
 /// constant `b > 1`; robots of *different* bit lengths are explicitly allowed
@@ -94,6 +97,116 @@ pub trait Robot {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Type-erased robots.
+// ---------------------------------------------------------------------------
+
+/// A type-erased announcement, allowing robots with different concrete
+/// message types to live behind one trait object.
+///
+/// [`Robot::Msg`] is an associated type, so `Robot` itself is not
+/// object-safe. [`DynRobot`] erases the message type behind `Any`; receivers
+/// downcast back to their own message type and simply ignore announcements
+/// they do not understand (robots of *different* algorithms never normally
+/// share a node within one run, so nothing is lost).
+#[derive(Clone)]
+pub struct DynMsg(Arc<dyn Any + Send + Sync>);
+
+impl DynMsg {
+    /// Erases a concrete message.
+    pub fn new<M: Any + Send + Sync>(msg: M) -> Self {
+        DynMsg(Arc::new(msg))
+    }
+
+    /// Recovers the concrete message, if `M` is its actual type.
+    pub fn downcast_ref<M: Any>(&self) -> Option<&M> {
+        self.0.downcast_ref::<M>()
+    }
+}
+
+impl fmt::Debug for DynMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("DynMsg(..)")
+    }
+}
+
+/// Object-safe mirror of [`Robot`], blanket-implemented for every robot whose
+/// message type is erasable.
+///
+/// This is what makes an *open* algorithm registry possible: a factory can
+/// hand back `Box<dyn DynRobot>` values for any robot implementation — in
+/// this workspace or downstream — and the simulator runs them through the
+/// [`Robot`] impl on the boxed trait object.
+pub trait DynRobot: Send {
+    /// This robot's label.
+    fn id_dyn(&self) -> RobotId;
+    /// Publish this round's announcement (erased).
+    fn announce_dyn(&mut self, obs: &Observation) -> DynMsg;
+    /// Read co-located announcements and decide this round's action.
+    fn decide_dyn(&mut self, obs: &Observation, inbox: &[(RobotId, DynMsg)]) -> Action;
+    /// See [`Robot::has_terminated`].
+    fn has_terminated_dyn(&self) -> bool;
+    /// See [`Robot::memory_estimate_bits`].
+    fn memory_estimate_bits_dyn(&self) -> usize;
+}
+
+impl<R> DynRobot for R
+where
+    R: Robot + Send,
+    R::Msg: Any + Send + Sync,
+{
+    fn id_dyn(&self) -> RobotId {
+        self.id()
+    }
+
+    fn announce_dyn(&mut self, obs: &Observation) -> DynMsg {
+        DynMsg::new(self.announce(obs))
+    }
+
+    fn decide_dyn(&mut self, obs: &Observation, inbox: &[(RobotId, DynMsg)]) -> Action {
+        // Messages of foreign types are dropped: a robot can only make sense
+        // of announcements in its own vocabulary. The inbox stays sorted by
+        // robot id because filtering preserves order.
+        let typed: Vec<(RobotId, R::Msg)> = inbox
+            .iter()
+            .filter_map(|(id, m)| m.downcast_ref::<R::Msg>().map(|m| (*id, m.clone())))
+            .collect();
+        self.decide(obs, &typed)
+    }
+
+    fn has_terminated_dyn(&self) -> bool {
+        self.has_terminated()
+    }
+
+    fn memory_estimate_bits_dyn(&self) -> usize {
+        self.memory_estimate_bits()
+    }
+}
+
+impl Robot for Box<dyn DynRobot> {
+    type Msg = DynMsg;
+
+    fn id(&self) -> RobotId {
+        self.as_ref().id_dyn()
+    }
+
+    fn announce(&mut self, obs: &Observation) -> DynMsg {
+        self.as_mut().announce_dyn(obs)
+    }
+
+    fn decide(&mut self, obs: &Observation, inbox: &[(RobotId, DynMsg)]) -> Action {
+        self.as_mut().decide_dyn(obs, inbox)
+    }
+
+    fn has_terminated(&self) -> bool {
+        self.as_ref().has_terminated_dyn()
+    }
+
+    fn memory_estimate_bits(&self) -> usize {
+        self.as_ref().memory_estimate_bits_dyn()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +262,76 @@ mod tests {
         assert_eq!(Action::Move(2), Action::Move(2));
         assert_ne!(Action::Move(2), Action::Move(3));
         assert_ne!(Action::Stay, Action::Terminate);
+    }
+
+    /// Echoes the largest id it has heard (exercising typed inboxes through
+    /// the erased layer).
+    struct Echo {
+        id: RobotId,
+        heard_max: RobotId,
+    }
+
+    impl Robot for Echo {
+        type Msg = RobotId;
+
+        fn id(&self) -> RobotId {
+            self.id
+        }
+
+        fn announce(&mut self, _obs: &Observation) -> RobotId {
+            self.id
+        }
+
+        fn decide(&mut self, _obs: &Observation, inbox: &[(RobotId, RobotId)]) -> Action {
+            for &(_, m) in inbox {
+                self.heard_max = self.heard_max.max(m);
+            }
+            Action::Stay
+        }
+    }
+
+    #[test]
+    fn erased_robots_roundtrip_their_messages() {
+        let obs = Observation {
+            round: 0,
+            n: 4,
+            degree: 2,
+            entry_port: None,
+            colocated: 1,
+        };
+        let mut a: Box<dyn DynRobot> = Box::new(Echo {
+            id: 3,
+            heard_max: 0,
+        });
+        let mut b: Box<dyn DynRobot> = Box::new(Echo {
+            id: 9,
+            heard_max: 0,
+        });
+        assert_eq!(Robot::id(&a), 3);
+        let msg_b = b.announce(&obs);
+        let inbox = vec![(9u64, msg_b)];
+        let action = a.decide(&obs, &inbox);
+        assert_eq!(action, Action::Stay);
+        assert!(!a.has_terminated());
+        assert_eq!(a.memory_estimate_bits(), 0);
+    }
+
+    #[test]
+    fn foreign_messages_are_dropped_by_the_erased_inbox() {
+        let obs = Observation {
+            round: 0,
+            n: 4,
+            degree: 1,
+            entry_port: None,
+            colocated: 1,
+        };
+        let mut echo: Box<dyn DynRobot> = Box::new(Echo {
+            id: 1,
+            heard_max: 0,
+        });
+        // A unit-message announcement from a different robot type.
+        let foreign = DynMsg::new(());
+        let action = echo.decide(&obs, &[(2u64, foreign)]);
+        assert_eq!(action, Action::Stay);
     }
 }

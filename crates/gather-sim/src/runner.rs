@@ -4,11 +4,13 @@
 //! graphs, placements, robot counts or seeds). Following the data-parallel
 //! guidance for this domain, each simulation runs to completion on one
 //! thread with no shared mutable state; the runner simply distributes jobs
-//! over a scoped crossbeam thread pool and returns results in job order.
+//! over `std::thread::scope` workers (scoped threads are in std since 1.63,
+//! so no external thread-pool dependency is needed on this hot path) and
+//! returns results in job order.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
 
 /// Runs `jobs` on up to `threads` worker threads and returns their results in
 /// the original job order.
@@ -30,14 +32,14 @@ where
     }
 
     let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().collect());
-    let (tx, rx) = channel::unbounded::<(usize, T)>();
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let queue = &queue;
-            scope.spawn(move |_| loop {
-                let job = queue.lock().pop_front();
+            scope.spawn(move || loop {
+                let job = queue.lock().expect("sweep queue poisoned").pop_front();
                 match job {
                     Some((idx, f)) => {
                         let result = f();
@@ -59,7 +61,6 @@ where
             .map(|s| s.expect("every job produces exactly one result"))
             .collect()
     })
-    .expect("worker thread panicked during a sweep")
 }
 
 /// The number of worker threads to use by default: the machine's available
@@ -104,5 +105,13 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn heavier_than_thread_count_loads_complete() {
+        let jobs: Vec<_> = (0..200u64).map(|i| move || i.wrapping_mul(31)).collect();
+        let out = run_parallel(jobs, 3);
+        assert_eq!(out.len(), 200);
+        assert_eq!(out[199], 199u64.wrapping_mul(31));
     }
 }

@@ -84,7 +84,7 @@ mod tests {
     #[test]
     fn calibrating_on_a_single_easy_graph_is_cheap() {
         let g = generators::cycle(8).unwrap();
-        let len = calibrate_against(8, &[g.clone()]).unwrap();
+        let len = calibrate_against(8, std::slice::from_ref(&g)).unwrap();
         // Cover length of a cycle is at most a few times n under random
         // offsets; with the margin it stays far below the cubic bound.
         assert!(len < LengthPolicy::Polynomial(3).length(8));

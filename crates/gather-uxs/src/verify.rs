@@ -1,7 +1,7 @@
 //! Cover verification: does a sequence explore a given graph?
 
 use crate::sequence::Uxs;
-use gather_graph::{portwalk, NodeId, PortGraph, Position, PortStep};
+use gather_graph::{portwalk, NodeId, PortGraph, PortStep, Position};
 
 /// Follows the sequence from `start` and returns the number of steps after
 /// which every node of the graph has been visited, or `None` if the sequence
@@ -166,6 +166,9 @@ mod tests {
             let this = cover_length_from(&g, &uxs, start).expect("covered");
             assert!(this <= max);
         }
-        assert!(max >= g.n() - 1, "cannot cover n nodes in fewer than n-1 moves");
+        assert!(
+            max >= g.n() - 1,
+            "cannot cover n nodes in fewer than n-1 moves"
+        );
     }
 }

@@ -67,7 +67,7 @@ impl UxsWalker {
 mod tests {
     use super::*;
     use crate::policy::LengthPolicy;
-    use gather_graph::{generators, portwalk, Position, PortStep};
+    use gather_graph::{generators, portwalk, PortStep, Position};
 
     #[test]
     fn walker_consumes_sequence_in_order() {
@@ -107,7 +107,11 @@ mod tests {
         let mut pos = Position::start(4);
         let mut online = vec![pos];
         loop {
-            let entry = if pos.is_start() { None } else { Some(pos.entry) };
+            let entry = if pos.is_start() {
+                None
+            } else {
+                Some(pos.entry)
+            };
             match w.next_port(entry, g.degree(pos.node)) {
                 Some(port) => {
                     pos = portwalk::step(&g, pos, PortStep::Exit(port));

@@ -4,19 +4,63 @@
 //!
 //! Demonstrates two extras of the reproduction:
 //!
-//! * the [`generators::maze`] family (random perfect maze plus a few extra
-//!   passages);
+//! * the maze graph family (random perfect maze plus a few extra passages);
 //! * Remark 13 of the paper: if the searchers know how far apart the two
 //!   closest members are, `Faster-Gathering` can skip its earlier steps and
-//!   finish sooner ([`FasterRobot::with_known_distance`]).
+//!   finish sooner — implemented here as a *custom algorithm factory*
+//!   registered next to the built-ins, exactly how downstream crates extend
+//!   the registry without touching `gather-core`.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example maze_search
 //! ```
 
-use gathering::prelude::*;
+use gathering::core::registry::AlgorithmFactory;
 use gathering::core::schedule;
+use gathering::prelude::*;
+use gathering::sim::placement::Placement;
+use std::sync::Arc;
+
+/// Remark 13: Faster-Gathering that starts at the step responsible for a
+/// known closest-pair distance instead of working its way up to it.
+struct InformedFasterFactory {
+    known_distance: usize,
+}
+
+impl AlgorithmFactory for InformedFasterFactory {
+    fn name(&self) -> &'static str {
+        "informed_faster"
+    }
+
+    fn description(&self) -> &'static str {
+        "Faster-Gathering with a known closest-pair distance (Remark 13)"
+    }
+
+    fn spawn(
+        &self,
+        graph: &PortGraph,
+        placement: &Placement,
+        config: &GatherConfig,
+    ) -> Vec<(Box<dyn DynRobot>, usize)> {
+        let n = graph.n();
+        placement
+            .robots
+            .iter()
+            .map(|&(id, node)| {
+                (
+                    Box::new(FasterRobot::with_known_distance(
+                        id,
+                        n,
+                        config,
+                        self.known_distance,
+                    )) as Box<dyn DynRobot>,
+                    node,
+                )
+            })
+            .collect()
+    }
+}
 
 fn main() {
     // A 4x6 maze with a couple of shortcut passages.
@@ -35,30 +79,32 @@ fn main() {
         analysis::lemma15_bound(maze.n(), 6).unwrap()
     );
 
-    // Oblivious Faster-Gathering.
+    // The party knows the closest-pair distance from the sweep plan, so it
+    // registers an informed variant next to the built-in algorithms.
+    let mut registry = AlgorithmRegistry::with_builtins();
+    registry.register(Arc::new(InformedFasterFactory {
+        known_distance: closest,
+    }));
+    println!("registered algorithms: {:?}\n", registry.names());
+
     let cfg = GatherConfig::fast();
-    let oblivious = run_algorithm(&maze, &start, &RunSpec::new(Algorithm::Faster));
+    let sim = SimConfig::with_max_rounds(500_000_000);
+
+    // Oblivious Faster-Gathering (built-in).
+    let oblivious = registry
+        .run("faster_gathering", &maze, &start, &cfg, sim.clone())
+        .unwrap();
     assert!(oblivious.is_correct_gathering_with_detection());
     println!(
-        "\noblivious Faster-Gathering:        {:>9} rounds (terminates in step {})",
+        "oblivious Faster-Gathering:        {:>9} rounds (terminates in step {})",
         oblivious.rounds,
         schedule::step_for_distance(closest)
     );
 
-    // Remark 13: the party knows the closest-pair distance from the sweep
-    // plan, so it can jump straight to the responsible step.
-    let robots: Vec<(FasterRobot, usize)> = start
-        .robots
-        .iter()
-        .map(|&(id, node)| {
-            (
-                FasterRobot::with_known_distance(id, maze.n(), &cfg, closest),
-                node,
-            )
-        })
-        .collect();
-    let sim = Simulator::new(&maze, SimConfig::with_max_rounds(500_000_000));
-    let informed = sim.run(robots);
+    // Remark 13 via the custom factory: same registry API, new algorithm.
+    let informed = registry
+        .run("informed_faster", &maze, &start, &cfg, sim)
+        .unwrap();
     assert!(informed.is_correct_gathering_with_detection());
     println!(
         "distance-informed (Remark 13):     {:>9} rounds ({:.1}x fewer)",

@@ -6,7 +6,10 @@
 //! The example contrasts the paper's `Faster-Gathering` with the
 //! Ta-Shma–Zwick-style UXS baseline and with the Dessmark-style
 //! expanding-radius rendezvous for a pair of agents, and prints a small
-//! Graphviz snippet of the final configuration.
+//! Graphviz snippet of the final configuration. It also shows the two levels
+//! of the scenario API: declarative [`ScenarioSpec`] values for the sweep,
+//! and materialising a spec's graph/placement when the surrounding code
+//! needs the concrete instance (here, for the dot rendering).
 //!
 //! Run with:
 //! ```text
@@ -17,46 +20,68 @@ use gathering::prelude::*;
 use std::collections::HashMap;
 
 fn main() {
-    let overlay = generators::random_connected(12, 0.25, 2024)
-        .unwrap()
-        .with_name("overlay network");
-    println!("{}", overlay.summary());
-
     // Two agents spawned on neighbouring hosts (a common case: a task is
     // split locally), plus one far-away straggler.
-    let start = placement::generate(
-        &overlay,
-        PlacementKind::PairAtDistance(1),
-        &placement::sequential_ids(3),
-        5,
-    );
+    let spec = ScenarioSpec::new(
+        GraphSpec::new(Family::RandomSparse, 12),
+        PlacementSpec::new(PlacementKind::PairAtDistance(1), 3),
+        AlgorithmSpec::new("faster_gathering"),
+    )
+    .with_seed(2024);
+
+    // Materialise the instance once so we can describe and render it; the
+    // runs below reproduce exactly this graph and placement from the spec.
+    let overlay = spec
+        .graph
+        .build(spec.graph_seed())
+        .unwrap()
+        .with_name("overlay network");
+    let start = spec
+        .placement
+        .build(&overlay, spec.placement_seed())
+        .unwrap();
+    println!("{}", overlay.summary());
     println!(
         "agents start at {:?}, closest pair {} hop(s) apart",
         start.nodes(),
         start.closest_pair_distance(&overlay).unwrap()
     );
 
-    println!("\n{:<22} {:>10} {:>10} {:>12}", "algorithm", "rounds", "moves", "detected ok");
+    println!(
+        "\n{:<22} {:>10} {:>10} {:>12}",
+        "algorithm", "rounds", "moves", "detected ok"
+    );
     let mut final_node = None;
-    for algorithm in [Algorithm::Faster, Algorithm::UxsOnly] {
-        let out = run_algorithm(&overlay, &start, &RunSpec::new(algorithm));
+    for name in ["faster_gathering", "uxs_gathering"] {
+        let mut run = spec.clone();
+        run.algorithm = AlgorithmSpec::new(name);
+        let result = run.run_default().unwrap();
         println!(
             "{:<22} {:>10} {:>10} {:>12}",
-            algorithm.name(),
-            out.rounds,
-            out.metrics.total_moves,
-            out.is_correct_gathering_with_detection()
+            name,
+            result.outcome.rounds,
+            result.outcome.metrics.total_moves,
+            result.outcome.is_correct_gathering_with_detection()
         );
-        final_node = out.gather_node;
+        final_node = result.outcome.gather_node;
     }
 
-    // Two-agent comparison against the expanding-radius baseline.
+    // Two-agent comparison against the expanding-radius baseline, on the
+    // concrete pair of neighbouring hosts from the placement above.
     let pair = Placement::new(vec![(4, start.nodes()[0]), (9, start.nodes()[1])]);
-    for algorithm in [Algorithm::Faster, Algorithm::ExpandingBaseline] {
-        let out = run_algorithm(&overlay, &pair, &RunSpec::new(algorithm));
+    for name in ["faster_gathering", "expanding_baseline"] {
+        let out = registry::global()
+            .run(
+                name,
+                &overlay,
+                &pair,
+                &GatherConfig::fast(),
+                SimConfig::with_max_rounds(2_000_000_000),
+            )
+            .unwrap();
         println!(
             "{:<22} {:>10} {:>10} {:>12}   (two agents only)",
-            algorithm.name(),
+            name,
             out.rounds,
             out.metrics.total_moves,
             out.is_correct_gathering_with_detection()

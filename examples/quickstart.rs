@@ -1,5 +1,6 @@
-//! Quickstart: gather a handful of robots on a random graph with the paper's
-//! `Faster-Gathering` algorithm and print what happened.
+//! Quickstart: describe a gathering experiment as a declarative
+//! [`ScenarioSpec`] value, run it through the algorithm registry, and show
+//! that the whole experiment round-trips through JSON.
 //!
 //! Run with:
 //! ```text
@@ -9,37 +10,51 @@
 use gathering::prelude::*;
 
 fn main() {
-    // The environment: an anonymous, port-labeled, connected graph.
-    let graph = generators::random_connected(14, 0.2, 42).unwrap();
-    println!("graph: {}", graph.summary());
+    // The whole experiment as one declarative value: a 14-node sparse random
+    // graph, seven robots with distinct labels on distinct random nodes (a
+    // *dispersed* configuration — the hard case), running the paper's
+    // Faster-Gathering under master seed 7.
+    let spec = ScenarioSpec::new(
+        GraphSpec::new(Family::RandomSparse, 14),
+        PlacementSpec::new(PlacementKind::DispersedRandom, 7),
+        AlgorithmSpec::new("faster_gathering"),
+    )
+    .with_seed(7);
 
-    // Seven robots with distinct labels, placed on distinct random nodes
-    // (a *dispersed* configuration — the hard case).
-    let ids = placement::sequential_ids(7);
-    let start = placement::generate(&graph, PlacementKind::DispersedRandom, &ids, 7);
-    println!(
-        "robots: {:?} (dispersed: {}, closest pair at distance {:?})",
-        start.robots,
-        start.is_dispersed(),
-        start.closest_pair_distance(&graph)
-    );
+    // The spec is plain data — print it the way you would store it.
+    println!("scenario: {}\n", spec.to_json());
 
-    // k = 7 >= floor(14/2) + 1 = 8? Not quite — but >= floor(14/3)+1 = 5, so
-    // Theorem 16 places this run in the O(n^4 log n) regime or better.
-    let regime = analysis::theorem16_regime(graph.n(), start.k());
-    println!("Theorem 16 regime: O(n^{regime}) flavour");
+    // k = 7 >= floor(14/3)+1 = 5, so Theorem 16 places this run in the
+    // O(n^4 log n) regime or better.
+    let regime = analysis::theorem16_regime(spec.graph.n, spec.placement.k);
+    println!("Theorem 16 regime: O(n^{regime}) flavour\n");
 
-    // Run Faster-Gathering and the UXS baseline for comparison.
-    for algorithm in [Algorithm::Faster, Algorithm::UxsOnly] {
-        let spec = RunSpec::new(algorithm);
-        let out = run_algorithm(&graph, &start, &spec);
+    // Run Faster-Gathering and the UXS baseline on the *same* instance by
+    // swapping only the algorithm name.
+    for name in ["faster_gathering", "uxs_gathering"] {
+        let mut run = spec.clone();
+        run.algorithm = AlgorithmSpec::new(name);
+        let result = run.run_default().expect("scenario is feasible");
         println!(
-            "{:<20} rounds = {:>8}  moves = {:>6}  gathered = {}  detection correct = {}",
-            algorithm.name(),
-            out.rounds,
-            out.metrics.total_moves,
-            out.gathered,
-            out.is_correct_gathering_with_detection()
+            "{:<20} n = {:>3}  closest pair = {:?}  rounds = {:>8}  moves = {:>6}  \
+             detection correct = {}",
+            name,
+            result.n,
+            result.closest_pair,
+            result.outcome.rounds,
+            result.outcome.metrics.total_moves,
+            result.outcome.is_correct_gathering_with_detection()
         );
     }
+
+    // The JSON string *is* the experiment: parse it back and re-run — same
+    // graph, same placement, same rounds.
+    let reparsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+    let a = spec.run_default().unwrap();
+    let b = reparsed.run_default().unwrap();
+    assert_eq!(a.outcome.rounds, b.outcome.rounds);
+    println!(
+        "\nJSON-roundtripped scenario reproduced {} rounds exactly",
+        b.outcome.rounds
+    );
 }

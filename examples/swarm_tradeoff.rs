@@ -3,8 +3,8 @@
 //! deterministic gathering with detection becomes, because the initial
 //! closest pair gets provably closer (Lemma 15).
 //!
-//! Also prints the Lemma 15 guarantee next to the measured closest pair so
-//! the bound can be eyeballed directly.
+//! The whole study is one [`Sweep`]: the `k` axis is expressed as a list of
+//! placement specs and every cell runs in parallel over the thread pool.
 //!
 //! Run with:
 //! ```text
@@ -14,37 +14,45 @@
 use gathering::prelude::*;
 
 fn main() {
-    let graph = generators::cycle(18).unwrap();
-    let n = graph.n();
-    println!("{}\n", graph.summary());
+    let n = 18usize;
+    let ks = [2usize, 4, 6, 7, 9, 10, 13, 18];
+
+    // One declarative grid: cycle(18) × (MaxSpread placements at each k) ×
+    // Faster-Gathering. MaxSpread is the adversarial dispersed placement —
+    // the worst case for regrouping.
+    let report = Sweep::new()
+        .graph(GraphSpec::new(Family::Cycle, n))
+        .placements(
+            ks.iter()
+                .map(|&k| PlacementSpec::new(PlacementKind::MaxSpread, k)),
+        )
+        .algorithm(AlgorithmSpec::new("faster_gathering"))
+        .seeds([99])
+        .run_default();
 
     println!(
         "{:>3} {:>8} {:>22} {:>18} {:>12} {:>10}",
         "k", "regime", "Lemma 15 bound (hops)", "measured closest", "rounds", "detected"
     );
 
-    for k in [2usize, 4, 6, 7, 9, 10, 13, 18] {
-        let ids = placement::sequential_ids(k);
-        // Adversarial spread: the worst dispersed placement for gathering.
-        let start = placement::generate(&graph, PlacementKind::MaxSpread, &ids, 99);
-        let bound = analysis::lemma15_bound(n, k).unwrap();
-        let measured = start.closest_pair_distance(&graph).unwrap();
+    for row in &report.rows {
+        let bound = analysis::lemma15_bound(n, row.k).unwrap();
+        let measured = row.closest_pair.expect("k >= 2");
         assert!(
             measured <= bound,
             "Lemma 15 must hold even for adversarial placements"
         );
-
-        let out = run_algorithm(&graph, &start, &RunSpec::new(Algorithm::Faster));
         println!(
             "{:>3} {:>8} {:>22} {:>18} {:>12} {:>10}",
-            k,
-            format!("O(n^{})", analysis::theorem16_regime(n, k)),
+            row.k,
+            format!("O(n^{})", analysis::theorem16_regime(n, row.k)),
             bound,
             measured,
-            out.rounds,
-            out.is_correct_gathering_with_detection()
+            row.rounds,
+            row.detected_ok
         );
     }
+    assert!(report.all_detected_ok());
 
     println!(
         "\nAs k crosses n/3 and n/2 the guaranteed closest-pair distance drops to 4 and 2, \

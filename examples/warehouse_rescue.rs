@@ -3,8 +3,8 @@
 //! task, without any shared map, GPS or globally visible identifiers — the
 //! "maze with rooms and corridors" motivation from the paper's introduction.
 //!
-//! The example compares how long regrouping takes when the crew is small
-//! versus large, illustrating the paper's headline message: *more robots make
+//! The crew-size comparison is a single declarative [`Sweep`] over placement
+//! specs, illustrating the paper's headline message: *more robots make
 //! deterministic gathering faster*, because a large crew always has two
 //! members close together (Lemma 15).
 //!
@@ -16,33 +16,39 @@
 use gathering::prelude::*;
 
 fn main() {
-    // A 4x5 warehouse: 20 junctions connected by aisles.
-    let warehouse = generators::grid(4, 5).unwrap().with_name("warehouse 4x5");
-    println!("{}", warehouse.summary());
-    let n = warehouse.n();
+    // A 4x5 warehouse: 20 junctions connected by aisles (the Grid family at
+    // target size 20 instantiates exactly that).
+    let n = 20usize;
+    let crews = [3usize, 5, 7, 11];
 
+    let report = Sweep::new()
+        .graph(GraphSpec::new(Family::Grid, n))
+        .placements(
+            // The crew scatters to the far corners of the warehouse while
+            // working — the adversarial placement for regrouping.
+            crews
+                .iter()
+                .map(|&k| PlacementSpec::new(PlacementKind::MaxSpread, k)),
+        )
+        .algorithm(AlgorithmSpec::new("faster_gathering"))
+        .seeds([11])
+        .run_default();
+
+    println!("warehouse: {} junctions (4x5 grid)", n);
     println!(
         "\n{:<10} {:>6} {:>18} {:>12} {:>10}",
         "crew size", "k/n", "closest pair (hops)", "rounds", "regime"
     );
 
-    for k in [3usize, 5, 7, 11] {
-        // The crew scatters to the far corners of the warehouse while
-        // working — the adversarial placement for regrouping.
-        let ids = placement::sequential_ids(k);
-        let start = placement::generate(&warehouse, PlacementKind::MaxSpread, &ids, 11);
-        let closest = start.closest_pair_distance(&warehouse).unwrap();
-        let regime = analysis::theorem16_regime(n, k);
-
-        let out = run_algorithm(&warehouse, &start, &RunSpec::new(Algorithm::Faster));
-        assert!(out.is_correct_gathering_with_detection());
+    for row in &report.rows {
+        assert!(row.detected_ok, "{row:?}");
         println!(
             "{:<10} {:>6.2} {:>18} {:>12} {:>10}",
-            k,
-            k as f64 / n as f64,
-            closest,
-            out.rounds,
-            format!("O(n^{regime})")
+            row.k,
+            row.k as f64 / row.n as f64,
+            row.closest_pair.expect("k >= 2"),
+            row.rounds,
+            format!("O(n^{})", analysis::theorem16_regime(row.n, row.k))
         );
     }
 

@@ -12,24 +12,49 @@
 //! * [`uxs`] — deterministic universal-exploration-sequence substrate;
 //! * [`map`] — map construction with a movable token;
 //! * [`core`] — the gathering algorithms (`Faster-Gathering`,
-//!   `Undispersed-Gathering`, `i-Hop-Meeting`, the UXS algorithm) and
-//!   baselines.
+//!   `Undispersed-Gathering`, `i-Hop-Meeting`, the UXS algorithm), the
+//!   baselines, and the scenario/registry/sweep public API.
 //!
 //! ## Quickstart
+//!
+//! An experiment is a declarative, JSON-roundtrippable [`ScenarioSpec`]
+//! value, executed through the open algorithm registry:
 //!
 //! ```
 //! use gathering::prelude::*;
 //!
-//! // A 12-node random connected graph and 5 robots placed at random
-//! // distinct nodes (a dispersed configuration).
-//! let graph = generators::random_connected(12, 0.25, 7).unwrap();
-//! let ids = placement::sequential_ids(5);
-//! let start = placement::generate(&graph, PlacementKind::DispersedRandom, &ids, 3);
+//! // A 12-node sparse random graph, 5 robots on distinct random nodes
+//! // (a dispersed configuration), running the paper's Faster-Gathering.
+//! let spec = ScenarioSpec::new(
+//!     GraphSpec::new(Family::RandomSparse, 12),
+//!     PlacementSpec::new(PlacementKind::DispersedRandom, 5),
+//!     AlgorithmSpec::new("faster_gathering"),
+//! )
+//! .with_seed(7);
 //!
-//! // Run the paper's Faster-Gathering algorithm.
-//! let outcome = run_algorithm(&graph, &start, &RunSpec::new(Algorithm::Faster));
-//! assert!(outcome.is_correct_gathering_with_detection());
-//! println!("gathered in {} rounds", outcome.rounds);
+//! let result = spec.run_default().unwrap();
+//! assert!(result.outcome.is_correct_gathering_with_detection());
+//! println!("gathered in {} rounds", result.outcome.rounds);
+//!
+//! // The same experiment is plain data: it round-trips through JSON and can
+//! // be executed straight from the parsed string.
+//! let again = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+//! assert_eq!(again.run_default().unwrap().outcome.rounds, result.outcome.rounds);
+//! ```
+//!
+//! Whole parameter grids run in parallel through [`Sweep`]:
+//!
+//! ```
+//! use gathering::prelude::*;
+//!
+//! let report = Sweep::new()
+//!     .graphs([GraphSpec::new(Family::Cycle, 8), GraphSpec::new(Family::Grid, 9)])
+//!     .placement(PlacementSpec::new(PlacementKind::UndispersedRandom, 3))
+//!     .algorithms([AlgorithmSpec::new("faster_gathering"), AlgorithmSpec::new("uxs_gathering")])
+//!     .seeds([1, 2, 3])
+//!     .run_default();
+//! assert!(report.all_detected_ok());
+//! assert_eq!(report.rows.len(), 2 * 2 * 3);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -43,13 +68,21 @@ pub use gather_uxs as uxs;
 
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
+    pub use gather_core::registry::{self, AlgorithmFactory, AlgorithmRegistry};
+    pub use gather_core::scenario::{
+        AlgorithmSpec, GraphSpec, LabelSpec, PlacementSpec, ScenarioError, ScenarioOutcome,
+        ScenarioSpec,
+    };
+    pub use gather_core::sweep::{Sweep, SweepReport, SweepRow};
+    #[allow(deprecated)]
     pub use gather_core::{
         analysis, run_algorithm, Algorithm, FasterRobot, GatherConfig, HopMeetingRobot, RunSpec,
         UndispersedRobot, UxsGatherRobot,
     };
+    pub use gather_graph::generators::Family;
     pub use gather_graph::{algo, dot, generators, GraphBuilder, PortGraph};
     pub use gather_sim::{
-        placement, Placement, PlacementKind, Robot, SimConfig, SimOutcome, Simulator,
+        placement, DynRobot, Placement, PlacementKind, Robot, SimConfig, SimOutcome, Simulator,
     };
     pub use gather_uxs::{LengthPolicy, Uxs};
 }
@@ -60,6 +93,18 @@ mod tests {
 
     #[test]
     fn facade_re_exports_work_together() {
+        let spec = ScenarioSpec::new(
+            GraphSpec::new(Family::Cycle, 5),
+            PlacementSpec::new(PlacementKind::AllOnOneNode, 2),
+            AlgorithmSpec::new(Algorithm::Undispersed.name()),
+        );
+        let out = spec.run_default().unwrap();
+        assert!(out.outcome.is_correct_gathering_with_detection());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_still_runs_through_the_facade() {
         let graph = generators::cycle(5).unwrap();
         let start = Placement::new(vec![(1, 0), (2, 0)]);
         let out = run_algorithm(&graph, &start, &RunSpec::new(Algorithm::Undispersed));

@@ -5,8 +5,27 @@
 
 use gathering::prelude::*;
 
-fn spec(algorithm: Algorithm) -> RunSpec {
-    RunSpec::new(algorithm).with_config(GatherConfig::fast())
+/// Runs a built-in algorithm on a concrete graph/placement through the open
+/// registry (the scenario-first replacement for the old `run_algorithm`).
+fn run(graph: &PortGraph, start: &Placement, algorithm: Algorithm) -> SimOutcome {
+    run_with(graph, start, algorithm, GatherConfig::fast())
+}
+
+fn run_with(
+    graph: &PortGraph,
+    start: &Placement,
+    algorithm: Algorithm,
+    config: GatherConfig,
+) -> SimOutcome {
+    registry::global()
+        .run(
+            algorithm.name(),
+            graph,
+            start,
+            &config,
+            SimConfig::with_max_rounds(2_000_000_000),
+        )
+        .expect("built-in algorithm")
 }
 
 #[test]
@@ -30,7 +49,7 @@ fn faster_gathering_across_families_and_placements() {
             (PlacementKind::MaxSpread, 3),
         ] {
             let start = placement::generate(&graph, kind, &ids, seed);
-            let out = run_algorithm(&graph, &start, &spec(Algorithm::Faster));
+            let out = run(&graph, &start, Algorithm::Faster);
             assert!(
                 out.is_correct_gathering_with_detection(),
                 "{} with {:?}: {:?}",
@@ -48,7 +67,7 @@ fn uxs_gathering_handles_every_configuration_shape() {
         let graph = generators::random_connected(7, 0.3, seed).unwrap();
         let ids = placement::random_ids(k, graph.n(), 2, seed);
         let start = placement::generate(&graph, PlacementKind::DispersedRandom, &ids, seed);
-        let out = run_algorithm(&graph, &start, &spec(Algorithm::UxsOnly));
+        let out = run(&graph, &start, Algorithm::UxsOnly);
         assert!(
             out.is_correct_gathering_with_detection(),
             "seed {seed}, k {k}: {out:?}"
@@ -72,7 +91,7 @@ fn undispersed_gathering_collects_waiters_on_every_family() {
         robots.push((ids[2], n / 2));
         robots.push((ids[3], n - 1));
         let start = Placement::new(robots);
-        let out = run_algorithm(&graph, &start, &spec(Algorithm::Undispersed));
+        let out = run(&graph, &start, Algorithm::Undispersed);
         assert!(
             out.is_correct_gathering_with_detection(),
             "{}: {:?}",
@@ -96,7 +115,7 @@ fn theorem12_distance_regimes_are_ordered() {
             &placement::sequential_ids(2),
             9,
         );
-        let out = run_algorithm(&graph, &start, &spec(Algorithm::Faster));
+        let out = run(&graph, &start, Algorithm::Faster);
         assert!(out.is_correct_gathering_with_detection(), "d = {d}");
         assert!(
             out.rounds >= previous,
@@ -120,11 +139,12 @@ fn faster_gathering_beats_the_uxs_baseline_when_a_close_pair_exists() {
         &placement::sequential_ids(3),
         4,
     );
-    let fast = run_algorithm(&graph, &start, &spec(Algorithm::Faster));
-    let base = run_algorithm(
+    let fast = run(&graph, &start, Algorithm::Faster);
+    let base = run_with(
         &graph,
         &start,
-        &RunSpec::new(Algorithm::UxsOnly).with_config(GatherConfig::paper_faithful()),
+        Algorithm::UxsOnly,
+        GatherConfig::paper_faithful(),
     );
     assert!(fast.is_correct_gathering_with_detection());
     assert!(base.is_correct_gathering_with_detection());
@@ -141,7 +161,7 @@ fn detection_is_simultaneous_and_at_the_gather_node() {
     let graph = generators::random_connected(9, 0.3, 8).unwrap();
     let ids = placement::sequential_ids(5);
     let start = placement::generate(&graph, PlacementKind::UndispersedRandom, &ids, 6);
-    let out = run_algorithm(&graph, &start, &spec(Algorithm::Faster));
+    let out = run(&graph, &start, Algorithm::Faster);
     assert!(out.is_correct_gathering_with_detection());
     // All robots end on the gather node.
     let node = out.gather_node.unwrap();
@@ -155,8 +175,8 @@ fn outcomes_are_bitwise_deterministic() {
     let graph = generators::random_connected(8, 0.35, 123).unwrap();
     let ids = placement::sequential_ids(4);
     let start = placement::generate(&graph, PlacementKind::DispersedRandom, &ids, 5);
-    let a = run_algorithm(&graph, &start, &spec(Algorithm::Faster));
-    let b = run_algorithm(&graph, &start, &spec(Algorithm::Faster));
+    let a = run(&graph, &start, Algorithm::Faster);
+    let b = run(&graph, &start, Algorithm::Faster);
     assert_eq!(a.rounds, b.rounds);
     assert_eq!(a.final_positions, b.final_positions);
     assert_eq!(a.metrics.total_moves, b.metrics.total_moves);
@@ -181,8 +201,8 @@ fn algorithms_never_inspect_node_identifiers() {
             .collect(),
     );
 
-    let a = run_algorithm(&graph, &start, &spec(Algorithm::Faster));
-    let b = run_algorithm(&relabeled, &start_relabeled, &spec(Algorithm::Faster));
+    let a = run(&graph, &start, Algorithm::Faster);
+    let b = run(&relabeled, &start_relabeled, Algorithm::Faster);
     assert_eq!(a.rounds, b.rounds);
     assert_eq!(a.metrics.total_moves, b.metrics.total_moves);
     assert_eq!(a.gather_node.map(|v| perm[v]), b.gather_node);

@@ -1,0 +1,181 @@
+//! A minimal, offline shim of the `criterion` benchmarking API.
+//!
+//! Vendored because this build environment has no reachable crate registry.
+//! It keeps the workspace's `benches/` compiling and runnable via
+//! `cargo bench`: each benchmark body executes a handful of timed iterations
+//! and the median wall-clock time is printed. There is no statistical
+//! analysis, warm-up control or HTML report — this is a smoke-run harness,
+//! not a measurement-grade tool.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's signature helper.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    iterations: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep smoke runs quick; override with CRITERION_STUB_ITERS.
+        let iterations = std::env::var("CRITERION_STUB_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5);
+        Criterion { iterations }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let iterations = self.iterations;
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            iterations,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.iterations, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    iterations: u32,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for compatibility; the stub ignores sample-size tuning.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stub ignores time tuning.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark over an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.iterations, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark without an input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.iterations, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, iterations: u32, f: &mut F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+    };
+    for _ in 0..iterations {
+        f(&mut bencher);
+    }
+    bencher.samples.sort();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    eprintln!(
+        "  {label}: median {median:?} over {} samples",
+        bencher.samples.len()
+    );
+}
+
+/// Declares the benchmark entry list, mirroring criterion's macro shape.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,435 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! stub.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`, which
+//! are unavailable offline). Supports the shapes this workspace actually
+//! derives: non-generic structs with named fields, tuple structs, and enums
+//! whose variants are unit, tuple or struct-like. Generated code targets the
+//! externally-tagged JSON layout of real serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// A tiny item model.
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    /// `struct S { a: A, b: B }`
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);`
+    TupleStruct(usize),
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including expanded doc comments) and
+    // the visibility qualifier.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The attribute body `[...]`.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // Optional `(crate)` / `(super)` / `(in path)`.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!(
+                "serde_derive (vendored stub): generic types are not supported; derive on `{name}`"
+            );
+        }
+    }
+
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde_derive: unit structs are not supported (`{name}`)")
+            }
+            Some(_) => continue, // `where` clauses don't occur in this workspace
+            None => panic!("serde_derive: missing body for `{name}`"),
+        }
+    };
+
+    let shape = match (keyword.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::NamedStruct(parse_named_fields(body.stream())),
+        ("struct", Delimiter::Parenthesis) => {
+            Shape::TupleStruct(count_top_level_fields(body.stream()))
+        }
+        ("enum", Delimiter::Brace) => Shape::Enum(parse_variants(body.stream())),
+        other => panic!("serde_derive: unsupported item shape {other:?} for `{name}`"),
+    };
+    Item { name, shape }
+}
+
+/// Parses `field: Type, ...` bodies, returning the field names in order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        // Consume the type: everything until a `,` at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 0 => {
+                            tokens.next();
+                            break;
+                        }
+                        _ => {}
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    saw_tokens_since_comma = true;
+                }
+                '>' => {
+                    depth -= 1;
+                    saw_tokens_since_comma = true;
+                }
+                ',' if depth == 0 => {
+                    count += 1;
+                    saw_tokens_since_comma = false;
+                }
+                _ => saw_tokens_since_comma = true,
+            },
+            _ => saw_tokens_since_comma = true,
+        }
+    }
+    if saw_tokens_since_comma {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume the trailing comma, if any (discriminants don't occur here).
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (as source text, parsed back into a TokenStream).
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            body.push_str("serde::Value::Object(vec![");
+            for f in fields {
+                let _ = write!(
+                    body,
+                    "(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            body.push_str("])");
+        }
+        Shape::TupleStruct(arity) => {
+            if *arity == 1 {
+                body.push_str("serde::Serialize::to_value(&self.0)");
+            } else {
+                body.push_str("serde::Value::Array(vec![");
+                for i in 0..*arity {
+                    let _ = write!(body, "serde::Serialize::to_value(&self.{i}),");
+                }
+                body.push_str("])");
+            }
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match self {");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vn} => serde::Value::String(\"{vn}\".to_string()),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vn}(a0) => serde::variant_value(\"{vn}\", \
+                             serde::Serialize::to_value(a0)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("a{i}")).collect();
+                        let _ = write!(
+                            body,
+                            "{name}::{vn}({}) => serde::variant_value(\"{vn}\", \
+                             serde::Value::Array(vec![",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            let _ = write!(body, "serde::Serialize::to_value({b}),");
+                        }
+                        body.push_str("])),");
+                    }
+                    VariantKind::Struct(fields) => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vn} {{ {} }} => serde::variant_value(\"{vn}\", \
+                             serde::Value::Object(vec![",
+                            fields.join(", ")
+                        );
+                        for f in fields {
+                            let _ = write!(
+                                body,
+                                "(\"{f}\".to_string(), serde::Serialize::to_value({f})),"
+                            );
+                        }
+                        body.push_str("])),");
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = format!("let o = serde::expect_object(v, \"{name}\")?; Ok({name} {{");
+            for f in fields {
+                let _ = write!(b, "{f}: serde::from_field(o, \"{f}\")?,");
+            }
+            b.push_str("})");
+            b
+        }
+        Shape::TupleStruct(arity) => {
+            if *arity == 1 {
+                format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+            } else {
+                let mut b =
+                    format!("let items = serde::expect_array(v, {arity}, \"{name}\")?; Ok({name}(");
+                for i in 0..*arity {
+                    let _ = write!(b, "serde::Deserialize::from_value(&items[{i}])?,");
+                }
+                b.push_str("))");
+                b
+            }
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(unit_arms, "\"{vn}\" => Ok({name}::{vn}),");
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vn}\" => {{ let items = serde::expect_array(inner, {n}, \
+                             \"{name}::{vn}\")?; Ok({name}::{vn}("
+                        );
+                        for i in 0..*n {
+                            let _ = write!(
+                                tagged_arms,
+                                "serde::Deserialize::from_value(&items[{i}])?,"
+                            );
+                        }
+                        tagged_arms.push_str(")) },");
+                    }
+                    VariantKind::Struct(fields) => {
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vn}\" => {{ let o = serde::expect_object(inner, \
+                             \"{name}::{vn}\")?; Ok({name}::{vn} {{"
+                        );
+                        for f in fields {
+                            let _ = write!(tagged_arms, "{f}: serde::from_field(o, \"{f}\")?,");
+                        }
+                        tagged_arms.push_str("}) },");
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(serde::Error::custom(format!(\n\
+                             \"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => Err(serde::Error::custom(format!(\n\
+                                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(serde::Error::custom(\"expected enum representation for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,451 @@
+//! JSON text encoding/decoding over the vendored serde stub's [`Value`].
+//!
+//! Provides the slice of `serde_json`'s API this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`to_value`],
+//! [`from_value`] and the [`Value`] re-export.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+pub use serde::Error;
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Converts a value into the [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Parses JSON text into a typed value.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    T::from_value(&v)
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Match serde_json: emit floats distinguishably from ints.
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    let _ = write!(out, "{f:.1}");
+                } else {
+                    let _ = write!(out, "{f}");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(Error::custom("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::custom("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error::custom("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error::custom("invalid literal"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(Error::custom("expected `,` or `]` in array")),
+                    }
+                }
+                Ok(Value::Array(items))
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(Error::custom("expected `,` or `}` in object")),
+                    }
+                }
+                Ok(Value::Object(entries))
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::custom("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::custom("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_literal("\\u") {
+                                    return Err(Error::custom("unpaired surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::custom("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("invalid \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(Error::custom("invalid escape character")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from the raw bytes.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::custom("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::custom("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error::custom("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(Error::custom(format!("invalid number at offset {start}")));
+        }
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(i) = stripped.parse::<i64>() {
+                    return Ok(if i == 0 {
+                        Value::UInt(0)
+                    } else {
+                        Value::Int(-i)
+                    });
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_scalars_and_containers() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(3)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".into(), Value::String("x\"y\\z\n".into())),
+            ("d".into(), Value::Int(-7)),
+            ("e".into(), Value::Float(1.5)),
+        ]);
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_printing_is_reparseable() {
+        let v = Value::Array(vec![
+            Value::Object(vec![("k".into(), Value::UInt(1))]),
+            Value::Array(vec![]),
+            Value::Object(vec![]),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn large_u64_survives_exactly() {
+        let v = Value::UInt(u64::MAX);
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: Value = from_str("\"\\u0041\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, Value::String("A😀".to_string()));
+    }
+
+    #[test]
+    fn typed_roundtrip_via_traits() {
+        let data: Vec<(u64, String)> = vec![(1, "one".into()), (2, "two".into())];
+        let s = to_string(&data).unwrap();
+        let back: Vec<(u64, String)> = from_str(&s).unwrap();
+        assert_eq!(data, back);
+    }
+}

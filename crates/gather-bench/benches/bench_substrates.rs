@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gather_graph::generators;
 use gather_map::build_map_offline;
-use gather_sim::{Action, Observation, Robot, RobotId, SimConfig, Simulator};
+use gather_sim::{Action, Inbox, Observation, Robot, RobotId, SimConfig, Simulator};
 use gather_uxs::{covers_from_all_starts, LengthPolicy, Uxs};
 
 struct PortZeroWalker {
@@ -18,7 +18,7 @@ impl Robot for PortZeroWalker {
         self.id
     }
     fn announce(&mut self, _obs: &Observation) -> Self::Msg {}
-    fn decide(&mut self, _obs: &Observation, _inbox: &[(RobotId, ())]) -> Action {
+    fn decide(&mut self, _obs: &Observation, _inbox: Inbox<'_, ()>) -> Action {
         Action::Move(0)
     }
 }

@@ -3,22 +3,29 @@
 //! candidate filters inside the token mapper (measured as candidate-test
 //! pressure via the move count on dense vs sparse graphs).
 
-// TODO(api): port to the scenario/sweep API; uses the deprecated run_algorithm shim.
-#![allow(deprecated)]
 use gather_bench::{quick_mode, ratio, Table};
-use gather_core::{run_algorithm, schedule, Algorithm, GatherConfig, RunSpec};
-use gather_graph::generators;
+use gather_core::scenario::{AlgorithmSpec, GraphSpec, PlacementSpec, ScenarioSpec};
+use gather_core::{schedule, GatherConfig};
+use gather_graph::generators::{self, Family};
 use gather_map::{build_map_offline, MapBoundPolicy};
-use gather_sim::placement::{self, PlacementKind};
+use gather_sim::placement::PlacementKind;
 use gather_uxs::{calibrated_length_for_suite, LengthPolicy, Uxs};
 
 fn main() {
     let n = if quick_mode() { 8 } else { 10 };
 
-    // (a) UXS length policy: rounds of the UXS algorithm under different T.
-    let graph = generators::random_connected(n, 0.3, 5).unwrap();
-    let ids = placement::sequential_ids(3);
-    let start = placement::generate(&graph, PlacementKind::DispersedRandom, &ids, 2);
+    // (a) UXS length policy: rounds of the UXS algorithm under different T,
+    // on the same declarative scenario (same instance, same robots).
+    let base = ScenarioSpec::new(
+        GraphSpec::new(Family::RandomSparse, n),
+        PlacementSpec::new(PlacementKind::DispersedRandom, 3),
+        AlgorithmSpec::new("uxs_gathering"),
+    )
+    .with_seed(2);
+    let graph = base
+        .graph
+        .build(base.graph_seed())
+        .expect("family instantiates");
     let mut policy_table = Table::new(
         "A1a",
         "Ablation: UXS length policy vs rounds (same instance, same robots)",
@@ -36,17 +43,18 @@ fn main() {
             uxs_policy: policy,
             map_bound: MapBoundPolicy::Paper,
         };
-        let out = run_algorithm(
-            &graph,
-            &start,
-            &RunSpec::new(Algorithm::UxsOnly).with_config(config),
-        );
+        let mut spec = base.clone();
+        spec.algorithm = AlgorithmSpec::new("uxs_gathering").with_config(config);
+        let result = spec.run_default().expect("scenario runs");
         policy_table.push_row(vec![
             policy.name(),
             uxs.len().to_string(),
             covers.to_string(),
-            out.rounds.to_string(),
-            out.is_correct_gathering_with_detection().to_string(),
+            result.outcome.rounds.to_string(),
+            result
+                .outcome
+                .is_correct_gathering_with_detection()
+                .to_string(),
         ]);
     }
     policy_table.print();

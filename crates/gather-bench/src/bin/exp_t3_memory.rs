@@ -2,13 +2,13 @@
 //! Undispersed-/Faster-Gathering (dominated by the map) and O(M + log n) for
 //! the UXS algorithm (dominated by the shared sequence).
 
-// TODO(api): port to the scenario/sweep API; uses the deprecated run_algorithm shim.
-#![allow(deprecated)]
 use gather_bench::{quick_mode, ratio, Table};
-use gather_core::{run_algorithm, Algorithm, GatherConfig, RunSpec};
+use gather_core::scenario::{AlgorithmSpec, GraphSpec, PlacementSpec};
+use gather_core::sweep::Sweep;
+use gather_core::GatherConfig;
 use gather_graph::generators::Family;
 use gather_map::build_map_offline;
-use gather_sim::placement::{self, PlacementKind};
+use gather_sim::placement::PlacementKind;
 use gather_uxs::Uxs;
 
 fn main() {
@@ -24,6 +24,7 @@ fn main() {
         Family::Complete,
     ];
     let config = GatherConfig::fast();
+    let master_seed = 3u64;
 
     let mut table = Table::new(
         "T3",
@@ -39,39 +40,42 @@ fn main() {
         ],
     );
 
-    for &family in &families {
-        for &n_target in sizes {
-            let graph = family
-                .instantiate(n_target, 6)
-                .expect("family instantiates");
-            let n = graph.n();
-            let m = graph.m();
-            let log = (usize::BITS - (n - 1).leading_zeros()) as usize;
-            let claim = m * log;
-            let map = build_map_offline(&graph, 0);
-            let ids = placement::sequential_ids(3.min(n));
-            let start = placement::generate(&graph, PlacementKind::UndispersedRandom, &ids, 3);
-            let out = run_algorithm(
-                &graph,
-                &start,
-                &RunSpec::new(Algorithm::Undispersed).with_config(config),
-            );
-            assert!(
-                out.is_correct_gathering_with_detection(),
-                "{}",
-                graph.name()
-            );
-            let peak = out.metrics.max_memory_bits();
-            table.push_row(vec![
-                family.name().to_string(),
-                n.to_string(),
-                m.to_string(),
-                claim.to_string(),
-                map.memory_bits.to_string(),
-                peak.to_string(),
-                ratio(peak as u64, claim as u64),
-            ]);
-        }
+    // One declarative sweep over the whole (family, n) grid; rows come back
+    // in axis order, so they pair 1:1 with the loop below.
+    let report = Sweep::new()
+        .graphs(
+            families
+                .iter()
+                .flat_map(|&f| sizes.iter().map(move |&n| GraphSpec::new(f, n))),
+        )
+        .placement(PlacementSpec::new(PlacementKind::UndispersedRandom, 3))
+        .algorithm(AlgorithmSpec::new("undispersed_gathering").with_config(config))
+        .seeds([master_seed])
+        .run_default();
+
+    for (spec, row) in report.specs.iter().zip(&report.rows) {
+        assert!(row.detected_ok, "{}: {:?}", row.family, row.error);
+        // Rebuild the realised instance (same derived seed as the sweep) for
+        // the structural columns and the offline map-memory reference.
+        let graph = spec
+            .graph
+            .build(spec.graph_seed())
+            .expect("family instantiates");
+        let n = graph.n();
+        let m = graph.m();
+        let log = (usize::BITS - (n - 1).leading_zeros()) as usize;
+        let claim = m * log;
+        let map = build_map_offline(&graph, 0);
+        let peak = row.peak_memory_bits;
+        table.push_row(vec![
+            row.family.clone(),
+            n.to_string(),
+            m.to_string(),
+            claim.to_string(),
+            map.memory_bits.to_string(),
+            peak.to_string(),
+            ratio(peak as u64, claim as u64),
+        ]);
     }
 
     table.print();
@@ -88,7 +92,7 @@ fn main() {
         ],
     );
     for &n in sizes {
-        let uxs = Uxs::for_n(n, config.uxs_policy);
+        let uxs = Uxs::shared_for_n(n, config.uxs_policy);
         uxs_table.push_row(vec![
             n.to_string(),
             uxs.len().to_string(),

@@ -1,0 +1,270 @@
+//! Engine throughput report: runs a fixed engine-stress matrix and writes
+//! `results/BENCH_engine.json` so the simulator's performance has a recorded
+//! trajectory (rounds/sec per scenario, rows/sec for a sweep) that later PRs
+//! must not regress.
+//!
+//! If `results/BENCH_engine_baseline.json` exists (a snapshot of this report
+//! from an earlier engine), each scenario row additionally carries its
+//! speedup against that baseline.
+//!
+//! Scenarios are chosen to stress the engine itself, not the algorithms:
+//! large `k` with heavy co-location (message fan-out is `O(k²)` per round),
+//! large dispersed swarms (occupancy rebuilds), and a mid-size composed
+//! `faster_gathering` run (erasure-free monomorphized dispatch).
+
+use gather_bench::{quick_mode, results_dir};
+use gather_core::scenario::{AlgorithmSpec, GraphSpec, PlacementSpec};
+use gather_core::sweep::Sweep;
+use gather_core::{registry, GatherConfig};
+use gather_graph::generators::{self, Family};
+use gather_graph::PortGraph;
+use gather_sim::placement::{self, Placement, PlacementKind};
+use gather_sim::SimConfig;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One engine-stress scenario definition.
+struct Stress {
+    name: &'static str,
+    algorithm: &'static str,
+    graph: PortGraph,
+    start: Placement,
+    max_rounds: u64,
+}
+
+/// Timed result of one scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ScenarioRow {
+    name: String,
+    algorithm: String,
+    n: usize,
+    k: usize,
+    max_rounds: u64,
+    rounds: u64,
+    messages: u64,
+    total_moves: u64,
+    elapsed_ms: f64,
+    rounds_per_sec: f64,
+    speedup_vs_baseline: Option<f64>,
+}
+
+/// Timed result of the sweep-throughput probe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SweepThroughput {
+    rows: usize,
+    elapsed_ms: f64,
+    rows_per_sec: f64,
+    speedup_vs_baseline: Option<f64>,
+}
+
+/// The full report written to `results/BENCH_engine.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EngineBench {
+    quick: bool,
+    timing_iterations: u32,
+    scenarios: Vec<ScenarioRow>,
+    sweep: SweepThroughput,
+}
+
+fn stress_matrix(quick: bool) -> Vec<Stress> {
+    let scale = if quick { 2 } else { 1 };
+    let mut out = Vec::new();
+    // All robots co-located on one node: k·(k-1) messages every round — the
+    // message-arena hot case (the pre-refactor engine allocated one inbox
+    // Vec + k-1 message clones per robot per round here).
+    {
+        let graph = generators::cycle(64 / scale as usize).unwrap();
+        let k = 64 / scale as usize;
+        let ids = placement::sequential_ids(k);
+        let start = placement::generate(&graph, PlacementKind::AllOnOneNode, &ids, 1);
+        out.push(Stress {
+            name: "uxs_colocated_k64",
+            algorithm: "uxs_gathering",
+            graph,
+            start,
+            max_rounds: 2_000 / scale as u64,
+        });
+    }
+    // A large dispersed swarm on a big cycle: occupancy rebuilds dominate.
+    {
+        let graph = generators::cycle(256 / scale as usize).unwrap();
+        let k = 128 / scale as usize;
+        let ids = placement::sequential_ids(k);
+        let start = placement::generate(&graph, PlacementKind::MaxSpread, &ids, 2);
+        out.push(Stress {
+            name: "uxs_dispersed_k128",
+            algorithm: "uxs_gathering",
+            graph,
+            start,
+            max_rounds: 20_000 / scale as u64,
+        });
+    }
+    // The composed algorithm mid-schedule on a grid: deep per-robot state
+    // machines behind the monomorphized dispatch path.
+    {
+        let graph = generators::grid(8, 8 / scale as usize).unwrap();
+        let k = 32 / scale as usize;
+        let ids = placement::sequential_ids(k);
+        let start = placement::generate(&graph, PlacementKind::DispersedRandom, &ids, 5);
+        out.push(Stress {
+            name: "faster_grid64_k32",
+            algorithm: "faster_gathering",
+            graph,
+            start,
+            max_rounds: 50_000 / scale as u64,
+        });
+    }
+    // Undispersed-Gathering with many groups on a large cycle.
+    {
+        let graph = generators::cycle(128 / scale as usize).unwrap();
+        let k = 64 / scale as usize;
+        let ids = placement::sequential_ids(k);
+        let start = placement::generate(&graph, PlacementKind::UndispersedRandom, &ids, 7);
+        out.push(Stress {
+            name: "undispersed_cycle128_k64",
+            algorithm: "undispersed_gathering",
+            graph,
+            start,
+            max_rounds: 50_000 / scale as u64,
+        });
+    }
+    out
+}
+
+/// Times one scenario: a warm-up run, then `iters` timed runs; keeps the
+/// fastest (the run least disturbed by the OS).
+fn time_scenario(s: &Stress, iters: u32) -> ScenarioRow {
+    let factory = registry::global().get(s.algorithm).expect("builtin");
+    let cfg = GatherConfig::fast();
+    let sim = SimConfig::with_max_rounds(s.max_rounds);
+    let mut best: Option<(f64, gather_sim::SimOutcome)> = None;
+    for i in 0..=iters {
+        let t0 = Instant::now();
+        let out = factory.run(&s.graph, &s.start, &cfg, sim.clone());
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if i == 0 {
+            continue; // warm-up
+        }
+        if best.as_ref().is_none_or(|(b, _)| ms < *b) {
+            best = Some((ms, out));
+        }
+    }
+    let (elapsed_ms, out) = best.expect("at least one timed iteration");
+    ScenarioRow {
+        name: s.name.to_string(),
+        algorithm: s.algorithm.to_string(),
+        n: s.graph.n(),
+        k: s.start.k(),
+        max_rounds: s.max_rounds,
+        rounds: out.rounds,
+        messages: out.metrics.messages_delivered,
+        total_moves: out.metrics.total_moves,
+        elapsed_ms,
+        rounds_per_sec: out.rounds as f64 / (elapsed_ms / 1e3),
+        speedup_vs_baseline: None,
+    }
+}
+
+/// Times a small sweep matrix end to end (rows/sec), single-threaded so the
+/// number measures the engine, not the thread pool.
+fn time_sweep(quick: bool, iters: u32) -> SweepThroughput {
+    let sizes: &[usize] = if quick { &[8, 12] } else { &[8, 12, 16] };
+    let sweep = Sweep::new()
+        .graphs(sizes.iter().map(|&n| GraphSpec::new(Family::Cycle, n)))
+        .graphs(sizes.iter().map(|&n| GraphSpec::new(Family::Grid, n)))
+        .placements([
+            PlacementSpec::new(PlacementKind::UndispersedRandom, 4),
+            PlacementSpec::new(PlacementKind::MaxSpread, 4),
+        ])
+        .algorithms([
+            AlgorithmSpec::new("faster_gathering"),
+            AlgorithmSpec::new("uxs_gathering"),
+        ])
+        .seeds([1, 2])
+        .threads(1);
+    let mut best_ms = f64::INFINITY;
+    let mut rows = 0usize;
+    for i in 0..=iters {
+        let t0 = Instant::now();
+        let report = sweep.run_default();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(report.all_detected_ok(), "sweep probe must stay green");
+        rows = report.rows.len();
+        if i > 0 && ms < best_ms {
+            best_ms = ms;
+        }
+    }
+    SweepThroughput {
+        rows,
+        elapsed_ms: best_ms,
+        rows_per_sec: rows as f64 / (best_ms / 1e3),
+        speedup_vs_baseline: None,
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let iters = if quick { 1 } else { 3 };
+
+    let mut scenarios: Vec<ScenarioRow> = stress_matrix(quick)
+        .iter()
+        .map(|s| {
+            let row = time_scenario(s, iters);
+            eprintln!(
+                "{:<28} n={:<4} k={:<4} rounds={:<7} {:>10.1} rounds/sec",
+                row.name, row.n, row.k, row.rounds, row.rounds_per_sec
+            );
+            row
+        })
+        .collect();
+    let mut sweep = time_sweep(quick, iters);
+    eprintln!(
+        "sweep probe: {} rows, {:.1} rows/sec",
+        sweep.rows, sweep.rows_per_sec
+    );
+
+    // Attach speedups against the recorded pre-refactor baseline, if present.
+    let dir = results_dir();
+    let baseline_path = dir.join("BENCH_engine_baseline.json");
+    if let Ok(raw) = std::fs::read_to_string(&baseline_path) {
+        if let Ok(base) = serde_json::from_str::<EngineBench>(&raw) {
+            // Quick mode halves the workload but keeps scenario names;
+            // comparing across modes would be meaningless.
+            if base.quick != quick {
+                eprintln!(
+                    "baseline is a {} run but this is a {} run; skipping speedup comparison",
+                    if base.quick { "quick" } else { "full" },
+                    if quick { "quick" } else { "full" },
+                );
+            } else {
+                for row in &mut scenarios {
+                    if let Some(b) = base.scenarios.iter().find(|b| b.name == row.name) {
+                        if b.rounds_per_sec > 0.0 {
+                            let s = row.rounds_per_sec / b.rounds_per_sec;
+                            row.speedup_vs_baseline = Some(s);
+                            eprintln!("{:<28} speedup vs baseline: {s:.2}x", row.name);
+                        }
+                    }
+                }
+                if base.sweep.rows_per_sec > 0.0 {
+                    sweep.speedup_vs_baseline = Some(sweep.rows_per_sec / base.sweep.rows_per_sec);
+                }
+            }
+        }
+    }
+
+    let bench = EngineBench {
+        quick,
+        timing_iterations: iters,
+        scenarios,
+        sweep,
+    };
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join("BENCH_engine.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&bench).expect("serializes"),
+    )
+    .expect("results dir writable");
+    eprintln!("wrote {}", path.display());
+}

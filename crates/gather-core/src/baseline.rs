@@ -16,7 +16,7 @@ use crate::hop_meeting::HopMeeting;
 use crate::messages::Msg;
 use crate::schedule::hop_meeting_rounds;
 use crate::subalgo::{SubAction, SubAlgorithm};
-use gather_sim::{Action, Observation, Robot, RobotId};
+use gather_sim::{Action, Inbox, Observation, Robot, RobotId};
 
 /// A Dessmark-style expanding-radius rendezvous robot.
 ///
@@ -74,7 +74,7 @@ impl Robot for ExpandingRobot {
         }
     }
 
-    fn decide(&mut self, obs: &Observation, inbox: &[(RobotId, Msg)]) -> Action {
+    fn decide(&mut self, obs: &Observation, inbox: Inbox<'_, Msg>) -> Action {
         let round = self.global_round;
         self.global_round += 1;
         if self.finished {

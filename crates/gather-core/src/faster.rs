@@ -23,7 +23,7 @@ use crate::schedule::{faster_step_rounds, MAX_HOP_RADIUS};
 use crate::subalgo::{SubAction, SubAlgorithm};
 use crate::undispersed::UndispersedGathering;
 use crate::uxs_gathering::UxsGathering;
-use gather_sim::{Action, Observation, Robot, RobotId};
+use gather_sim::{Action, Inbox, Observation, Robot, RobotId};
 use serde::{Deserialize, Serialize};
 
 /// The kind of schedule segment a robot is executing.
@@ -221,7 +221,7 @@ impl Robot for FasterRobot {
         }
     }
 
-    fn decide(&mut self, obs: &Observation, inbox: &[(RobotId, Msg)]) -> Action {
+    fn decide(&mut self, obs: &Observation, inbox: Inbox<'_, Msg>) -> Action {
         self.sync_segment(self.global_round);
         self.global_round += 1;
         if self.finished {

@@ -14,7 +14,7 @@ use crate::messages::Msg;
 use crate::schedule::{hop_cycle_rounds, hop_meeting_rounds};
 use crate::subalgo::{SubAction, SubAlgorithm};
 use gather_graph::PortId;
-use gather_sim::{Action, Observation, Robot, RobotId};
+use gather_sim::{Action, Inbox, Observation, Robot, RobotId};
 
 /// An incremental depth-bounded DFS over port sequences.
 ///
@@ -182,7 +182,7 @@ impl SubAlgorithm for HopMeeting {
         }
     }
 
-    fn decide(&mut self, obs: &Observation, _inbox: &[(RobotId, Msg)]) -> SubAction {
+    fn decide(&mut self, obs: &Observation, _inbox: Inbox<'_, Msg>) -> SubAction {
         if self.local_round >= self.duration {
             return SubAction::Finished;
         }
@@ -260,7 +260,7 @@ impl Robot for HopMeetingRobot {
         SubAlgorithm::announce(&mut self.inner, obs)
     }
 
-    fn decide(&mut self, obs: &Observation, inbox: &[(RobotId, Msg)]) -> Action {
+    fn decide(&mut self, obs: &Observation, inbox: Inbox<'_, Msg>) -> Action {
         match self.inner.decide(obs, inbox) {
             SubAction::Stay | SubAction::Finished => Action::Stay,
             SubAction::Move(p) => Action::Move(p),
@@ -366,13 +366,13 @@ mod tests {
             ..obs_alone
         };
         assert!(!hm.is_frozen());
-        let _ = hm.decide(&obs_alone, &[]);
+        let _ = hm.decide(&obs_alone, Inbox::empty());
         assert!(!hm.is_frozen());
-        let _ = hm.decide(&obs_met, &[]);
+        let _ = hm.decide(&obs_met, Inbox::empty());
         assert!(hm.is_frozen());
         // Once frozen it never moves again.
         for _ in 0..20 {
-            assert_eq!(hm.decide(&obs_alone, &[]), SubAction::Stay);
+            assert_eq!(hm.decide(&obs_alone, Inbox::empty()), SubAction::Stay);
         }
     }
 
@@ -410,11 +410,7 @@ mod tests {
             fn announce(&mut self, obs: &Observation) -> Msg {
                 SubAlgorithm::announce(&mut self.0, obs)
             }
-            fn decide(
-                &mut self,
-                obs: &Observation,
-                inbox: &[(RobotId, Msg)],
-            ) -> gather_sim::Action {
+            fn decide(&mut self, obs: &Observation, inbox: Inbox<'_, Msg>) -> gather_sim::Action {
                 match self.0.decide(obs, inbox) {
                     SubAction::Move(p) => gather_sim::Action::Move(p),
                     _ => gather_sim::Action::Stay,
@@ -450,7 +446,7 @@ mod tests {
         };
         let cycle = hop_cycle_rounds(1, 6);
         for _ in 0..cycle {
-            assert_eq!(hm.decide(&obs, &[]), SubAction::Stay);
+            assert_eq!(hm.decide(&obs, Inbox::empty()), SubAction::Stay);
         }
     }
 
@@ -465,7 +461,10 @@ mod tests {
             entry_port: None,
             colocated: 0,
         };
-        assert!(matches!(hm.decide(&obs, &[]), SubAction::Move(_)));
+        assert!(matches!(
+            hm.decide(&obs, Inbox::empty()),
+            SubAction::Move(_)
+        ));
     }
 
     #[test]
@@ -487,12 +486,12 @@ mod tests {
                 entry_port: entry,
                 ..obs
             };
-            if let SubAction::Move(p) = hm.decide(&o, &[]) {
+            if let SubAction::Move(p) = hm.decide(&o, Inbox::empty()) {
                 let (nx, q) = g.neighbor_via(node, p);
                 node = nx;
                 entry = Some(q);
             }
         }
-        assert_eq!(hm.decide(&obs, &[]), SubAction::Finished);
+        assert_eq!(hm.decide(&obs, Inbox::empty()), SubAction::Finished);
     }
 }

@@ -258,9 +258,10 @@ impl AlgorithmFactory for UxsFactory {
         placement: &Placement,
         config: &GatherConfig,
     ) -> Vec<(Box<dyn DynRobot>, NodeId)> {
-        // Share one sequence across robots (they would all compute the same
-        // one from n anyway).
-        let uxs = Uxs::for_n(graph.n(), config.uxs_policy);
+        // One memoized sequence for the whole run: the per-robot `clone` is
+        // an `Arc` bump on the shared offsets, not a copy (and repeated runs
+        // at the same `n` skip the construction entirely).
+        let uxs = Uxs::shared_for_n(graph.n(), config.uxs_policy);
         placement
             .robots
             .iter()
@@ -280,7 +281,7 @@ impl AlgorithmFactory for UxsFactory {
         config: &GatherConfig,
         sim_config: SimConfig,
     ) -> SimOutcome {
-        let uxs = Uxs::for_n(graph.n(), config.uxs_policy);
+        let uxs = Uxs::shared_for_n(graph.n(), config.uxs_policy);
         let robots: Vec<(UxsGatherRobot, NodeId)> = placement
             .robots
             .iter()
@@ -391,7 +392,7 @@ mod tests {
     use super::*;
     use gather_graph::generators;
     use gather_sim::placement::{self, PlacementKind};
-    use gather_sim::{Action, Observation, Robot, RobotId};
+    use gather_sim::{Action, Inbox, Observation, Robot, RobotId};
 
     #[test]
     fn builtins_are_registered_under_their_table_names() {
@@ -482,7 +483,7 @@ mod tests {
 
         fn announce(&mut self, _obs: &Observation) -> Self::Msg {}
 
-        fn decide(&mut self, obs: &Observation, _inbox: &[(RobotId, ())]) -> Action {
+        fn decide(&mut self, obs: &Observation, _inbox: Inbox<'_, ()>) -> Action {
             if obs.colocated > 0 {
                 self.done = true;
                 Action::Terminate

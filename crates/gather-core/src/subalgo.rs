@@ -12,7 +12,7 @@
 
 use crate::messages::Msg;
 use gather_graph::PortId;
-use gather_sim::{Observation, RobotId};
+use gather_sim::{Inbox, Observation};
 
 /// The per-round outcome of a sub-algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +33,7 @@ pub trait SubAlgorithm {
     fn announce(&mut self, obs: &Observation) -> Msg;
 
     /// Reads co-located announcements and decides this round's action.
-    fn decide(&mut self, obs: &Observation, inbox: &[(RobotId, Msg)]) -> SubAction;
+    fn decide(&mut self, obs: &Observation, inbox: Inbox<'_, Msg>) -> SubAction;
 
     /// Approximate persistent state in bits (for the memory experiments).
     fn memory_bits(&self) -> usize {

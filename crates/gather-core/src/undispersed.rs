@@ -22,7 +22,7 @@ use crate::schedule::{undispersed_phase1_rounds, undispersed_total_rounds};
 use crate::subalgo::{SubAction, SubAlgorithm};
 use gather_graph::{algo, PortId};
 use gather_map::{MapperCommand, MapperFeedback, TokenMapper};
-use gather_sim::{Action, Observation, Robot, RobotId};
+use gather_sim::{Action, Inbox, Observation, Robot, RobotId};
 
 /// The §2.2 sub-algorithm state of one robot.
 #[derive(Debug, Clone)]
@@ -132,7 +132,7 @@ impl UndispersedGathering {
         }
     }
 
-    fn phase1_decide(&mut self, obs: &Observation, inbox: &[(RobotId, Msg)]) -> SubAction {
+    fn phase1_decide(&mut self, obs: &Observation, inbox: Inbox<'_, Msg>) -> SubAction {
         match self.role {
             Role::Finder => {
                 if let Some(p) = self.pending_token_move.take() {
@@ -185,7 +185,7 @@ impl UndispersedGathering {
         }
     }
 
-    fn phase2_decide(&mut self, inbox: &[(RobotId, Msg)]) -> SubAction {
+    fn phase2_decide(&mut self, inbox: Inbox<'_, Msg>) -> SubAction {
         // Collect the Phase 2 state of co-located robots.
         struct Peer {
             id: RobotId,
@@ -201,7 +201,7 @@ impl UndispersedGathering {
                     groupid,
                     intended,
                 } => Some(Peer {
-                    id: *id,
+                    id,
                     role: *role,
                     gid: *groupid,
                     intended: *intended,
@@ -334,7 +334,7 @@ impl SubAlgorithm for UndispersedGathering {
         }
     }
 
-    fn decide(&mut self, obs: &Observation, inbox: &[(RobotId, Msg)]) -> SubAction {
+    fn decide(&mut self, obs: &Observation, inbox: Inbox<'_, Msg>) -> SubAction {
         let round = self.local_round;
         self.local_round += 1;
 
@@ -344,7 +344,7 @@ impl SubAlgorithm for UndispersedGathering {
         }
         if round == 0 {
             // Introduction round: fix roles from the co-located labels.
-            let min_other = inbox.iter().map(|&(id, _)| id).min();
+            let min_other = inbox.iter().map(|(id, _)| id).min();
             match min_other {
                 None => {
                     self.role = Role::Waiter;
@@ -435,7 +435,7 @@ impl Robot for UndispersedRobot {
         SubAlgorithm::announce(&mut self.inner, obs)
     }
 
-    fn decide(&mut self, obs: &Observation, inbox: &[(RobotId, Msg)]) -> Action {
+    fn decide(&mut self, obs: &Observation, inbox: Inbox<'_, Msg>) -> Action {
         match self.inner.decide(obs, inbox) {
             SubAction::Stay => Action::Stay,
             SubAction::Move(p) => Action::Move(p),
@@ -579,8 +579,8 @@ mod tests {
         };
         let _ = SubAlgorithm::announce(&mut finder, &obs);
         let _ = SubAlgorithm::announce(&mut helper, &obs);
-        let _ = finder.decide(&obs, &[(9, Msg::StepCheck)]);
-        let _ = helper.decide(&obs, &[(2, Msg::StepCheck)]);
+        let _ = finder.decide(&obs, Inbox::from_slice(&[(9, Msg::StepCheck)]));
+        let _ = helper.decide(&obs, Inbox::from_slice(&[(2, Msg::StepCheck)]));
         assert_eq!(finder.role(), Role::Finder);
         assert_eq!(finder.groupid(), Some(2));
         assert_eq!(helper.role(), Role::Helper);
@@ -600,7 +600,7 @@ mod tests {
             colocated: 0,
         };
         let _ = SubAlgorithm::announce(&mut w, &obs);
-        let _ = w.decide(&obs, &[]);
+        let _ = w.decide(&obs, Inbox::empty());
         assert_eq!(w.role(), Role::Waiter);
         assert_eq!(w.groupid(), None);
     }

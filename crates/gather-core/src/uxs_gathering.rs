@@ -21,7 +21,7 @@ use crate::ids::id_bit_length;
 use crate::messages::Msg;
 use crate::subalgo::{SubAction, SubAlgorithm};
 use gather_graph::PortId;
-use gather_sim::{Action, Observation, Robot, RobotId};
+use gather_sim::{Action, Inbox, Observation, Robot, RobotId};
 use gather_uxs::{Uxs, UxsWalker};
 
 /// The §2.1 sub-algorithm state of one robot.
@@ -42,8 +42,13 @@ pub struct UxsGathering {
 impl UxsGathering {
     /// Creates the procedure for the robot with label `id` on an `n`-node
     /// graph, using the shared exploration sequence prescribed by `config`.
+    ///
+    /// The sequence is obtained from the process-wide [`Uxs::shared_for_n`]
+    /// cache: all robots of a run (and all runs at the same `n`) share one
+    /// `Arc`-backed copy instead of each recomputing the — potentially
+    /// `n³`-long — sequence.
     pub fn new(id: RobotId, n: usize, config: &GatherConfig) -> Self {
-        let uxs = Uxs::for_n(n, config.uxs_policy);
+        let uxs = Uxs::shared_for_n(n, config.uxs_policy);
         Self::with_sequence(id, uxs)
     }
 
@@ -136,18 +141,18 @@ impl SubAlgorithm for UxsGathering {
         }
     }
 
-    fn decide(&mut self, _obs: &Observation, inbox: &[(RobotId, Msg)]) -> SubAction {
+    fn decide(&mut self, _obs: &Observation, inbox: Inbox<'_, Msg>) -> SubAction {
         self.local_round += 1;
         if self.finished {
             return SubAction::Finished;
         }
         // Merge rule: always defer to the largest label present.
-        let largest_other = inbox.iter().map(|&(id, _)| id).max();
+        let largest_other = inbox.iter().map(|(id, _)| id).max();
         match largest_other {
             Some(other) if other > self.id => {
                 // Follow the largest robot's *actual* behaviour this round.
                 self.leader = other;
-                match inbox.iter().find(|&&(id, _)| id == other).map(|(_, m)| m) {
+                match inbox.get(other) {
                     Some(Msg::UxsLeader {
                         intended,
                         terminating,
@@ -230,7 +235,7 @@ impl Robot for UxsGatherRobot {
         SubAlgorithm::announce(&mut self.inner, obs)
     }
 
-    fn decide(&mut self, obs: &Observation, inbox: &[(RobotId, Msg)]) -> Action {
+    fn decide(&mut self, obs: &Observation, inbox: Inbox<'_, Msg>) -> Action {
         match self.inner.decide(obs, inbox) {
             SubAction::Stay => Action::Stay,
             SubAction::Move(p) => Action::Move(p),

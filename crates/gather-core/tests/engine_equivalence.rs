@@ -1,0 +1,228 @@
+//! Pins the round engine's observable outcomes against recorded fixtures.
+//!
+//! The simulator's round loop has been rewritten for performance (message
+//! arena, incremental occupancy, dense metrics); these tests guarantee the
+//! rewrite is *behaviour-preserving* by replaying fixed scenarios for all
+//! four built-in algorithms — through both the monomorphized factory fast
+//! path and the type-erased `DynRobot` path — and comparing every observable
+//! field of [`gather_sim::SimOutcome`] against outputs recorded from the
+//! pre-refactor engine.
+//!
+//! Regenerate the fixture (only when an *intentional* behaviour change is
+//! made) with:
+//!
+//! ```text
+//! GATHER_GENERATE_FIXTURE=1 cargo test -p gather-core --test engine_equivalence
+//! ```
+
+use gather_core::{registry, GatherConfig};
+use gather_graph::{generators, PortGraph};
+use gather_sim::placement::{self, Placement, PlacementKind};
+use gather_sim::{SimConfig, SimOutcome, Simulator};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Everything observable about one recorded run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Recorded {
+    case: String,
+    algorithm: String,
+    rounds: u64,
+    gathered: bool,
+    gather_node: Option<usize>,
+    first_gather_round: Option<u64>,
+    first_contact_round: Option<u64>,
+    all_terminated: bool,
+    termination_round: Option<u64>,
+    false_detection: bool,
+    timed_out: bool,
+    total_moves: u64,
+    messages_delivered: u64,
+    moves_per_robot: Vec<(u64, u64)>,
+    peak_memory_bits: Vec<(u64, usize)>,
+    final_positions: Vec<(u64, usize)>,
+}
+
+impl Recorded {
+    fn from_outcome(case: &str, algorithm: &str, out: &SimOutcome) -> Self {
+        Recorded {
+            case: case.to_string(),
+            algorithm: algorithm.to_string(),
+            rounds: out.rounds,
+            gathered: out.gathered,
+            gather_node: out.gather_node,
+            first_gather_round: out.first_gather_round,
+            first_contact_round: out.first_contact_round,
+            all_terminated: out.all_terminated,
+            termination_round: out.termination_round,
+            false_detection: out.false_detection,
+            timed_out: out.timed_out,
+            total_moves: out.metrics.total_moves,
+            messages_delivered: out.metrics.messages_delivered,
+            moves_per_robot: out
+                .metrics
+                .moves_per_robot
+                .iter()
+                .map(|(&r, &m)| (r, m))
+                .collect(),
+            peak_memory_bits: out
+                .metrics
+                .peak_memory_bits
+                .iter()
+                .map(|(&r, &b)| (r, b))
+                .collect(),
+            final_positions: out.final_positions.iter().map(|(&r, &p)| (r, p)).collect(),
+        }
+    }
+}
+
+/// One fixed scenario: a deterministic graph + placement + algorithm.
+struct Case {
+    name: &'static str,
+    algorithm: &'static str,
+    graph: PortGraph,
+    start: Placement,
+    max_rounds: u64,
+}
+
+fn cases() -> Vec<Case> {
+    let mut out = Vec::new();
+    // Faster-Gathering on a sparse random graph, dispersed start.
+    {
+        let graph = generators::random_connected(10, 0.3, 7).unwrap();
+        let ids = placement::sequential_ids(4);
+        let start = placement::generate(&graph, PlacementKind::DispersedRandom, &ids, 13);
+        out.push(Case {
+            name: "faster_sparse10_k4",
+            algorithm: "faster_gathering",
+            graph,
+            start,
+            max_rounds: 2_000_000_000,
+        });
+    }
+    // Faster-Gathering, undispersed start (terminates after step 1).
+    {
+        let graph = generators::grid(3, 3).unwrap();
+        let ids = placement::sequential_ids(5);
+        let start = placement::generate(&graph, PlacementKind::UndispersedRandom, &ids, 4);
+        out.push(Case {
+            name: "faster_grid9_k5_undispersed",
+            algorithm: "faster_gathering",
+            graph,
+            start,
+            max_rounds: 2_000_000_000,
+        });
+    }
+    // UXS gathering on a random graph, dispersed start.
+    {
+        let graph = generators::random_connected(8, 0.3, 11).unwrap();
+        let ids = placement::sequential_ids(3);
+        let start = placement::generate(&graph, PlacementKind::DispersedRandom, &ids, 3);
+        out.push(Case {
+            name: "uxs_sparse8_k3",
+            algorithm: "uxs_gathering",
+            graph,
+            start,
+            max_rounds: 2_000_000_000,
+        });
+    }
+    // Undispersed-Gathering on a grid, two groups plus a waiter.
+    {
+        let graph = generators::grid(3, 4).unwrap();
+        let start = Placement::new(vec![(2, 0), (7, 0), (9, 5), (13, 11)]);
+        out.push(Case {
+            name: "undispersed_grid12_groups",
+            algorithm: "undispersed_gathering",
+            graph,
+            start,
+            max_rounds: 100_000_000,
+        });
+    }
+    // Expanding-radius baseline, a distance-3 pair on a cycle.
+    {
+        let graph = generators::cycle(8).unwrap();
+        let start = Placement::new(vec![(1, 0), (2, 3)]);
+        out.push(Case {
+            name: "expanding_cycle8_d3",
+            algorithm: "expanding_baseline",
+            graph,
+            start,
+            max_rounds: 100_000_000,
+        });
+    }
+    // A timed-out run: the engine's cap path must also be stable.
+    {
+        let graph = generators::cycle(12).unwrap();
+        let ids = placement::sequential_ids(6);
+        let start = placement::generate(&graph, PlacementKind::MaxSpread, &ids, 9);
+        out.push(Case {
+            name: "uxs_cycle12_k6_capped",
+            algorithm: "uxs_gathering",
+            graph,
+            start,
+            max_rounds: 500,
+        });
+    }
+    out
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/engine_equivalence.json")
+}
+
+fn run_case(case: &Case, erased: bool) -> SimOutcome {
+    let factory = registry::global()
+        .get(case.algorithm)
+        .expect("builtin registered");
+    let cfg = GatherConfig::fast();
+    let sim = SimConfig::with_max_rounds(case.max_rounds);
+    if erased {
+        Simulator::new(&case.graph, sim).run(factory.spawn(&case.graph, &case.start, &cfg))
+    } else {
+        factory.run(&case.graph, &case.start, &cfg, sim)
+    }
+}
+
+#[test]
+fn engine_outcomes_match_prerefactor_fixture_on_both_dispatch_paths() {
+    let generate = std::env::var("GATHER_GENERATE_FIXTURE").is_ok_and(|v| v == "1");
+    let cases = cases();
+
+    let mut recorded = Vec::new();
+    for case in &cases {
+        let fast = run_case(case, false);
+        let erased = run_case(case, true);
+        let fast_rec = Recorded::from_outcome(case.name, case.algorithm, &fast);
+        let erased_rec = Recorded::from_outcome(case.name, case.algorithm, &erased);
+        assert_eq!(
+            fast_rec, erased_rec,
+            "{}: monomorphized and erased dispatch disagree",
+            case.name
+        );
+        recorded.push(fast_rec);
+    }
+
+    let path = fixture_path();
+    if generate {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, serde_json::to_string_pretty(&recorded).unwrap()).unwrap();
+        eprintln!("wrote fixture {}", path.display());
+        return;
+    }
+
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); generate it with GATHER_GENERATE_FIXTURE=1",
+            path.display()
+        )
+    });
+    let expected: Vec<Recorded> = serde_json::from_str(&raw).expect("fixture parses");
+    assert_eq!(
+        recorded.len(),
+        expected.len(),
+        "case list drifted from the fixture; regenerate deliberately"
+    );
+    for (got, want) in recorded.iter().zip(&expected) {
+        assert_eq!(got, want, "{}: outcome drifted from the fixture", want.case);
+    }
+}

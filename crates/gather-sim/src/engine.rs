@@ -1,8 +1,26 @@
 //! The synchronous round loop.
+//!
+//! The loop is written to be **allocation-free in steady state**: every
+//! buffer it needs is sized once from `n` and `k` before the first round, and
+//! each round only clears and refills them.
+//!
+//! * Occupancy is built in one `O(k)` pass, independent of `n`: robot
+//!   indices are threaded onto per-bucket linked chains
+//!   (`slot_head`/`slot_tail`/`next_in_slot`) in id order, touching only the
+//!   nodes that are actually occupied.
+//! * Gathering/contact detection falls out of the same pass (distinct
+//!   occupied-node count and largest bucket size), replacing the former
+//!   `positions.clone()` + sort per round.
+//! * Announcements are written once per round into a flat message arena
+//!   grouped by node; each robot's inbox is a borrowed slice of its node's
+//!   bucket ([`crate::robot::Inbox`]), not a cloned `Vec`.
+//! * Per-robot metrics accumulate in dense index-addressed slots
+//!   ([`crate::metrics`]); the public id-keyed maps are built once at the
+//!   end.
 
 use crate::config::SimConfig;
-use crate::metrics::Metrics;
-use crate::robot::{Action, Observation, Robot, RobotId};
+use crate::metrics::{Metrics, MetricsRecorder};
+use crate::robot::{Action, Inbox, Observation, Robot, RobotId};
 use crate::trace::Trace;
 use gather_graph::{NodeId, PortGraph, PortId};
 use serde::{Deserialize, Serialize};
@@ -96,19 +114,41 @@ impl<'g> Simulator<'g> {
         let mut entry_ports: Vec<Option<PortId>> = vec![None; k];
         let mut terminated: Vec<bool> = vec![false; k];
 
-        let mut metrics = Metrics::new(&ids);
+        let mut metrics = MetricsRecorder::new(k);
         let mut trace = if self.config.record_trace {
             Some(Trace::new(ids.clone()))
         } else {
             None
         };
 
-        // Reusable per-round buffers.
-        let mut occupants: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut touched_nodes: Vec<NodeId> = Vec::with_capacity(k);
-        let mut observations: Vec<Observation> = Vec::with_capacity(k);
-        let mut announcements: Vec<Option<<R as Robot>::Msg>> = Vec::with_capacity(k);
-        let mut actions: Vec<Action> = Vec::with_capacity(k);
+        // Robot indices in ascending id order: scattering robots into node
+        // buckets in this order keeps every bucket — and therefore every
+        // inbox — sorted by robot id with no per-round sort.
+        let mut order: Vec<u32> = (0..k as u32).collect();
+        order.sort_unstable_by_key(|&i| ids[i as usize]);
+
+        // Reusable per-round buffers. Everything is pre-sized from `n`/`k`
+        // here; the round loop below performs no heap allocation (modulo
+        // optional tracing and robot-internal state).
+        let mut node_slot: Vec<u32> = vec![u32::MAX; n]; // node -> bucket slot
+        let mut touched: Vec<NodeId> = Vec::with_capacity(k); // slot -> node
+        let mut slot_count: Vec<u32> = Vec::with_capacity(k); // robots per slot
+        let mut slot_head: Vec<u32> = Vec::with_capacity(k); // first robot in slot
+        let mut slot_tail: Vec<u32> = Vec::with_capacity(k); // last robot in slot
+        let mut next_in_slot: Vec<u32> = vec![u32::MAX; k]; // intra-bucket chain
+        let mut robot_slot: Vec<u32> = vec![0; k]; // robot -> its slot
+        let mut arena: Vec<(RobotId, <R as Robot>::Msg)> = Vec::with_capacity(k);
+        let mut arena_pos: Vec<u32> = vec![u32::MAX; k]; // robot -> arena index
+        let mut slot_msgs: Vec<(u32, u32)> = Vec::with_capacity(k); // slot -> arena range
+        let dummy_obs = Observation {
+            round: 0,
+            n,
+            degree: 0,
+            entry_port: None,
+            colocated: 0,
+        };
+        let mut observations: Vec<Observation> = vec![dummy_obs; k];
+        let mut actions: Vec<Action> = vec![Action::Stay; k];
 
         let mut first_gather_round: Option<u64> = None;
         let mut first_contact_round: Option<u64> = None;
@@ -118,24 +158,57 @@ impl<'g> Simulator<'g> {
         let mut timed_out = false;
 
         loop {
+            // --- Build occupancy (one pass, O(k)) -------------------------
+            // Robots are threaded onto per-bucket chains in id order; only
+            // occupied nodes are touched, so the pass is independent of `n`.
+            for &node in &touched {
+                node_slot[node] = u32::MAX;
+            }
+            touched.clear();
+            slot_count.clear();
+            slot_head.clear();
+            slot_tail.clear();
+            slot_msgs.clear();
+            arena.clear();
+            let mut max_bucket: u32 = 0;
+            for &i in &order {
+                let node = positions[i as usize];
+                let existing = node_slot[node];
+                let slot = if existing == u32::MAX {
+                    let s = touched.len() as u32;
+                    node_slot[node] = s;
+                    touched.push(node);
+                    slot_count.push(1);
+                    slot_head.push(i);
+                    slot_tail.push(i);
+                    s
+                } else {
+                    next_in_slot[slot_tail[existing as usize] as usize] = i;
+                    slot_tail[existing as usize] = i;
+                    let c = slot_count[existing as usize] + 1;
+                    slot_count[existing as usize] = c;
+                    max_bucket = max_bucket.max(c);
+                    existing
+                };
+                next_in_slot[i as usize] = u32::MAX;
+                robot_slot[i as usize] = slot;
+            }
+
             // --- Start-of-round bookkeeping -------------------------------
-            let gathered_now = positions.iter().all(|&p| p == positions[0]);
+            // The occupancy pass already yields both detection predicates
+            // incrementally: all robots share a node iff exactly one node is
+            // occupied, and a contact exists iff some bucket holds >= 2.
+            let gathered_now = touched.len() == 1;
             if gathered_now && first_gather_round.is_none() {
                 first_gather_round = Some(round);
             }
             let contact_now = if first_contact_round.is_some() {
                 true
-            } else if k > 1 {
-                let mut sorted = positions.clone();
-                sorted.sort_unstable();
-                let contact = sorted.windows(2).any(|w| w[0] == w[1]);
-                if contact {
-                    first_contact_round = Some(round);
-                }
-                contact
-            } else {
+            } else if k == 1 || max_bucket >= 2 {
                 first_contact_round = Some(round);
                 true
+            } else {
+                false
             };
             if let Some(t) = trace.as_mut() {
                 t.push(positions.clone());
@@ -154,57 +227,50 @@ impl<'g> Simulator<'g> {
                 break;
             }
 
-            // --- Build occupancy ------------------------------------------
-            for &node in &touched_nodes {
-                occupants[node].clear();
-            }
-            touched_nodes.clear();
-            for (i, &node) in positions.iter().enumerate() {
-                if occupants[node].is_empty() {
-                    touched_nodes.push(node);
-                }
-                occupants[node].push(i);
-            }
-
             // --- Phase A: observations and announcements ------------------
-            observations.clear();
-            announcements.clear();
-            for i in 0..k {
-                let node = positions[i];
-                let obs = Observation {
-                    round,
-                    n,
-                    degree: self.graph.degree(node),
-                    entry_port: entry_ports[i],
-                    colocated: occupants[node].len() - 1,
-                };
-                observations.push(obs);
-                if terminated[i] {
-                    announcements.push(None);
-                } else {
-                    announcements.push(Some(agents[i].announce(&obs)));
+            // Announcements are written once into the arena, grouped by node
+            // bucket (and id-sorted within it); terminated robots occupy
+            // their bucket (they are still *seen*) but announce nothing.
+            for s in 0..touched.len() {
+                let colocated = slot_count[s] as usize - 1;
+                let msg_start = arena.len() as u32;
+                let mut cur = slot_head[s];
+                while cur != u32::MAX {
+                    let i = cur as usize;
+                    cur = next_in_slot[i];
+                    let node = positions[i];
+                    let obs = Observation {
+                        round,
+                        n,
+                        degree: self.graph.degree(node),
+                        entry_port: entry_ports[i],
+                        colocated,
+                    };
+                    observations[i] = obs;
+                    if terminated[i] {
+                        arena_pos[i] = u32::MAX;
+                    } else {
+                        arena_pos[i] = arena.len() as u32;
+                        arena.push((ids[i], agents[i].announce(&obs)));
+                    }
                 }
+                slot_msgs.push((msg_start, arena.len() as u32));
             }
 
             // --- Phase B: decisions ---------------------------------------
-            actions.clear();
             for i in 0..k {
                 if terminated[i] {
-                    actions.push(Action::Stay);
+                    actions[i] = Action::Stay;
                     continue;
                 }
-                let node = positions[i];
-                // Inbox: announcements of co-located, non-terminated peers,
-                // sorted by robot id for determinism.
-                let mut inbox: Vec<(RobotId, <R as Robot>::Msg)> = occupants[node]
-                    .iter()
-                    .filter(|&&j| j != i && !terminated[j])
-                    .filter_map(|&j| announcements[j].clone().map(|m| (ids[j], m)))
-                    .collect();
-                inbox.sort_by_key(|&(id, _)| id);
-                metrics.messages_delivered += inbox.len() as u64;
-                let action = agents[i].decide(&observations[i], &inbox);
-                actions.push(action);
+                // Inbox: this node's arena bucket (announcements of
+                // co-located, non-terminated robots, sorted by id), minus
+                // the robot's own entry.
+                let (ms, me) = slot_msgs[robot_slot[i] as usize];
+                let entries = &arena[ms as usize..me as usize];
+                let skip = (arena_pos[i] - ms) as usize;
+                metrics.messages_delivered += entries.len() as u64 - 1;
+                actions[i] = agents[i].decide(&observations[i], Inbox::typed(entries, skip));
             }
 
             // --- Apply actions simultaneously -----------------------------
@@ -225,10 +291,13 @@ impl<'g> Simulator<'g> {
                         let (next, entry) = self.graph.neighbor_via(node, p);
                         positions[i] = next;
                         entry_ports[i] = Some(entry);
-                        metrics.record_move(ids[i]);
+                        metrics.record_move(i);
                     }
                     Action::Terminate => {
                         terminated[i] = true;
+                        // Longstanding quirk, preserved for fixture parity:
+                        // this reads `positions` mid-application, so moves of
+                        // lower-index robots this round are already visible.
                         if !positions.iter().all(|&p| p == positions[0]) {
                             false_detection = true;
                         }
@@ -241,8 +310,8 @@ impl<'g> Simulator<'g> {
 
             // --- Periodic memory sampling ---------------------------------
             if round.is_multiple_of(MEMORY_SAMPLE_INTERVAL) {
-                for i in 0..k {
-                    metrics.record_memory(ids[i], agents[i].memory_estimate_bits());
+                for (i, agent) in agents.iter().enumerate() {
+                    metrics.record_memory(i, agent.memory_estimate_bits());
                 }
             }
 
@@ -250,8 +319,8 @@ impl<'g> Simulator<'g> {
         }
 
         // Final memory sample.
-        for i in 0..k {
-            metrics.record_memory(ids[i], agents[i].memory_estimate_bits());
+        for (i, agent) in agents.iter().enumerate() {
+            metrics.record_memory(i, agent.memory_estimate_bits());
         }
         metrics.rounds = round;
 
@@ -269,7 +338,7 @@ impl<'g> Simulator<'g> {
             termination_round,
             false_detection,
             timed_out,
-            metrics,
+            metrics: metrics.finish(&ids),
             final_positions,
             trace,
         }
@@ -292,7 +361,7 @@ mod tests {
             self.id
         }
         fn announce(&mut self, _obs: &Observation) -> Self::Msg {}
-        fn decide(&mut self, _obs: &Observation, _inbox: &[(RobotId, ())]) -> Action {
+        fn decide(&mut self, _obs: &Observation, _inbox: Inbox<'_, ()>) -> Action {
             Action::Move(0)
         }
     }
@@ -310,7 +379,7 @@ mod tests {
             self.id
         }
         fn announce(&mut self, _obs: &Observation) -> Self::Msg {}
-        fn decide(&mut self, obs: &Observation, _inbox: &[(RobotId, ())]) -> Action {
+        fn decide(&mut self, obs: &Observation, _inbox: Inbox<'_, ()>) -> Action {
             if obs.round >= self.terminate_at {
                 self.done = true;
                 Action::Terminate
@@ -323,7 +392,7 @@ mod tests {
         }
     }
 
-    /// Announces its id; moves toward port 0 only if it has heard a larger id.
+    /// Announces its id; remembers whether it has heard a larger id.
     struct Chatter {
         id: RobotId,
         heard_larger: bool,
@@ -337,8 +406,8 @@ mod tests {
         fn announce(&mut self, _obs: &Observation) -> Self::Msg {
             self.id
         }
-        fn decide(&mut self, _obs: &Observation, inbox: &[(RobotId, RobotId)]) -> Action {
-            if inbox.iter().any(|&(_, other)| other > self.id) {
+        fn decide(&mut self, _obs: &Observation, inbox: Inbox<'_, RobotId>) -> Action {
+            if inbox.iter().any(|(_, &other)| other > self.id) {
                 self.heard_larger = true;
             }
             Action::Stay
@@ -479,6 +548,59 @@ mod tests {
     }
 
     #[test]
+    fn inboxes_arrive_sorted_by_id_even_for_unsorted_robot_vectors() {
+        /// Records the id sequence of every inbox it sees.
+        struct Recorder {
+            id: RobotId,
+            seen: Vec<RobotId>,
+        }
+        impl Robot for Recorder {
+            type Msg = RobotId;
+            fn id(&self) -> RobotId {
+                self.id
+            }
+            fn announce(&mut self, _obs: &Observation) -> RobotId {
+                self.id
+            }
+            fn decide(&mut self, _obs: &Observation, inbox: Inbox<'_, RobotId>) -> Action {
+                let ids: Vec<RobotId> = inbox.iter().map(|(id, _)| id).collect();
+                assert!(ids.windows(2).all(|w| w[0] < w[1]), "unsorted: {ids:?}");
+                assert!(!ids.contains(&self.id), "own announcement delivered");
+                self.seen.extend(ids);
+                Action::Stay
+            }
+        }
+        let g = generators::path(3).unwrap();
+        let sim = Simulator::new(&g, SimConfig::with_max_rounds(2));
+        // Deliberately passed in descending id order.
+        let out = sim.run(vec![
+            (
+                Recorder {
+                    id: 9,
+                    seen: vec![],
+                },
+                1,
+            ),
+            (
+                Recorder {
+                    id: 4,
+                    seen: vec![],
+                },
+                1,
+            ),
+            (
+                Recorder {
+                    id: 2,
+                    seen: vec![],
+                },
+                1,
+            ),
+        ]);
+        // 3 co-located robots, 2 messages each, 2 rounds.
+        assert_eq!(out.metrics.messages_delivered, 3 * 2 * 2);
+    }
+
+    #[test]
     #[should_panic(expected = "robot ids must be unique")]
     fn duplicate_ids_panic() {
         let g = generators::path(3).unwrap();
@@ -519,7 +641,7 @@ mod tests {
             self.id
         }
         fn announce(&mut self, _obs: &Observation) -> Self::Msg {}
-        fn decide(&mut self, _obs: &Observation, _inbox: &[(RobotId, ())]) -> Action {
+        fn decide(&mut self, _obs: &Observation, _inbox: Inbox<'_, ()>) -> Action {
             Action::Terminate
         }
         fn has_terminated(&self) -> bool {

@@ -40,5 +40,5 @@ pub use config::SimConfig;
 pub use engine::{SimOutcome, Simulator};
 pub use metrics::Metrics;
 pub use placement::{Placement, PlacementKind};
-pub use robot::{Action, DynMsg, DynRobot, Observation, Robot, RobotId};
+pub use robot::{Action, DynMsg, DynRobot, Inbox, InboxIter, Observation, Robot, RobotId};
 pub use trace::Trace;

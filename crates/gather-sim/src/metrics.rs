@@ -26,27 +26,17 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Creates empty metrics for the given robot ids.
-    pub fn new(robots: &[RobotId]) -> Self {
-        let mut m = Metrics::default();
-        for &r in robots {
-            m.moves_per_robot.insert(r, 0);
-            m.peak_memory_bits.insert(r, 0);
-        }
-        m
-    }
-
-    /// Records one move by robot `r`.
-    pub fn record_move(&mut self, r: RobotId) {
-        self.total_moves += 1;
-        *self.moves_per_robot.entry(r).or_insert(0) += 1;
-    }
-
-    /// Records the current memory estimate for robot `r`, keeping the peak.
-    pub fn record_memory(&mut self, r: RobotId, bits: usize) {
-        let e = self.peak_memory_bits.entry(r).or_insert(0);
-        if bits > *e {
-            *e = bits;
+    /// Materializes public metrics from the engine's dense recorder. This is
+    /// the only way metrics are accumulated: the engine records into
+    /// [`MetricsRecorder`]'s index-addressed slots and pairs them with robot
+    /// ids exactly once, at the end of a run.
+    fn from_recorder(rec: MetricsRecorder, ids: &[RobotId]) -> Self {
+        Metrics {
+            rounds: rec.rounds,
+            total_moves: rec.total_moves,
+            messages_delivered: rec.messages_delivered,
+            moves_per_robot: ids.iter().copied().zip(rec.moves).collect(),
+            peak_memory_bits: ids.iter().copied().zip(rec.peak_memory).collect(),
         }
     }
 
@@ -61,43 +51,103 @@ impl Metrics {
     }
 }
 
+/// Hot-loop metrics accumulator used by the engine: per-robot counters live
+/// in dense `Vec` slots indexed by robot *index* (not id), so recording a
+/// move or a memory sample is an array write instead of a `BTreeMap` lookup.
+/// The public id-keyed [`Metrics`] maps are materialized once, at the end of
+/// the run, via [`MetricsRecorder::finish`].
+#[derive(Debug)]
+pub(crate) struct MetricsRecorder {
+    pub(crate) rounds: u64,
+    pub(crate) total_moves: u64,
+    pub(crate) messages_delivered: u64,
+    moves: Vec<u64>,
+    peak_memory: Vec<usize>,
+}
+
+impl MetricsRecorder {
+    /// Creates a recorder for `k` robots (all counters zero).
+    pub(crate) fn new(k: usize) -> Self {
+        MetricsRecorder {
+            rounds: 0,
+            total_moves: 0,
+            messages_delivered: 0,
+            moves: vec![0; k],
+            peak_memory: vec![0; k],
+        }
+    }
+
+    /// Records one move by the robot at index `idx`.
+    #[inline]
+    pub(crate) fn record_move(&mut self, idx: usize) {
+        self.total_moves += 1;
+        self.moves[idx] += 1;
+    }
+
+    /// Records a memory estimate for the robot at index `idx`, keeping the
+    /// peak.
+    #[inline]
+    pub(crate) fn record_memory(&mut self, idx: usize, bits: usize) {
+        if bits > self.peak_memory[idx] {
+            self.peak_memory[idx] = bits;
+        }
+    }
+
+    /// Materializes the public [`Metrics`], pairing slot `i` with `ids[i]`.
+    pub(crate) fn finish(self, ids: &[RobotId]) -> Metrics {
+        Metrics::from_recorder(self, ids)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn new_initialises_all_robots() {
-        let m = Metrics::new(&[3, 1, 2]);
+    fn recorder_materializes_id_keyed_metrics() {
+        let mut rec = MetricsRecorder::new(3);
+        rec.record_move(0);
+        rec.record_move(0);
+        rec.record_move(2);
+        rec.record_memory(1, 100);
+        rec.record_memory(1, 40);
+        rec.messages_delivered = 7;
+        rec.rounds = 9;
+        let m = rec.finish(&[10, 20, 30]);
+        assert_eq!(m.total_moves, 3);
+        assert_eq!(m.moves_per_robot[&10], 2);
+        assert_eq!(m.moves_per_robot[&20], 0);
+        assert_eq!(m.moves_per_robot[&30], 1);
+        assert_eq!(m.peak_memory_bits[&20], 100);
+        assert_eq!(m.messages_delivered, 7);
+        assert_eq!(m.rounds, 9);
+    }
+
+    #[test]
+    fn fresh_recorder_materializes_zeroed_metrics() {
+        let m = MetricsRecorder::new(3).finish(&[3, 1, 2]);
         assert_eq!(m.moves_per_robot.len(), 3);
         assert_eq!(m.total_moves, 0);
         assert_eq!(m.max_moves_by_any_robot(), 0);
+        assert_eq!(m.max_memory_bits(), 0);
     }
 
     #[test]
-    fn record_move_accumulates() {
-        let mut m = Metrics::new(&[1, 2]);
-        m.record_move(1);
-        m.record_move(1);
-        m.record_move(2);
-        assert_eq!(m.total_moves, 3);
-        assert_eq!(m.moves_per_robot[&1], 2);
-        assert_eq!(m.max_moves_by_any_robot(), 2);
-    }
-
-    #[test]
-    fn record_memory_keeps_peak() {
-        let mut m = Metrics::new(&[1]);
-        m.record_memory(1, 100);
-        m.record_memory(1, 50);
-        m.record_memory(1, 120);
+    fn recorder_keeps_memory_peak() {
+        let mut rec = MetricsRecorder::new(1);
+        rec.record_memory(0, 100);
+        rec.record_memory(0, 50);
+        rec.record_memory(0, 120);
+        let m = rec.finish(&[1]);
         assert_eq!(m.peak_memory_bits[&1], 120);
         assert_eq!(m.max_memory_bits(), 120);
     }
 
     #[test]
     fn serde_roundtrip() {
-        let mut m = Metrics::new(&[1]);
-        m.record_move(1);
+        let mut rec = MetricsRecorder::new(1);
+        rec.record_move(0);
+        let m = rec.finish(&[1]);
         let s = serde_json::to_string(&m).unwrap();
         let back: Metrics = serde_json::from_str(&s).unwrap();
         assert_eq!(m, back);

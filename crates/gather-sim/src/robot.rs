@@ -49,6 +49,179 @@ pub enum Action {
     Terminate,
 }
 
+// ---------------------------------------------------------------------------
+// Inboxes: borrowed views over the engine's per-round message arena.
+// ---------------------------------------------------------------------------
+
+/// The announcements delivered to one robot in one round, as a borrowed view.
+///
+/// The engine writes every announcement exactly once per round into a flat
+/// arena grouped by node; an `Inbox` is a slice of that arena (the receiver's
+/// node bucket) plus the index of the receiver's own entry, which iteration
+/// skips. Nothing is cloned or collected to deliver messages, which is what
+/// keeps the round loop allocation-free in steady state.
+///
+/// Entries are sorted by robot id (ascending) and contain only co-located,
+/// non-terminated robots — the same contract the old `&[(RobotId, Msg)]`
+/// slices carried. Use [`Inbox::iter`] for the peers' `(id, &msg)` pairs, or
+/// [`Inbox::get`] to look up one sender.
+///
+/// An inbox delivered through the type-erased [`DynRobot`] layer keeps its
+/// entries erased; iteration downcasts each message on the fly and silently
+/// drops announcements of foreign types (robots of different algorithms never
+/// normally share a node within one run, so nothing is lost).
+pub struct Inbox<'a, M> {
+    entries: InboxEntries<'a, M>,
+    /// Index of the receiver's own entry within `entries` (skipped by
+    /// iteration), or `usize::MAX` when the receiver has no entry.
+    skip: usize,
+}
+
+enum InboxEntries<'a, M> {
+    /// Concrete messages, delivered by the monomorphized engine loop.
+    Typed(&'a [(RobotId, M)]),
+    /// Erased messages, delivered through the [`DynRobot`] layer.
+    Erased(&'a [(RobotId, DynMsg)]),
+}
+
+impl<'a, M> Clone for InboxEntries<'a, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'a, M> Copy for InboxEntries<'a, M> {}
+
+impl<'a, M> Clone for Inbox<'a, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'a, M> Copy for Inbox<'a, M> {}
+
+impl<M> Default for Inbox<'_, M> {
+    fn default() -> Self {
+        Inbox::empty()
+    }
+}
+
+impl<'a, M> Inbox<'a, M> {
+    /// An inbox with no messages (a robot alone on its node).
+    pub fn empty() -> Self {
+        Inbox {
+            entries: InboxEntries::Typed(&[]),
+            skip: usize::MAX,
+        }
+    }
+
+    /// Wraps a plain id-sorted slice of messages, none of which belong to the
+    /// receiver. This is how tests and manual drivers build inboxes.
+    pub fn from_slice(entries: &'a [(RobotId, M)]) -> Self {
+        Inbox {
+            entries: InboxEntries::Typed(entries),
+            skip: usize::MAX,
+        }
+    }
+
+    /// Engine-internal constructor: a node bucket of the message arena plus
+    /// the receiver's own position within it.
+    pub(crate) fn typed(entries: &'a [(RobotId, M)], skip: usize) -> Self {
+        Inbox {
+            entries: InboxEntries::Typed(entries),
+            skip,
+        }
+    }
+}
+
+impl<'a, M: Any> Inbox<'a, M> {
+    /// Iterates over `(sender id, message)` pairs, sorted by sender id.
+    pub fn iter(&self) -> InboxIter<'a, M> {
+        InboxIter {
+            entries: self.entries,
+            idx: 0,
+            skip: self.skip,
+        }
+    }
+
+    /// Number of messages delivered (excluding the receiver's own entry; in
+    /// an erased inbox, counting only messages of type `M`).
+    pub fn len(&self) -> usize {
+        match self.entries {
+            InboxEntries::Typed(e) => e.len() - usize::from(self.skip < e.len()),
+            InboxEntries::Erased(_) => self.iter().count(),
+        }
+    }
+
+    /// True when no messages were delivered.
+    pub fn is_empty(&self) -> bool {
+        match self.entries {
+            InboxEntries::Typed(_) => self.len() == 0,
+            InboxEntries::Erased(_) => self.iter().next().is_none(),
+        }
+    }
+
+    /// The message announced by robot `id`, if it is present in this inbox.
+    pub fn get(&self, id: RobotId) -> Option<&'a M> {
+        self.iter().find(|&(i, _)| i == id).map(|(_, m)| m)
+    }
+}
+
+impl<'a> Inbox<'a, DynMsg> {
+    /// Re-views an erased inbox at a concrete message type. Iteration will
+    /// downcast entries on the fly; foreign messages are dropped and order is
+    /// preserved. This is free — no messages are cloned or collected.
+    pub fn downcast<M: Any>(&self) -> Inbox<'a, M> {
+        let entries = match self.entries {
+            InboxEntries::Typed(e) => e,
+            InboxEntries::Erased(e) => e,
+        };
+        Inbox {
+            entries: InboxEntries::Erased(entries),
+            skip: self.skip,
+        }
+    }
+}
+
+impl<'a, M: Any + fmt::Debug> fmt::Debug for Inbox<'a, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over the `(sender id, message)` pairs of an [`Inbox`].
+pub struct InboxIter<'a, M> {
+    entries: InboxEntries<'a, M>,
+    idx: usize,
+    skip: usize,
+}
+
+impl<'a, M: Any> Iterator for InboxIter<'a, M> {
+    type Item = (RobotId, &'a M);
+
+    fn next(&mut self) -> Option<(RobotId, &'a M)> {
+        loop {
+            if self.idx == self.skip {
+                self.idx += 1;
+                continue;
+            }
+            match self.entries {
+                InboxEntries::Typed(e) => {
+                    let (id, m) = e.get(self.idx)?;
+                    self.idx += 1;
+                    return Some((*id, m));
+                }
+                InboxEntries::Erased(e) => {
+                    let (id, m) = e.get(self.idx)?;
+                    self.idx += 1;
+                    if let Some(m) = m.downcast_ref::<M>() {
+                        return Some((*id, m));
+                    }
+                    // Foreign message type: drop and keep scanning.
+                }
+            }
+        }
+    }
+}
+
 /// A deterministic robot algorithm, executed independently by every robot.
 ///
 /// One round proceeds in two sub-steps, matching the paper's model
@@ -68,8 +241,10 @@ pub enum Action {
 /// peer from that peer's announcement (the gathering algorithms use this to
 /// follow the *actual* move of a leader rather than its announced intention).
 pub trait Robot {
-    /// The message type exchanged between co-located robots.
-    type Msg: Clone + std::fmt::Debug;
+    /// The message type exchanged between co-located robots. (`Any` — i.e.
+    /// `'static` — so that the same message can be delivered through the
+    /// type-erased [`DynRobot`] layer without copying.)
+    type Msg: Clone + std::fmt::Debug + Any;
 
     /// This robot's label.
     fn id(&self) -> RobotId;
@@ -78,8 +253,10 @@ pub trait Robot {
     fn announce(&mut self, obs: &Observation) -> Self::Msg;
 
     /// Read co-located announcements (own announcement excluded) and decide
-    /// this round's action. `inbox` is sorted by robot id for determinism.
-    fn decide(&mut self, obs: &Observation, inbox: &[(RobotId, Self::Msg)]) -> Action;
+    /// this round's action. The inbox is sorted by robot id for determinism
+    /// and borrows the engine's message arena — copy out anything that must
+    /// outlive the round.
+    fn decide(&mut self, obs: &Observation, inbox: Inbox<'_, Self::Msg>) -> Action;
 
     /// True once the robot has decided gathering is complete (it returned
     /// [`Action::Terminate`], or will never act again). The engine uses this
@@ -137,13 +314,17 @@ impl fmt::Debug for DynMsg {
 /// hand back `Box<dyn DynRobot>` values for any robot implementation — in
 /// this workspace or downstream — and the simulator runs them through the
 /// [`Robot`] impl on the boxed trait object.
+///
+/// The erased hot path stays allocation-light: inboxes are re-viewed (not
+/// re-collected) at the concrete message type via [`Inbox::downcast`], so the
+/// only per-round cost erasure adds is one `Arc` allocation per announcement.
 pub trait DynRobot: Send {
     /// This robot's label.
     fn id_dyn(&self) -> RobotId;
     /// Publish this round's announcement (erased).
     fn announce_dyn(&mut self, obs: &Observation) -> DynMsg;
     /// Read co-located announcements and decide this round's action.
-    fn decide_dyn(&mut self, obs: &Observation, inbox: &[(RobotId, DynMsg)]) -> Action;
+    fn decide_dyn(&mut self, obs: &Observation, inbox: Inbox<'_, DynMsg>) -> Action;
     /// See [`Robot::has_terminated`].
     fn has_terminated_dyn(&self) -> bool;
     /// See [`Robot::memory_estimate_bits`].
@@ -163,15 +344,10 @@ where
         DynMsg::new(self.announce(obs))
     }
 
-    fn decide_dyn(&mut self, obs: &Observation, inbox: &[(RobotId, DynMsg)]) -> Action {
-        // Messages of foreign types are dropped: a robot can only make sense
-        // of announcements in its own vocabulary. The inbox stays sorted by
-        // robot id because filtering preserves order.
-        let typed: Vec<(RobotId, R::Msg)> = inbox
-            .iter()
-            .filter_map(|(id, m)| m.downcast_ref::<R::Msg>().map(|m| (*id, m.clone())))
-            .collect();
-        self.decide(obs, &typed)
+    fn decide_dyn(&mut self, obs: &Observation, inbox: Inbox<'_, DynMsg>) -> Action {
+        // Messages of foreign types are dropped lazily during iteration; the
+        // inbox stays sorted by robot id because downcasting preserves order.
+        self.decide(obs, inbox.downcast::<R::Msg>())
     }
 
     fn has_terminated_dyn(&self) -> bool {
@@ -194,7 +370,7 @@ impl Robot for Box<dyn DynRobot> {
         self.as_mut().announce_dyn(obs)
     }
 
-    fn decide(&mut self, obs: &Observation, inbox: &[(RobotId, DynMsg)]) -> Action {
+    fn decide(&mut self, obs: &Observation, inbox: Inbox<'_, DynMsg>) -> Action {
         self.as_mut().decide_dyn(obs, inbox)
     }
 
@@ -225,7 +401,7 @@ mod tests {
 
         fn announce(&mut self, _obs: &Observation) -> Self::Msg {}
 
-        fn decide(&mut self, obs: &Observation, _inbox: &[(RobotId, ())]) -> Action {
+        fn decide(&mut self, obs: &Observation, _inbox: Inbox<'_, ()>) -> Action {
             if obs.degree > 0 {
                 Action::Move(0)
             } else {
@@ -264,6 +440,27 @@ mod tests {
         assert_ne!(Action::Stay, Action::Terminate);
     }
 
+    #[test]
+    fn inbox_views_skip_the_receivers_own_entry() {
+        let entries: Vec<(RobotId, u64)> = vec![(2, 20), (5, 50), (9, 90)];
+        let inbox = Inbox::typed(&entries, 1); // receiver is robot 5
+        assert_eq!(inbox.len(), 2);
+        assert!(!inbox.is_empty());
+        let seen: Vec<(RobotId, u64)> = inbox.iter().map(|(id, &m)| (id, m)).collect();
+        assert_eq!(seen, vec![(2, 20), (9, 90)]);
+        assert_eq!(inbox.get(9), Some(&90));
+        assert_eq!(inbox.get(5), None, "own entry is invisible");
+
+        let all = Inbox::from_slice(&entries);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all.get(5), Some(&50));
+
+        let empty: Inbox<'_, u64> = Inbox::empty();
+        assert_eq!(empty.len(), 0);
+        assert!(empty.is_empty());
+        assert!(empty.get(1).is_none());
+    }
+
     /// Echoes the largest id it has heard (exercising typed inboxes through
     /// the erased layer).
     struct Echo {
@@ -282,8 +479,8 @@ mod tests {
             self.id
         }
 
-        fn decide(&mut self, _obs: &Observation, inbox: &[(RobotId, RobotId)]) -> Action {
-            for &(_, m) in inbox {
+        fn decide(&mut self, _obs: &Observation, inbox: Inbox<'_, RobotId>) -> Action {
+            for (_, &m) in inbox.iter() {
                 self.heard_max = self.heard_max.max(m);
             }
             Action::Stay
@@ -310,7 +507,7 @@ mod tests {
         assert_eq!(Robot::id(&a), 3);
         let msg_b = b.announce(&obs);
         let inbox = vec![(9u64, msg_b)];
-        let action = a.decide(&obs, &inbox);
+        let action = a.decide(&obs, Inbox::from_slice(&inbox));
         assert_eq!(action, Action::Stay);
         assert!(!a.has_terminated());
         assert_eq!(a.memory_estimate_bits(), 0);
@@ -330,8 +527,12 @@ mod tests {
             heard_max: 0,
         });
         // A unit-message announcement from a different robot type.
-        let foreign = DynMsg::new(());
-        let action = echo.decide(&obs, &[(2u64, foreign)]);
+        let entries = [(2u64, DynMsg::new(())), (4u64, DynMsg::new(7u64))];
+        let erased = Inbox::from_slice(&entries);
+        assert_eq!(erased.downcast::<RobotId>().len(), 1, "only the RobotId");
+        assert!(erased.downcast::<RobotId>().get(2).is_none());
+        assert_eq!(erased.downcast::<RobotId>().get(4), Some(&7u64));
+        let action = echo.decide(&obs, erased);
         assert_eq!(action, Action::Stay);
     }
 }

@@ -1,7 +1,7 @@
 //! The deterministic exploration sequence itself.
 
 use crate::policy::LengthPolicy;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A deterministic exploration sequence for `n`-node graphs.
 ///
@@ -49,6 +49,53 @@ impl Uxs {
             policy,
             offsets: Arc::new(offsets),
         }
+    }
+
+    /// The memoized shared sequence for `(n, policy)`.
+    ///
+    /// [`Uxs::for_n`] is a pure function, but its result can be megabytes
+    /// long (`Polynomial(3)` is `n³` offsets), and every robot of a run —
+    /// and every sweep cell at the same `n` — needs the *same* sequence.
+    /// This constructor computes it once per `(n, policy)` and hands out
+    /// clones that share the underlying storage behind the internal [`Arc`],
+    /// so spawning `k` robots costs `k` reference-count bumps instead of `k`
+    /// sequence constructions.
+    ///
+    /// The cache is process-wide, thread-safe, and bounded (least recently
+    /// inserted entries are evicted), matching the knowledge model: the
+    /// sequence is common knowledge derived from `n`, not per-robot state.
+    pub fn shared_for_n(n: usize, policy: LengthPolicy) -> Self {
+        const CACHE_CAP: usize = 16;
+        static CACHE: OnceLock<Mutex<Vec<Uxs>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(Vec::with_capacity(CACHE_CAP)));
+        let lookup = |guard: &mut Vec<Uxs>| {
+            guard
+                .iter()
+                .position(|u| u.n == n && u.policy == policy)
+                .map(|i| {
+                    // Touch-refresh so repeated keys are not FIFO-evicted.
+                    let u = guard.remove(i);
+                    guard.push(u.clone());
+                    u
+                })
+        };
+        if let Some(u) = lookup(&mut cache.lock().unwrap_or_else(|e| e.into_inner())) {
+            return u;
+        }
+        // Construct *outside* the lock: the sequence can be O(n³) long and
+        // sweep worker threads must not serialize behind one construction.
+        // Losing the race just means one redundant construction; the winner's
+        // entry is reused (double-checked below).
+        let u = Uxs::for_n(n, policy);
+        let mut guard = cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = lookup(&mut guard) {
+            return existing;
+        }
+        if guard.len() >= CACHE_CAP {
+            guard.remove(0);
+        }
+        guard.push(u.clone());
+        u
     }
 
     /// The number of nodes this sequence was generated for.
@@ -142,6 +189,20 @@ mod tests {
         let u = Uxs::for_n(8, LengthPolicy::Fixed(100));
         let v = u.clone();
         assert!(Arc::ptr_eq(&u.offsets, &v.offsets));
+    }
+
+    #[test]
+    fn shared_for_n_memoizes_and_matches_for_n() {
+        let a = Uxs::shared_for_n(123, LengthPolicy::Fixed(64));
+        let b = Uxs::shared_for_n(123, LengthPolicy::Fixed(64));
+        assert!(
+            Arc::ptr_eq(&a.offsets, &b.offsets),
+            "repeated lookups must share storage"
+        );
+        assert_eq!(a, Uxs::for_n(123, LengthPolicy::Fixed(64)));
+        // A different policy at the same n is a different cache entry.
+        let c = Uxs::shared_for_n(123, LengthPolicy::Fixed(65));
+        assert_eq!(c.len(), 65);
     }
 
     #[test]

@@ -82,7 +82,8 @@ pub mod prelude {
     pub use gather_graph::generators::Family;
     pub use gather_graph::{algo, dot, generators, GraphBuilder, PortGraph};
     pub use gather_sim::{
-        placement, DynRobot, Placement, PlacementKind, Robot, SimConfig, SimOutcome, Simulator,
+        placement, Action, DynMsg, DynRobot, Inbox, Observation, Placement, PlacementKind, Robot,
+        RobotId, SimConfig, SimOutcome, Simulator,
     };
     pub use gather_uxs::{LengthPolicy, Uxs};
 }

@@ -1,12 +1,15 @@
 //! Wall-clock companion of experiment T1: Faster-Gathering vs the UXS
 //! baseline across Theorem 16's robot-count regimes on a fixed graph.
+//!
+//! Benches time the engine itself, so they call the registry factory
+//! directly (no scenario materialisation, no cache) on pre-built instances.
 
-// TODO(api): port to the scenario/sweep API; uses the deprecated run_algorithm shim.
-#![allow(deprecated)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gather_core::{run_algorithm, Algorithm, GatherConfig, RunSpec};
+use gather_core::scenario::DEFAULT_MAX_ROUNDS;
+use gather_core::{registry, Algorithm, GatherConfig};
 use gather_graph::generators;
 use gather_sim::placement::{self, PlacementKind};
+use gather_sim::SimConfig;
 
 fn bench_regimes(c: &mut Criterion) {
     let mut group = c.benchmark_group("t1_regimes");
@@ -22,12 +25,18 @@ fn bench_regimes(c: &mut Criterion) {
         let ids = placement::sequential_ids(k);
         let start = placement::generate(&graph, PlacementKind::MaxSpread, &ids, 11);
         for algorithm in [Algorithm::Faster, Algorithm::UxsOnly] {
+            let factory = registry::global().get(algorithm.name()).unwrap();
             group.bench_with_input(
                 BenchmarkId::new(algorithm.name(), label),
                 &start,
                 |b, start| {
                     b.iter(|| {
-                        run_algorithm(&graph, start, &RunSpec::new(algorithm).with_config(config))
+                        factory.run(
+                            &graph,
+                            start,
+                            &config,
+                            SimConfig::with_max_rounds(DEFAULT_MAX_ROUNDS),
+                        )
                     })
                 },
             );

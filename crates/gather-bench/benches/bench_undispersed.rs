@@ -1,16 +1,22 @@
 //! Wall-clock companion of experiment T2: Undispersed-Gathering as `n` grows.
+//!
+//! Benches time the engine itself, so they call the registry factory
+//! directly (no scenario materialisation, no cache) on pre-built instances.
 
-// TODO(api): port to the scenario/sweep API; uses the deprecated run_algorithm shim.
-#![allow(deprecated)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gather_core::{run_algorithm, Algorithm, GatherConfig, RunSpec};
+use gather_core::scenario::DEFAULT_MAX_ROUNDS;
+use gather_core::{registry, Algorithm, GatherConfig};
 use gather_graph::generators;
 use gather_sim::placement::{self, PlacementKind};
+use gather_sim::SimConfig;
 
 fn bench_undispersed(c: &mut Criterion) {
     let mut group = c.benchmark_group("t2_undispersed");
     group.sample_size(10);
     let config = GatherConfig::fast();
+    let factory = registry::global()
+        .get(Algorithm::Undispersed.name())
+        .unwrap();
     for n in [6usize, 10, 14] {
         let graph = generators::random_connected(n, 0.3, 5).unwrap();
         let ids = placement::sequential_ids(4.min(n));
@@ -20,10 +26,11 @@ fn bench_undispersed(c: &mut Criterion) {
             &start,
             |b, s| {
                 b.iter(|| {
-                    run_algorithm(
+                    factory.run(
                         &graph,
                         s,
-                        &RunSpec::new(Algorithm::Undispersed).with_config(config),
+                        &config,
+                        SimConfig::with_max_rounds(DEFAULT_MAX_ROUNDS),
                     )
                 })
             },

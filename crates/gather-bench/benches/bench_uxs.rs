@@ -1,27 +1,31 @@
 //! Wall-clock companion of experiment F4: the UXS-based gathering algorithm
 //! as `n` and the label magnitude grow.
+//!
+//! Benches time the engine itself, so they call the registry factory
+//! directly (no scenario materialisation, no cache) on pre-built instances.
 
-// TODO(api): port to the scenario/sweep API; uses the deprecated run_algorithm shim.
-#![allow(deprecated)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gather_core::{run_algorithm, Algorithm, GatherConfig, RunSpec};
+use gather_core::scenario::DEFAULT_MAX_ROUNDS;
+use gather_core::{registry, Algorithm, GatherConfig};
 use gather_graph::generators;
-use gather_sim::{placement, Placement, PlacementKind};
+use gather_sim::{placement, Placement, PlacementKind, SimConfig};
 
 fn bench_uxs_by_n(c: &mut Criterion) {
     let mut group = c.benchmark_group("f4_uxs_by_n");
     group.sample_size(10);
     let config = GatherConfig::fast();
+    let factory = registry::global().get(Algorithm::UxsOnly.name()).unwrap();
     for n in [6usize, 8, 10] {
         let graph = generators::cycle(n).unwrap();
         let ids = placement::sequential_ids(2);
         let start = placement::generate(&graph, PlacementKind::MaxSpread, &ids, 3);
         group.bench_with_input(BenchmarkId::new("uxs_gathering", n), &start, |b, s| {
             b.iter(|| {
-                run_algorithm(
+                factory.run(
                     &graph,
                     s,
-                    &RunSpec::new(Algorithm::UxsOnly).with_config(config),
+                    &config,
+                    SimConfig::with_max_rounds(DEFAULT_MAX_ROUNDS),
                 )
             })
         });
@@ -33,6 +37,7 @@ fn bench_uxs_by_label(c: &mut Criterion) {
     let mut group = c.benchmark_group("f4_uxs_by_label");
     group.sample_size(10);
     let config = GatherConfig::fast();
+    let factory = registry::global().get(Algorithm::UxsOnly.name()).unwrap();
     let graph = generators::cycle(8).unwrap();
     for largest in [3u64, 15, 63] {
         let start = Placement::new(vec![(1, 0), (largest, 4)]);
@@ -41,10 +46,11 @@ fn bench_uxs_by_label(c: &mut Criterion) {
             &start,
             |b, s| {
                 b.iter(|| {
-                    run_algorithm(
+                    factory.run(
                         &graph,
                         s,
-                        &RunSpec::new(Algorithm::UxsOnly).with_config(config),
+                        &config,
+                        SimConfig::with_max_rounds(DEFAULT_MAX_ROUNDS),
                     )
                 })
             },

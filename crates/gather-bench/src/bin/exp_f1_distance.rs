@@ -1,13 +1,20 @@
 //! Experiment F1 (Theorem 12): Faster-Gathering rounds as a function of the
 //! initial closest-pair distance `i`, showing the per-step regime structure
 //! and the crossover towards the UXS fallback.
+//!
+//! Runs as one declarative sweep through the shared `results/cache/` result
+//! store: re-running the experiment on unchanged cells skips the
+//! simulations entirely. Distances beyond a graph's diameter become
+//! infeasible error cells and are simply not tabulated.
 
-// TODO(api): port to the scenario/sweep API; uses the deprecated run_algorithm shim.
-#![allow(deprecated)]
-use gather_bench::{quick_mode, Table};
-use gather_core::{run_algorithm, schedule, Algorithm, GatherConfig, RunSpec};
-use gather_graph::generators;
-use gather_sim::placement::{self, PlacementKind};
+use gather_bench::{cache_store, quick_mode, sweep_stats_line, Table};
+use gather_core::cache::CachePolicy;
+use gather_core::scenario::{AlgorithmSpec, GraphSpec, PlacementSpec};
+use gather_core::sweep::Sweep;
+use gather_core::{schedule, Algorithm, GatherConfig};
+use gather_graph::generators::Family;
+use gather_sim::placement::PlacementKind;
+use std::sync::Arc;
 
 fn terminating_step(rounds: u64, n: usize, config: &GatherConfig) -> String {
     for step in 1..=6usize {
@@ -22,10 +29,23 @@ fn terminating_step(rounds: u64, n: usize, config: &GatherConfig) -> String {
 fn main() {
     let config = GatherConfig::fast();
     let max_distance = if quick_mode() { 3 } else { 6 };
-    let graphs = [
-        generators::cycle(16).unwrap(),
-        generators::grid(4, 4).unwrap(),
-    ];
+    // Distance 0 (a co-located pair) plus a pair at every exact distance up
+    // to the cap; each graph keeps only the distances its diameter admits.
+    let mut placements = vec![PlacementSpec::new(PlacementKind::AllOnOneNode, 2)];
+    placements.extend(
+        (1..=max_distance).map(|i| PlacementSpec::new(PlacementKind::PairAtDistance(i), 2)),
+    );
+
+    let report = Sweep::new()
+        .graphs([
+            GraphSpec::new(Family::Cycle, 16),
+            GraphSpec::new(Family::Grid, 16),
+        ])
+        .placements(placements)
+        .algorithm(AlgorithmSpec::new(Algorithm::Faster.name()).with_config(config))
+        .seeds([3])
+        .cache(Arc::new(cache_store()), CachePolicy::ReadWrite)
+        .run_default();
 
     let mut table = Table::new(
         "F1",
@@ -38,46 +58,23 @@ fn main() {
             "detection ok",
         ],
     );
-
-    for graph in &graphs {
-        let n = graph.n();
-        for i in 0..=max_distance {
-            let start = if i == 0 {
-                placement::generate(
-                    graph,
-                    PlacementKind::AllOnOneNode,
-                    &placement::sequential_ids(2),
-                    3,
-                )
-            } else {
-                let diameter = gather_graph::algo::diameter(graph);
-                if i > diameter {
-                    continue;
-                }
-                placement::generate(
-                    graph,
-                    PlacementKind::PairAtDistance(i),
-                    &placement::sequential_ids(2),
-                    3,
-                )
-            };
-            let out = run_algorithm(
-                graph,
-                &start,
-                &RunSpec::new(Algorithm::Faster).with_config(config),
-            );
-            table.push_row(vec![
-                graph.name().to_string(),
-                i.to_string(),
-                out.rounds.to_string(),
-                terminating_step(out.rounds, n, &config),
-                out.is_correct_gathering_with_detection().to_string(),
-            ]);
-        }
+    for row in report.ok_rows() {
+        let distance = match row.kind {
+            PlacementKind::PairAtDistance(d) => d,
+            _ => 0,
+        };
+        table.push_row(vec![
+            row.family.clone(),
+            distance.to_string(),
+            row.rounds.to_string(),
+            terminating_step(row.rounds, row.n, &config),
+            row.detected_ok.to_string(),
+        ]);
     }
 
     table.print();
     table.write_json();
+    eprintln!("{}", sweep_stats_line(&report.stats));
     println!(
         "Expected shape: rounds increase with the initial pair distance, stepping up one \
          schedule step per extra hop (O(n^3) for i <= 2, O(n^i log n) for i = 3..5, \

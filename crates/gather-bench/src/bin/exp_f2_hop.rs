@@ -1,11 +1,19 @@
 //! Experiment F2 (Lemmas 9 and 10): the `i-Hop-Meeting` procedure turns a
 //! dispersed configuration with a pair at distance `i` into an undispersed
 //! one within its `T(i)·O(log n)` budget; measured contact times vs budgets.
+//!
+//! Placements come from the declarative `PlacementSpec` layer (infeasible
+//! radii are rejected by its validation instead of a manual diameter check),
+//! but the probe itself drives the `Simulator` directly: `i-Hop-Meeting` is
+//! a sub-procedure parameterised by its radius and stopped at first contact,
+//! not a registered whole-algorithm — so it has no scenario key to cache
+//! under.
 
 use gather_bench::{quick_mode, Table};
+use gather_core::scenario::PlacementSpec;
 use gather_core::{schedule, HopMeetingRobot};
 use gather_graph::generators;
-use gather_sim::placement::{self, PlacementKind};
+use gather_sim::placement::PlacementKind;
 use gather_sim::{SimConfig, Simulator};
 
 fn main() {
@@ -33,16 +41,12 @@ fn main() {
     for graph in &graphs {
         let n = graph.n();
         for radius in 1..=max_radius {
-            // Place two robots exactly `radius` apart (skip if impossible).
-            if radius > gather_graph::algo::diameter(graph) {
+            // Two robots exactly `radius` apart; radii beyond the diameter
+            // fail PlacementSpec validation and are skipped.
+            let spec = PlacementSpec::new(PlacementKind::PairAtDistance(radius), 2);
+            let Ok(start) = spec.build(graph, 17) else {
                 continue;
-            }
-            let start = placement::generate(
-                graph,
-                PlacementKind::PairAtDistance(radius),
-                &placement::sequential_ids(2),
-                17,
-            );
+            };
             let robots: Vec<(HopMeetingRobot, usize)> = start
                 .robots
                 .iter()

@@ -1,11 +1,17 @@
 //! Experiment F3 (Lemma 15): with ⌊n/c⌋+1 robots some pair is within 2c−2
 //! hops. Measures the closest pair over many random and adversarial
 //! placements against the guaranteed bound.
+//!
+//! Graphs and placements come from the declarative `GraphSpec`/
+//! `PlacementSpec` layer. No algorithm runs here — the experiment measures
+//! the initial configurations themselves, so there is no scenario outcome to
+//! cache.
 
 use gather_bench::{quick_mode, Table};
 use gather_core::analysis;
+use gather_core::scenario::{GraphSpec, PlacementSpec};
 use gather_graph::generators::Family;
-use gather_sim::placement::{self, PlacementKind};
+use gather_sim::placement::PlacementKind;
 
 fn main() {
     let n_target = if quick_mode() { 16 } else { 32 };
@@ -33,8 +39,8 @@ fn main() {
     );
 
     for &family in &families {
-        let graph = family
-            .instantiate(n_target, 9)
+        let graph = GraphSpec::new(family, n_target)
+            .build(9)
             .expect("family instantiates");
         let n = graph.n();
         for divisor in [2usize, 3, 4, 6] {
@@ -43,18 +49,20 @@ fn main() {
                 continue;
             }
             let bound = analysis::lemma15_bound(n, k).expect("k >= 2");
-            let ids = placement::sequential_ids(k);
+            let random_spec = PlacementSpec::new(PlacementKind::DispersedRandom, k);
             let mut worst_random = 0usize;
             let mut violations = 0usize;
             for seed in 0..seeds {
-                let p = placement::generate(&graph, PlacementKind::DispersedRandom, &ids, seed);
+                let p = random_spec.build(&graph, seed).expect("feasible placement");
                 let d = p.closest_pair_distance(&graph).unwrap();
                 worst_random = worst_random.max(d);
                 if d > bound {
                     violations += 1;
                 }
             }
-            let spread = placement::generate(&graph, PlacementKind::MaxSpread, &ids, 1);
+            let spread = PlacementSpec::new(PlacementKind::MaxSpread, k)
+                .build(&graph, 1)
+                .expect("feasible placement");
             let worst_spread = spread.closest_pair_distance(&graph).unwrap();
             if worst_spread > bound {
                 violations += 1;

@@ -1,14 +1,26 @@
 //! Experiment F4 (Theorem 6): the UXS-based algorithm gathers any number of
 //! robots from any configuration and detects completion; rounds scale with
 //! T · log L where L is the largest label.
+//!
+//! The main table is one declarative sweep (label magnitude is the
+//! `LabelSpec` axis) through the shared `results/cache/` result store, so
+//! unchanged cells re-run as O(1) lookups. The F4b label-magnitude isolation
+//! probe pins two robots with hand-picked labels on exact nodes — an
+//! explicit placement is not a scenario axis, so that probe calls the
+//! registry directly.
 
-// TODO(api): port to the scenario/sweep API; uses the deprecated run_algorithm shim.
-#![allow(deprecated)]
-use gather_bench::{quick_mode, ratio, Table};
-use gather_core::{run_algorithm, Algorithm, GatherConfig, RunSpec};
+use gather_bench::{cache_store, quick_mode, ratio, sweep_stats_line, Table};
+use gather_core::cache::CachePolicy;
+use gather_core::scenario::{
+    AlgorithmSpec, GraphSpec, LabelSpec, PlacementSpec, DEFAULT_MAX_ROUNDS,
+};
+use gather_core::sweep::Sweep;
+use gather_core::{registry, Algorithm, GatherConfig};
 use gather_graph::generators::Family;
-use gather_sim::placement::{self, PlacementKind};
+use gather_sim::placement::PlacementKind;
+use gather_sim::SimConfig;
 use gather_uxs::LengthPolicy;
+use std::sync::Arc;
 
 fn main() {
     let sizes: &[usize] = if quick_mode() {
@@ -18,6 +30,23 @@ fn main() {
     };
     let families = [Family::Cycle, Family::RandomSparse, Family::Lollipop];
     let config = GatherConfig::fast();
+    let k = 3;
+
+    let report = Sweep::new()
+        .graphs(
+            families
+                .iter()
+                .flat_map(|&f| sizes.iter().map(move |&n| GraphSpec::new(f, n))),
+        )
+        .placements([
+            PlacementSpec::new(PlacementKind::DispersedRandom, k),
+            PlacementSpec::new(PlacementKind::DispersedRandom, k)
+                .with_labels(LabelSpec::Random { b: 2 }),
+        ])
+        .algorithm(AlgorithmSpec::new(Algorithm::UxsOnly.name()).with_config(config))
+        .seeds([5])
+        .cache(Arc::new(cache_store()), CachePolicy::ReadWrite)
+        .run_default();
 
     let mut table = Table::new(
         "F4",
@@ -33,40 +62,28 @@ fn main() {
             "detection ok",
         ],
     );
-
-    for &family in &families {
-        for &n_target in sizes {
-            let graph = family
-                .instantiate(n_target, 2)
-                .expect("family instantiates");
-            let n = graph.n();
-            let t = config.uxs_policy.length(n) as u64;
-            let k = 3.min(n);
-            for (label_kind, ids) in [
-                ("small (1..k)", placement::sequential_ids(k)),
-                ("large (≈ n^2)", placement::random_ids(k, n, 2, 77)),
-            ] {
-                let start = placement::generate(&graph, PlacementKind::DispersedRandom, &ids, 5);
-                let out = run_algorithm(
-                    &graph,
-                    &start,
-                    &RunSpec::new(Algorithm::UxsOnly).with_config(config),
-                );
-                table.push_row(vec![
-                    family.name().to_string(),
-                    n.to_string(),
-                    k.to_string(),
-                    label_kind.to_string(),
-                    t.to_string(),
-                    out.rounds.to_string(),
-                    ratio(out.rounds, t),
-                    out.is_correct_gathering_with_detection().to_string(),
-                ]);
-            }
-        }
+    for (spec, row) in report.specs.iter().zip(&report.rows) {
+        assert!(row.error.is_none(), "{}: {:?}", row.family, row.error);
+        let label_kind = match spec.placement.labels {
+            LabelSpec::Sequential => "small (1..k)".to_string(),
+            LabelSpec::Random { b } => format!("large (≈ n^{b})"),
+        };
+        let t = config.uxs_policy.length(row.n) as u64;
+        table.push_row(vec![
+            row.family.clone(),
+            row.n.to_string(),
+            row.k.to_string(),
+            label_kind,
+            t.to_string(),
+            row.rounds.to_string(),
+            ratio(row.rounds, t),
+            row.detected_ok.to_string(),
+        ]);
     }
 
-    // The log L dependence in isolation: same instance, label magnitude swept.
+    // The log L dependence in isolation: same instance, label magnitude
+    // swept over an explicit two-robot placement (exact labels on exact
+    // nodes — outside the declarative placement axes, so registry-direct).
     let graph = gather_graph::generators::cycle(8).unwrap();
     let mut label_table = Table::new(
         "F4b",
@@ -76,11 +93,15 @@ fn main() {
     let t = config.uxs_policy.length(8) as u64;
     for largest in [2u64, 7, 15, 33, 63] {
         let start = gather_sim::Placement::new(vec![(1, 0), (largest, 4)]);
-        let out = run_algorithm(
-            &graph,
-            &start,
-            &RunSpec::new(Algorithm::UxsOnly).with_config(config),
-        );
+        let out = registry::global()
+            .run(
+                Algorithm::UxsOnly.name(),
+                &graph,
+                &start,
+                &config,
+                SimConfig::with_max_rounds(DEFAULT_MAX_ROUNDS),
+            )
+            .expect("built-in algorithm runs");
         assert!(out.is_correct_gathering_with_detection());
         label_table.push_row(vec![
             largest.to_string(),
@@ -94,6 +115,7 @@ fn main() {
     table.write_json();
     label_table.print();
     label_table.write_json();
+    eprintln!("{}", sweep_stats_line(&report.stats));
     println!(
         "Expected shape: rounds are a small multiple of T (2T per label bit plus the final \
          wait), so rounds/T grows linearly with the bit length of the largest label — the \

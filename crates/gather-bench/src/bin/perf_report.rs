@@ -3,9 +3,23 @@
 //! trajectory (rounds/sec per scenario, rows/sec for a sweep) that later PRs
 //! must not regress.
 //!
-//! If `results/BENCH_engine_baseline.json` exists (a snapshot of this report
-//! from an earlier engine), each scenario row additionally carries its
-//! speedup against that baseline.
+//! If `results/BENCH_engine_prerefactor.json` exists (a snapshot of this
+//! report from the pre-PR2 clone-per-inbox engine), each scenario row
+//! additionally carries its informational speedup against it.
+//!
+//! `perf_report --check` is the CI perf-regression gate: it re-reads the
+//! freshly written report and `results/BENCH_engine_baseline.json` — a
+//! committed same-engine snapshot, refreshed whenever the floor moves
+//! intentionally — and exits nonzero if any scenario's throughput, or the
+//! sweep's rows/sec, regressed more than 25% against it. Because the
+//! baseline was recorded on a different host than the CI runner, raw ratios
+//! are first normalised by a **host factor** (the median current/baseline
+//! ratio across the stress scenarios): a uniformly slower or faster machine
+//! moves every ratio by the same factor, which the median cancels, while a
+//! genuine regression shows up as one or more metrics falling below the
+//! rest. A uniform whole-engine collapse has no relative signature by
+//! construction; the gate reports the host factor loudly so a human can
+//! spot it in the trajectory artifact.
 //!
 //! Scenarios are chosen to stress the engine itself, not the algorithms:
 //! large `k` with heavy co-location (message fan-out is `O(k²)` per round),
@@ -202,7 +216,121 @@ fn time_sweep(quick: bool, iters: u32) -> SweepThroughput {
     }
 }
 
+/// Largest tolerated throughput drop vs the baseline before `--check` fails.
+const MAX_REGRESSION: f64 = 0.25;
+
+/// The `--check` gate: compares the last written report against the
+/// committed baseline. Exit code 0 = within budget, 1 = regression (or
+/// unusable inputs — the gate never silently passes).
+fn check() -> i32 {
+    let dir = results_dir();
+    let read = |name: &str| -> Option<EngineBench> {
+        let path = dir.join(name);
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return None;
+            }
+        };
+        match serde_json::from_str(&raw) {
+            Ok(bench) => Some(bench),
+            Err(e) => {
+                eprintln!("cannot parse {}: {e}", path.display());
+                None
+            }
+        }
+    };
+    let Some(report) = read("BENCH_engine.json") else {
+        eprintln!("run `perf_report` (no flags) first to produce the report");
+        return 1;
+    };
+    let Some(base) = read("BENCH_engine_baseline.json") else {
+        return 1;
+    };
+    if report.quick != base.quick {
+        eprintln!(
+            "report is a {} run but the baseline is a {} run; regenerate the report with \
+             GATHER_QUICK={} so the workloads are comparable",
+            if report.quick { "quick" } else { "full" },
+            if base.quick { "quick" } else { "full" },
+            if base.quick { "1" } else { "0" },
+        );
+        return 1;
+    }
+
+    // Raw current/baseline ratios; scenarios missing from the current
+    // report fail outright.
+    let mut failed = false;
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for b in &base.scenarios {
+        if b.rounds_per_sec <= 0.0 {
+            continue;
+        }
+        match report.scenarios.iter().find(|r| r.name == b.name) {
+            Some(r) => ratios.push((b.name.clone(), r.rounds_per_sec / b.rounds_per_sec)),
+            None => {
+                eprintln!("{:<28} missing from the current report", b.name);
+                failed = true;
+            }
+        }
+    }
+
+    // The median scenario ratio estimates how fast this host is relative to
+    // the one the baseline was recorded on; normalising by it makes the
+    // gate a *relative* check that survives slower or faster CI runners.
+    let host_factor = {
+        let mut sorted: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+        match sorted.len() {
+            0 => 1.0,
+            n if n % 2 == 1 => sorted[n / 2],
+            n => (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0,
+        }
+    };
+    eprintln!("host factor (median scenario ratio vs baseline host): {host_factor:.2}x");
+    if !(0.5..=2.0).contains(&host_factor) {
+        eprintln!(
+            "note: absolute throughput shifted uniformly by {host_factor:.2}x — a different \
+             host class, or a change touching every scenario alike (which this relative gate \
+             cannot attribute); compare BENCH_engine.json against the committed trajectory"
+        );
+    }
+
+    if base.sweep.rows_per_sec > 0.0 {
+        ratios.push((
+            "sweep rows/sec".to_string(),
+            report.sweep.rows_per_sec / base.sweep.rows_per_sec,
+        ));
+    }
+    for (name, ratio) in &ratios {
+        let normalized = ratio / host_factor;
+        let ok = normalized >= 1.0 - MAX_REGRESSION;
+        eprintln!(
+            "{:<28} {:.2}x vs baseline, {:.2}x host-normalized {}",
+            name,
+            ratio,
+            normalized,
+            if ok { "ok" } else { "REGRESSION" }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!(
+            "perf gate FAILED: throughput fell more than {:.0}% below the baseline",
+            MAX_REGRESSION * 100.0
+        );
+        1
+    } else {
+        eprintln!("perf gate passed");
+        0
+    }
+}
+
 fn main() {
+    if std::env::args().skip(1).any(|a| a == "--check") {
+        std::process::exit(check());
+    }
     let quick = quick_mode();
     let iters = if quick { 1 } else { 3 };
 
@@ -223,16 +351,19 @@ fn main() {
         sweep.rows, sweep.rows_per_sec
     );
 
-    // Attach speedups against the recorded pre-refactor baseline, if present.
+    // Attach informational speedups against the recorded pre-refactor
+    // engine snapshot, if present (the PR2 ~9x story; the regression gate
+    // uses the separate same-engine BENCH_engine_baseline.json).
     let dir = results_dir();
-    let baseline_path = dir.join("BENCH_engine_baseline.json");
-    if let Ok(raw) = std::fs::read_to_string(&baseline_path) {
+    let prerefactor_path = dir.join("BENCH_engine_prerefactor.json");
+    if let Ok(raw) = std::fs::read_to_string(&prerefactor_path) {
         if let Ok(base) = serde_json::from_str::<EngineBench>(&raw) {
             // Quick mode halves the workload but keeps scenario names;
             // comparing across modes would be meaningless.
             if base.quick != quick {
                 eprintln!(
-                    "baseline is a {} run but this is a {} run; skipping speedup comparison",
+                    "pre-refactor snapshot is a {} run but this is a {} run; skipping speedup \
+                     comparison",
                     if base.quick { "quick" } else { "full" },
                     if quick { "quick" } else { "full" },
                 );
@@ -242,7 +373,7 @@ fn main() {
                         if b.rounds_per_sec > 0.0 {
                             let s = row.rounds_per_sec / b.rounds_per_sec;
                             row.speedup_vs_baseline = Some(s);
-                            eprintln!("{:<28} speedup vs baseline: {s:.2}x", row.name);
+                            eprintln!("{:<28} speedup vs pre-refactor: {s:.2}x", row.name);
                         }
                     }
                 }

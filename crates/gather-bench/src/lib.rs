@@ -10,7 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use gather_core::sweep::SweepReport;
+use gather_core::cache::DirStore;
+use gather_core::sweep::{SweepReport, SweepStats};
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
@@ -132,6 +133,23 @@ pub fn results_dir() -> PathBuf {
         .map(|p| p.join("../.."))
         .unwrap_or_else(|_| PathBuf::from("."));
     base.join("results")
+}
+
+/// The shared on-disk result cache of the experiment binaries: one JSON
+/// entry per scenario under `results/cache/` (see `gather_core::cache`).
+/// CI persists this directory across runs, so re-running an experiment whose
+/// cells are unchanged skips every simulation.
+pub fn cache_store() -> DirStore {
+    DirStore::new(results_dir().join("cache"))
+}
+
+/// One-line summary of how a sweep's cells were satisfied, for the
+/// experiment binaries' stderr chatter.
+pub fn sweep_stats_line(stats: &SweepStats) -> String {
+    format!(
+        "sweep: {} cells — {} cache hits, {} simulated, {} errors in {:.1} ms",
+        stats.cells, stats.cache_hits, stats.simulated, stats.errors, stats.elapsed_ms
+    )
 }
 
 /// True when the harness should run a reduced parameter sweep (set

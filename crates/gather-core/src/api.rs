@@ -1,18 +1,15 @@
-//! The seed's original high-level API, kept as thin shims over the
-//! [`crate::registry`].
+//! The exhaustively-matchable handle for the four built-in paper algorithms.
 //!
-//! New code should prefer the scenario-first API: describe an experiment as a
-//! serializable [`crate::scenario::ScenarioSpec`] (or a whole grid as a
-//! [`crate::sweep::Sweep`]) and execute it through an
-//! [`crate::registry::AlgorithmRegistry`]. The [`Algorithm`] enum survives as
-//! a convenient, exhaustively-matchable handle for the four built-in paper
-//! algorithms — its `name()` values are exactly their registry keys — while
-//! [`run_algorithm`] and [`RunSpec`] merely delegate to the registry.
+//! Experiments are described as serializable [`crate::scenario::ScenarioSpec`]
+//! values (or whole grids as a [`crate::sweep::Sweep`]) and executed through
+//! an [`crate::registry::AlgorithmRegistry`]. The [`Algorithm`] enum is the
+//! one surviving piece of the seed's original closed API: a convenient,
+//! `match`-able handle whose `name()` values are exactly the registry keys of
+//! the four built-ins. The seed's `run_algorithm`/`RunSpec` shims were
+//! deleted once the last experiment binaries moved onto scenarios and sweeps;
+//! call `registry::global().run(...)` directly for the rare case that needs
+//! an explicit, non-declarative placement.
 
-use crate::config::GatherConfig;
-use crate::registry;
-use gather_graph::PortGraph;
-use gather_sim::{placement::Placement, SimConfig, SimOutcome};
 use serde::{Deserialize, Serialize};
 
 /// The four built-in paper algorithms.
@@ -49,69 +46,13 @@ impl Algorithm {
     }
 }
 
-/// Everything needed to run one simulation (legacy shim).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct RunSpec {
-    /// Which algorithm to run.
-    pub algorithm: Algorithm,
-    /// Algorithm policies (UXS length, Phase 1 bound).
-    pub config: GatherConfig,
-    /// Safety cap on simulated rounds.
-    pub max_rounds: u64,
-}
-
-impl RunSpec {
-    /// A spec with the default (safe) configuration.
-    pub fn new(algorithm: Algorithm) -> Self {
-        RunSpec {
-            algorithm,
-            config: GatherConfig::fast(),
-            max_rounds: crate::scenario::DEFAULT_MAX_ROUNDS,
-        }
-    }
-
-    /// Replaces the gathering configuration.
-    pub fn with_config(mut self, config: GatherConfig) -> Self {
-        self.config = config;
-        self
-    }
-
-    /// Replaces the round cap.
-    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
-        self.max_rounds = max_rounds;
-        self
-    }
-}
-
-/// Runs `spec.algorithm` on the given graph and placement and returns the
-/// simulation outcome (rounds, correctness of detection, metrics, …).
-///
-/// Thin shim over [`crate::registry::AlgorithmRegistry::run`] with the global
-/// built-in registry; kept so the seed's experiment binaries and examples
-/// continue to compile.
-#[deprecated(
-    since = "0.2.0",
-    note = "describe the run as a `scenario::ScenarioSpec` (or sweep grids with `sweep::Sweep`) \
-            and execute it via `registry::global()`; this shim only reaches the four built-ins"
-)]
-pub fn run_algorithm(graph: &PortGraph, placement: &Placement, spec: &RunSpec) -> SimOutcome {
-    registry::global()
-        .run(
-            spec.algorithm.name(),
-            graph,
-            placement,
-            &spec.config,
-            SimConfig::with_max_rounds(spec.max_rounds),
-        )
-        .expect("built-in algorithms are always registered")
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use gather_graph::generators;
-    use gather_sim::placement::{self, PlacementKind};
+    use crate::registry;
+    use crate::scenario::{AlgorithmSpec, GraphSpec, PlacementSpec, ScenarioSpec};
+    use gather_graph::generators::Family;
+    use gather_sim::placement::PlacementKind;
 
     #[test]
     fn names_are_unique_and_match_the_registry() {
@@ -129,30 +70,22 @@ mod tests {
     }
 
     #[test]
-    fn spec_builders() {
-        let spec = RunSpec::new(Algorithm::Faster)
-            .with_config(GatherConfig::default())
-            .with_max_rounds(123);
-        assert_eq!(spec.max_rounds, 123);
-        assert_eq!(spec.config, GatherConfig::default());
-    }
-
-    #[test]
     fn every_algorithm_runs_end_to_end_on_a_tiny_instance() {
-        let g = generators::cycle(6).unwrap();
-        let ids = placement::sequential_ids(3);
-        let undispersed = placement::generate(&g, PlacementKind::UndispersedRandom, &ids, 1);
-        let pair = placement::Placement::new(vec![(1, 0), (2, 1)]);
-
-        for (alg, placement) in [
-            (Algorithm::Faster, &undispersed),
-            (Algorithm::UxsOnly, &undispersed),
-            (Algorithm::Undispersed, &undispersed),
-            (Algorithm::ExpandingBaseline, &pair),
-        ] {
-            let out = run_algorithm(&g, placement, &RunSpec::new(alg));
+        for alg in Algorithm::ALL {
+            let placement = if alg == Algorithm::ExpandingBaseline {
+                PlacementSpec::new(PlacementKind::PairAtDistance(1), 2)
+            } else {
+                PlacementSpec::new(PlacementKind::UndispersedRandom, 3)
+            };
+            let spec = ScenarioSpec::new(
+                GraphSpec::new(Family::Cycle, 6),
+                placement,
+                AlgorithmSpec::new(alg.name()),
+            )
+            .with_seed(1);
+            let out = spec.run_default().expect("scenario runs");
             assert!(
-                out.is_correct_gathering_with_detection(),
+                out.outcome.is_correct_gathering_with_detection(),
                 "{} failed: {out:?}",
                 alg.name()
             );
@@ -161,11 +94,16 @@ mod tests {
 
     #[test]
     fn faster_beats_the_uxs_baseline_on_an_undispersed_start() {
-        let g = generators::random_connected(8, 0.3, 3).unwrap();
-        let ids = placement::sequential_ids(4);
-        let p = placement::generate(&g, PlacementKind::UndispersedRandom, &ids, 9);
-        let faster = run_algorithm(&g, &p, &RunSpec::new(Algorithm::Faster));
-        let uxs = run_algorithm(&g, &p, &RunSpec::new(Algorithm::UxsOnly));
+        let base = ScenarioSpec::new(
+            GraphSpec::new(Family::RandomSparse, 8),
+            PlacementSpec::new(PlacementKind::UndispersedRandom, 4),
+            AlgorithmSpec::new(Algorithm::Faster.name()),
+        )
+        .with_seed(9);
+        let mut uxs_spec = base.clone();
+        uxs_spec.algorithm = AlgorithmSpec::new(Algorithm::UxsOnly.name());
+        let faster = base.run_default().unwrap().outcome;
+        let uxs = uxs_spec.run_default().unwrap().outcome;
         assert!(faster.is_correct_gathering_with_detection());
         assert!(uxs.is_correct_gathering_with_detection());
         assert!(
@@ -174,25 +112,5 @@ mod tests {
             faster.rounds,
             uxs.rounds
         );
-    }
-
-    #[test]
-    fn shim_and_registry_agree_exactly() {
-        let g = generators::grid(3, 3).unwrap();
-        let ids = placement::sequential_ids(4);
-        let p = placement::generate(&g, PlacementKind::UndispersedRandom, &ids, 5);
-        let spec = RunSpec::new(Algorithm::Faster);
-        let via_shim = run_algorithm(&g, &p, &spec);
-        let via_registry = registry::global()
-            .run(
-                "faster_gathering",
-                &g,
-                &p,
-                &spec.config,
-                gather_sim::SimConfig::with_max_rounds(spec.max_rounds),
-            )
-            .unwrap();
-        assert_eq!(via_shim.rounds, via_registry.rounds);
-        assert_eq!(via_shim.final_positions, via_registry.final_positions);
     }
 }

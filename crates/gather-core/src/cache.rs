@@ -1,0 +1,563 @@
+//! Content-addressed result cache for scenario runs.
+//!
+//! A [`crate::scenario::ScenarioSpec`] is a pure function of its fields: the
+//! same spec always produces the same [`crate::scenario::ScenarioOutcome`]
+//! (graph and placement randomness are derived from the spec's own seed).
+//! That makes scenario results *content-addressable* — a run can be stored
+//! under a stable hash of the spec and every later execution of the same
+//! spec becomes an O(1) lookup instead of a simulation. Repeated heavy sweep
+//! traffic (CI re-runs, dashboards, parameter grids that share cells) is
+//! exactly the workload this pays off on.
+//!
+//! ## The key format
+//!
+//! [`spec_key`] produces keys of the form
+//!
+//! ```text
+//! v1e1-9c56cc51b374c3ba189210d5b6d4bf57790d351c96c47c02190ecf1e430635ab
+//!      └──────────────────── 64 hex chars of SHA-256 ───────────────────┘
+//! ```
+//!
+//! * `v1` is [`KEY_FORMAT_VERSION`]. It is bumped whenever the canonical
+//!   form, the hash, or the semantics of any spec field change, so caches
+//!   written under an older format are never consulted by a newer binary.
+//! * `e1` is [`ENGINE_VERSION`]. A cached result is a function of the spec
+//!   *and* of the algorithms/engine that produced it; this component is
+//!   bumped whenever an intentional behaviour change alters the outcome of
+//!   an unchanged spec (round counts, metrics, final positions), so stale
+//!   results from the previous engine are never served. The
+//!   `engine_equivalence` fixture tests catch *unintentional* behaviour
+//!   changes; this constant records the intentional ones.
+//! * The digest is SHA-256 over the **canonical JSON** of the spec: the
+//!   serde value tree with every object's keys sorted (recursively),
+//!   serialized compactly. Canonicalisation makes the key independent of
+//!   field order, so a spec parsed from hand-written JSON with reordered
+//!   fields hashes identically to one built in Rust.
+//!
+//! The key format is pinned by a fixture test
+//! (`spec_key_is_pinned_across_releases`): it must never change silently,
+//! because persisted caches and CI cache keys depend on it.
+//!
+//! ## Stores
+//!
+//! [`ResultStore`] is the storage abstraction; two implementations ship:
+//!
+//! * [`MemStore`] — a `Mutex<HashMap>`; per-process, used by tests and
+//!   long-running services.
+//! * [`DirStore`] — one `<key>.json` file per entry under a root directory
+//!   (the repo convention is `results/cache/`). Writes go through a
+//!   temp-file + atomic rename so concurrent sweep workers and interrupted
+//!   runs can never leave a half-written entry behind; unreadable or corrupt
+//!   entries are treated as misses and recomputed.
+//!
+//! Lookups verify that the stored spec equals the requested spec before a
+//! hit is served, so even a hash collision (or a manually edited file)
+//! degrades to a miss, never to a wrong result.
+//!
+//! ## Policies
+//!
+//! [`CachePolicy`] selects how [`crate::scenario::ScenarioSpec::run_cached`]
+//! and [`crate::sweep::Sweep`] use a store: [`CachePolicy::Off`] bypasses it
+//! entirely, [`CachePolicy::ReadWrite`] serves hits and stores misses, and
+//! [`CachePolicy::ReadOnly`] serves hits but never writes (useful for
+//! read-only deployments and for consuming a CI-restored cache without
+//! mutating it). Failed runs are never cached under any policy.
+
+use crate::scenario::{ScenarioOutcome, ScenarioSpec};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Key-format version tag embedded in every [`spec_key`].
+///
+/// Bump this whenever the canonical serialization, the hash function, or
+/// the meaning of any [`ScenarioSpec`] field changes; old cache entries are
+/// then invisible to the new format instead of silently wrong. The CI cache
+/// key in `.github/workflows/ci.yml` mirrors this constant.
+pub const KEY_FORMAT_VERSION: u32 = 1;
+
+/// Engine-behaviour version tag embedded in every [`spec_key`].
+///
+/// Bump this whenever an intentional algorithm or engine change alters the
+/// outcome an unchanged spec produces (round counts, metrics, final
+/// positions); results cached by the previous engine then miss instead of
+/// being served stale. Unintentional behaviour drift is caught separately
+/// by the `engine_equivalence` fixtures.
+pub const ENGINE_VERSION: u32 = 1;
+
+/// The stable content-address of a scenario:
+/// `v<format>e<engine>-<sha256 hex>` over the spec's canonical JSON (object
+/// keys sorted recursively).
+///
+/// Equal specs always produce equal keys regardless of how they were built
+/// (Rust constructors, JSON in any field order); specs differing in any
+/// field produce different keys. See the module docs for the exact format.
+pub fn spec_key(spec: &ScenarioSpec) -> String {
+    let value = serde_json::to_value(spec).expect("ScenarioSpec serializes");
+    let canonical = canonical_json(&value);
+    format!(
+        "v{KEY_FORMAT_VERSION}e{ENGINE_VERSION}-{}",
+        hex(&sha256(canonical.as_bytes()))
+    )
+}
+
+/// Serializes a value tree to compact JSON with every object's keys sorted,
+/// recursively — the canonical form hashed by [`spec_key`].
+fn canonical_json(v: &Value) -> String {
+    serde_json::to_string(&sort_keys(v)).expect("Value serializes")
+}
+
+fn sort_keys(v: &Value) -> Value {
+    match v {
+        Value::Array(items) => Value::Array(items.iter().map(sort_keys).collect()),
+        Value::Object(entries) => {
+            let mut sorted: Vec<(String, Value)> = entries
+                .iter()
+                .map(|(k, v)| (k.clone(), sort_keys(v)))
+                .collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(sorted)
+        }
+        scalar => scalar.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4). Hand-rolled because the build environment has no
+// crate registry; pinned against the standard test vectors below.
+// ---------------------------------------------------------------------------
+
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// SHA-256 digest of `data`.
+fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    // Pad: message ‖ 0x80 ‖ zeros ‖ 64-bit big-endian bit length.
+    let mut msg = data.to_vec();
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 64];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(SHA256_K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (slot, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+            *slot = slot.wrapping_add(v);
+        }
+    }
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// How a run consults a [`ResultStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CachePolicy {
+    /// Never touch the store; always simulate.
+    #[default]
+    Off,
+    /// Serve cached results; store the results of cache misses.
+    ReadWrite,
+    /// Serve cached results but never write (consume a cache without
+    /// mutating it).
+    ReadOnly,
+}
+
+impl CachePolicy {
+    /// True unless the policy is [`CachePolicy::Off`].
+    pub fn reads(&self) -> bool {
+        !matches!(self, CachePolicy::Off)
+    }
+
+    /// True only for [`CachePolicy::ReadWrite`].
+    pub fn writes(&self) -> bool {
+        matches!(self, CachePolicy::ReadWrite)
+    }
+}
+
+/// One cached run: the key, the full spec it was computed from (verified on
+/// lookup — a collision degrades to a miss, never a wrong result) and the
+/// outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// The [`spec_key`] this entry is stored under.
+    pub key: String,
+    /// The exact spec that produced [`CacheEntry::outcome`].
+    pub spec: ScenarioSpec,
+    /// The stored scenario result.
+    pub outcome: ScenarioOutcome,
+}
+
+impl CacheEntry {
+    /// Packages a finished run for storage.
+    pub fn new(key: String, spec: ScenarioSpec, outcome: ScenarioOutcome) -> Self {
+        CacheEntry { key, spec, outcome }
+    }
+}
+
+/// Keyed storage for scenario results.
+///
+/// Implementations must be callable from many sweep worker threads at once.
+/// `put` is best-effort: storage failures (full disk, read-only mount) must
+/// degrade to "the next lookup misses", never to a panic or a wrong result.
+pub trait ResultStore: Send + Sync {
+    /// Looks up an entry by key; `None` on miss *or* on an unreadable entry.
+    fn get(&self, key: &str) -> Option<CacheEntry>;
+
+    /// Stores an entry under `entry.key` (best effort).
+    fn put(&self, entry: &CacheEntry);
+}
+
+/// In-memory [`ResultStore`] behind a mutex.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    map: Mutex<HashMap<String, CacheEntry>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("MemStore lock").len()
+    }
+
+    /// True if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ResultStore for MemStore {
+    fn get(&self, key: &str) -> Option<CacheEntry> {
+        self.map.lock().expect("MemStore lock").get(key).cloned()
+    }
+
+    fn put(&self, entry: &CacheEntry) {
+        self.map
+            .lock()
+            .expect("MemStore lock")
+            .insert(entry.key.clone(), entry.clone());
+    }
+}
+
+/// Distinguishes concurrent writers' temp files within one process.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// On-disk [`ResultStore`]: one `<key>.json` file per entry under a root
+/// directory (the repo convention is `results/cache/`).
+///
+/// Writes land in a `.tmp-…` sibling first and are atomically renamed into
+/// place, so a concurrent reader sees either the complete entry or nothing.
+/// Corrupt, truncated or foreign files under the root are treated as misses.
+#[derive(Debug, Clone)]
+pub struct DirStore {
+    root: PathBuf,
+}
+
+impl DirStore {
+    /// A store rooted at `root` (created lazily on first write).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        DirStore { root: root.into() }
+    }
+
+    /// The directory entries are stored in.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.root.join(format!("{key}.json"))
+    }
+
+    /// Number of well-formed `.json` entries currently on disk.
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.root)
+            .map(|it| {
+                it.filter_map(|e| e.ok())
+                    .filter(|e| {
+                        let name = e.file_name();
+                        let name = name.to_string_lossy();
+                        name.ends_with(".json") && !name.starts_with(".tmp-")
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// True if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ResultStore for DirStore {
+    fn get(&self, key: &str) -> Option<CacheEntry> {
+        let raw = fs::read_to_string(self.entry_path(key)).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&raw).ok()?;
+        // A file renamed by hand (or a partially synced directory) must not
+        // serve a result for the wrong spec.
+        if entry.key != key {
+            return None;
+        }
+        Some(entry)
+    }
+
+    fn put(&self, entry: &CacheEntry) {
+        if fs::create_dir_all(&self.root).is_err() {
+            return;
+        }
+        let Ok(json) = serde_json::to_string_pretty(entry) else {
+            return;
+        };
+        let tmp = self.root.join(format!(
+            ".tmp-{}-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+            entry.key
+        ));
+        if fs::write(&tmp, json).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        if fs::rename(&tmp, self.entry_path(&entry.key)).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{AlgorithmSpec, GraphSpec, PlacementSpec};
+    use gather_graph::generators::Family;
+    use gather_sim::placement::PlacementKind;
+
+    fn demo_spec() -> ScenarioSpec {
+        ScenarioSpec::new(
+            GraphSpec::new(Family::Cycle, 8),
+            PlacementSpec::new(PlacementKind::UndispersedRandom, 3),
+            AlgorithmSpec::new("faster_gathering"),
+        )
+        .with_seed(7)
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gather-cache-test-{tag}-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sha256_matches_the_fips_test_vectors() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // Crosses the one-block boundary (padding must spill into block 2).
+        assert_eq!(
+            hex(&sha256(&[b'a'; 64])),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+        );
+    }
+
+    #[test]
+    fn spec_key_is_field_order_independent() {
+        let built = demo_spec();
+        // Same scenario, hand-written with every object's fields reordered.
+        let reordered = ScenarioSpec::from_json(
+            r#"{
+              "max_rounds": 2000000000,
+              "seed": 7,
+              "algorithm": {"config": {"map_bound": "Paper",
+                                        "uxs_policy": {"Polynomial": 3}},
+                             "name": "faster_gathering"},
+              "placement": {"labels": "Sequential", "k": 3,
+                             "kind": "UndispersedRandom"},
+              "graph": {"n": 8, "family": "Cycle"}
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(built, reordered);
+        assert_eq!(spec_key(&built), spec_key(&reordered));
+    }
+
+    #[test]
+    fn spec_key_separates_every_axis() {
+        let base = demo_spec();
+        let keys = [
+            spec_key(&base),
+            spec_key(&base.clone().with_seed(8)),
+            spec_key(&base.clone().with_max_rounds(99)),
+            spec_key(&{
+                let mut s = base.clone();
+                s.graph.n = 9;
+                s
+            }),
+            spec_key(&{
+                let mut s = base.clone();
+                s.algorithm.name = "uxs_gathering".into();
+                s
+            }),
+            spec_key(&{
+                let mut s = base.clone();
+                s.placement.k = 4;
+                s
+            }),
+        ];
+        let mut unique = keys.to_vec();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), keys.len(), "{keys:?}");
+    }
+
+    #[test]
+    fn keys_carry_both_version_tags_and_a_full_digest() {
+        let key = spec_key(&demo_spec());
+        assert!(key.starts_with(&format!("v{KEY_FORMAT_VERSION}e{ENGINE_VERSION}-")));
+        let digest = key.split_once('-').unwrap().1;
+        assert_eq!(digest.len(), 64);
+        assert!(digest.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn mem_store_round_trips_entries() {
+        let store = MemStore::new();
+        let spec = demo_spec();
+        let key = spec_key(&spec);
+        assert!(store.get(&key).is_none());
+        let outcome = spec.run_default().unwrap();
+        store.put(&CacheEntry::new(key.clone(), spec.clone(), outcome.clone()));
+        assert_eq!(store.len(), 1);
+        let hit = store.get(&key).unwrap();
+        assert_eq!(hit.spec, spec);
+        assert_eq!(hit.outcome.outcome.rounds, outcome.outcome.rounds);
+    }
+
+    #[test]
+    fn dir_store_round_trips_and_tolerates_corruption() {
+        let root = temp_root("roundtrip");
+        let store = DirStore::new(&root);
+        let spec = demo_spec();
+        let key = spec_key(&spec);
+        assert!(store.get(&key).is_none(), "empty store must miss");
+        let outcome = spec.run_default().unwrap();
+        store.put(&CacheEntry::new(key.clone(), spec.clone(), outcome));
+        assert_eq!(store.len(), 1);
+        assert!(store.get(&key).is_some());
+
+        // Truncate the entry: the store must degrade to a miss, not error.
+        let path = root.join(format!("{key}.json"));
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(store.get(&key).is_none(), "truncated entry must miss");
+
+        // Valid JSON under the wrong file name must also miss.
+        fs::write(&path, &full).unwrap();
+        let other = spec_key(&demo_spec().with_seed(1234));
+        fs::copy(&path, root.join(format!("{other}.json"))).unwrap();
+        assert!(store.get(&other).is_none(), "renamed entry must miss");
+
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn dir_store_leaves_no_temp_files_behind() {
+        let root = temp_root("tmpfiles");
+        let store = DirStore::new(&root);
+        let spec = demo_spec();
+        let outcome = spec.run_default().unwrap();
+        store.put(&CacheEntry::new(spec_key(&spec), spec, outcome));
+        let leftovers: Vec<_> = fs::read_dir(&root)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn policy_predicates() {
+        assert!(!CachePolicy::Off.reads() && !CachePolicy::Off.writes());
+        assert!(CachePolicy::ReadWrite.reads() && CachePolicy::ReadWrite.writes());
+        assert!(CachePolicy::ReadOnly.reads() && !CachePolicy::ReadOnly.writes());
+        assert_eq!(CachePolicy::default(), CachePolicy::Off);
+    }
+}

@@ -35,10 +35,14 @@
 //!   algorithms are pre-registered; downstream crates add their own);
 //! * [`sweep`] — a [`sweep::Sweep`] builder expanding cartesian grids of
 //!   scenarios and executing them over the parallel runner, returning
-//!   structured [`sweep::SweepReport`] rows.
+//!   structured [`sweep::SweepReport`] rows;
+//! * [`cache`] — a content-addressed result cache: scenarios are pure
+//!   functions of their fields, so finished runs are stored under a stable
+//!   [`cache::spec_key`] and repeated executions become O(1) lookups.
 //!
-//! The seed's `run_algorithm`/`RunSpec` entry points survive in [`api`] as
-//! deprecated shims over the registry.
+//! The seed's `run_algorithm`/`RunSpec` shims were removed once the last
+//! experiment binaries moved onto scenarios and sweeps; [`api::Algorithm`]
+//! survives as the exhaustively-matchable handle for the four built-ins.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +50,7 @@
 pub mod analysis;
 pub mod api;
 pub mod baseline;
+pub mod cache;
 pub mod config;
 pub mod faster;
 pub mod hop_meeting;
@@ -59,10 +64,12 @@ pub mod sweep;
 pub mod undispersed;
 pub mod uxs_gathering;
 
-#[allow(deprecated)]
-pub use api::run_algorithm;
-pub use api::{Algorithm, RunSpec};
+pub use api::Algorithm;
 pub use baseline::ExpandingRobot;
+pub use cache::{
+    spec_key, CacheEntry, CachePolicy, DirStore, MemStore, ResultStore, ENGINE_VERSION,
+    KEY_FORMAT_VERSION,
+};
 pub use config::GatherConfig;
 pub use faster::{build_schedule, FasterRobot, Segment, SegmentKind};
 pub use hop_meeting::{BoundedDfs, HopMeeting, HopMeetingRobot};
@@ -73,6 +80,6 @@ pub use scenario::{
     ScenarioSpec,
 };
 pub use subalgo::{SubAction, SubAlgorithm};
-pub use sweep::{Sweep, SweepReport, SweepRow};
+pub use sweep::{Sweep, SweepReport, SweepRow, SweepStats};
 pub use undispersed::{UndispersedGathering, UndispersedRobot};
 pub use uxs_gathering::{UxsGatherRobot, UxsGathering};

@@ -5,8 +5,7 @@
 //! registered algorithm runs, under which seed and round cap. Because every
 //! part is plain serde data, a scenario round-trips through JSON and can be
 //! executed straight from a parsed string via the
-//! [`AlgorithmRegistry`](crate::registry::AlgorithmRegistry) with no further
-//! Rust code:
+//! [`AlgorithmRegistry`] with no further Rust code:
 //!
 //! ```
 //! use gather_core::scenario::ScenarioSpec;
@@ -25,6 +24,7 @@
 //! assert!(outcome.outcome.is_correct_gathering_with_detection());
 //! ```
 
+use crate::cache::{spec_key, CacheEntry, CachePolicy, ResultStore};
 use crate::config::GatherConfig;
 use crate::registry::{AlgorithmRegistry, RegistryError};
 use gather_graph::generators::Family;
@@ -294,6 +294,37 @@ impl ScenarioSpec {
     pub fn run_default(&self) -> Result<ScenarioOutcome, ScenarioError> {
         self.run(crate::registry::global())
     }
+
+    /// [`ScenarioSpec::run`] through a content-addressed result cache.
+    ///
+    /// Under a reading [`CachePolicy`], the spec's [`spec_key`] is looked up
+    /// in `store` first; a verified hit (the stored spec must equal `self`)
+    /// skips the simulation entirely. Misses simulate, and under
+    /// [`CachePolicy::ReadWrite`] the finished outcome is stored. Failed
+    /// runs are never cached.
+    ///
+    /// Returns the outcome plus whether it was served from the cache.
+    pub fn run_cached(
+        &self,
+        registry: &AlgorithmRegistry,
+        store: &dyn ResultStore,
+        policy: CachePolicy,
+    ) -> Result<(ScenarioOutcome, bool), ScenarioError> {
+        if !policy.reads() {
+            return self.run(registry).map(|outcome| (outcome, false));
+        }
+        let key = spec_key(self);
+        if let Some(entry) = store.get(&key) {
+            if entry.spec == *self {
+                return Ok((entry.outcome, true));
+            }
+        }
+        let outcome = self.run(registry)?;
+        if policy.writes() {
+            store.put(&CacheEntry::new(key, self.clone(), outcome.clone()));
+        }
+        Ok((outcome, false))
+    }
 }
 
 /// The result of executing one scenario.
@@ -428,6 +459,68 @@ mod tests {
         );
         let err = zero.run_default().unwrap_err();
         assert!(matches!(err, ScenarioError::InvalidPlacement(_)), "{err}");
+    }
+
+    #[test]
+    fn run_cached_misses_then_hits_with_identical_outcomes() {
+        use crate::cache::MemStore;
+        let store = MemStore::new();
+        let spec = demo_spec();
+        let (first, hit) = spec
+            .run_cached(crate::registry::global(), &store, CachePolicy::ReadWrite)
+            .unwrap();
+        assert!(!hit, "empty store must miss");
+        assert_eq!(store.len(), 1, "ReadWrite stores the miss");
+        let (second, hit) = spec
+            .run_cached(crate::registry::global(), &store, CachePolicy::ReadWrite)
+            .unwrap();
+        assert!(hit, "second run must be served from the cache");
+        assert_eq!(first.outcome.rounds, second.outcome.rounds);
+        assert_eq!(
+            first.outcome.final_positions,
+            second.outcome.final_positions
+        );
+    }
+
+    #[test]
+    fn read_only_policy_never_writes() {
+        use crate::cache::MemStore;
+        let store = MemStore::new();
+        let spec = demo_spec();
+        let (_, hit) = spec
+            .run_cached(crate::registry::global(), &store, CachePolicy::ReadOnly)
+            .unwrap();
+        assert!(!hit);
+        assert!(store.is_empty(), "ReadOnly must not store anything");
+    }
+
+    #[test]
+    fn off_policy_bypasses_a_populated_store() {
+        use crate::cache::{spec_key, CacheEntry, MemStore, ResultStore};
+        let store = MemStore::new();
+        let spec = demo_spec();
+        // Poison the store: a hit would return 0 rounds.
+        let mut poisoned = spec.run_default().unwrap();
+        poisoned.outcome.rounds = 0;
+        store.put(&CacheEntry::new(spec_key(&spec), spec.clone(), poisoned));
+        let (out, hit) = spec
+            .run_cached(crate::registry::global(), &store, CachePolicy::Off)
+            .unwrap();
+        assert!(!hit);
+        assert!(out.outcome.rounds > 0, "Off must simulate, not consult");
+    }
+
+    #[test]
+    fn failed_runs_are_never_cached() {
+        use crate::cache::MemStore;
+        let mut spec = demo_spec();
+        spec.algorithm.name = "bogus".to_string();
+        let store = MemStore::new();
+        let err = spec
+            .run_cached(crate::registry::global(), &store, CachePolicy::ReadWrite)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::Registry(_)));
+        assert!(store.is_empty());
     }
 
     #[test]

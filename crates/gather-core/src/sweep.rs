@@ -7,15 +7,24 @@
 //! [`SweepReport`] of structured rows in a deterministic order (axis order is
 //! graph → placement → algorithm → seed, independent of thread count), which
 //! `gather-bench`'s `Table` renders directly.
+//!
+//! Sweeps optionally run through a content-addressed [`ResultStore`] (see
+//! [`Sweep::cache`]): cells whose [`crate::cache::spec_key`] is already
+//! stored skip simulation entirely, and [`SweepReport::stats`] reports how
+//! many cells hit, simulated or failed and how long the run took.
 
+use crate::cache::{CachePolicy, ResultStore};
 use crate::registry::AlgorithmRegistry;
 use crate::scenario::{AlgorithmSpec, GraphSpec, PlacementSpec, ScenarioSpec, DEFAULT_MAX_ROUNDS};
 use gather_sim::placement::PlacementKind;
 use gather_sim::runner;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Builder for a cartesian sweep over scenario axes.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Sweep {
     graphs: Vec<GraphSpec>,
     placements: Vec<PlacementSpec>,
@@ -23,6 +32,23 @@ pub struct Sweep {
     seeds: Vec<u64>,
     max_rounds: u64,
     threads: usize,
+    cache: Option<Arc<dyn ResultStore>>,
+    cache_policy: CachePolicy,
+}
+
+impl fmt::Debug for Sweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sweep")
+            .field("graphs", &self.graphs)
+            .field("placements", &self.placements)
+            .field("algorithms", &self.algorithms)
+            .field("seeds", &self.seeds)
+            .field("max_rounds", &self.max_rounds)
+            .field("threads", &self.threads)
+            .field("cache", &self.cache.as_ref().map(|_| "<ResultStore>"))
+            .field("cache_policy", &self.cache_policy)
+            .finish()
+    }
 }
 
 impl Default for Sweep {
@@ -41,7 +67,20 @@ impl Sweep {
             seeds: vec![0],
             max_rounds: DEFAULT_MAX_ROUNDS,
             threads: runner::default_threads(),
+            cache: None,
+            cache_policy: CachePolicy::Off,
         }
+    }
+
+    /// Attaches a result cache: cells already stored under their
+    /// [`crate::cache::spec_key`] are served without simulating, and (under
+    /// [`CachePolicy::ReadWrite`]) simulated cells are stored for the next
+    /// run. Failed cells are never cached. Under [`CachePolicy::Off`] the
+    /// store stays attached but is never consulted.
+    pub fn cache(mut self, store: Arc<dyn ResultStore>, policy: CachePolicy) -> Self {
+        self.cache = Some(store);
+        self.cache_policy = policy;
+        self
     }
 
     /// Adds one graph axis point.
@@ -131,49 +170,82 @@ impl Sweep {
     /// regardless of `threads`.
     pub fn run(&self, registry: &AlgorithmRegistry) -> SweepReport {
         let specs = self.specs();
+        let policy = self.cache_policy;
         let jobs: Vec<_> = specs
             .into_iter()
             .map(|spec| {
+                let store = self.cache.clone();
                 move || {
-                    let row = match spec.run(registry) {
-                        Ok(result) => SweepRow {
-                            family: spec.graph.family.name().to_string(),
-                            n: result.n,
-                            k: result.k,
-                            kind: spec.placement.kind,
-                            algorithm: spec.algorithm.name.clone(),
-                            seed: spec.seed,
-                            closest_pair: result.closest_pair,
-                            rounds: result.outcome.rounds,
-                            total_moves: result.outcome.metrics.total_moves,
-                            messages: result.outcome.metrics.messages_delivered,
-                            peak_memory_bits: result.outcome.metrics.max_memory_bits(),
-                            detected_ok: result.outcome.is_correct_gathering_with_detection(),
-                            error: None,
-                        },
-                        Err(e) => SweepRow {
-                            family: spec.graph.family.name().to_string(),
-                            n: spec.graph.n,
-                            k: spec.placement.k,
-                            kind: spec.placement.kind,
-                            algorithm: spec.algorithm.name.clone(),
-                            seed: spec.seed,
-                            closest_pair: None,
-                            rounds: 0,
-                            total_moves: 0,
-                            messages: 0,
-                            peak_memory_bits: 0,
-                            detected_ok: false,
-                            error: Some(e.to_string()),
-                        },
+                    let ran = match &store {
+                        Some(store) => spec.run_cached(registry, store.as_ref(), policy),
+                        None => spec.run(registry).map(|outcome| (outcome, false)),
                     };
-                    (spec, row)
+                    let (row, cache_hit) = match ran {
+                        Ok((result, hit)) => (
+                            SweepRow {
+                                family: spec.graph.family.name().to_string(),
+                                n: result.n,
+                                k: result.k,
+                                kind: spec.placement.kind,
+                                algorithm: spec.algorithm.name.clone(),
+                                seed: spec.seed,
+                                closest_pair: result.closest_pair,
+                                rounds: result.outcome.rounds,
+                                total_moves: result.outcome.metrics.total_moves,
+                                messages: result.outcome.metrics.messages_delivered,
+                                peak_memory_bits: result.outcome.metrics.max_memory_bits(),
+                                detected_ok: result.outcome.is_correct_gathering_with_detection(),
+                                error: None,
+                            },
+                            hit,
+                        ),
+                        Err(e) => (
+                            SweepRow {
+                                family: spec.graph.family.name().to_string(),
+                                n: spec.graph.n,
+                                k: spec.placement.k,
+                                kind: spec.placement.kind,
+                                algorithm: spec.algorithm.name.clone(),
+                                seed: spec.seed,
+                                closest_pair: None,
+                                rounds: 0,
+                                total_moves: 0,
+                                messages: 0,
+                                peak_memory_bits: 0,
+                                detected_ok: false,
+                                error: Some(e.to_string()),
+                            },
+                            false,
+                        ),
+                    };
+                    (spec, row, cache_hit)
                 }
             })
             .collect();
+        let started = Instant::now();
         let results = runner::run_parallel(jobs, self.threads);
-        let (specs, rows) = results.into_iter().unzip();
-        SweepReport { specs, rows }
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        let mut specs = Vec::with_capacity(results.len());
+        let mut rows = Vec::with_capacity(results.len());
+        let mut stats = SweepStats {
+            cells: results.len(),
+            cache_hits: 0,
+            simulated: 0,
+            errors: 0,
+            elapsed_ms,
+        };
+        for (spec, row, cache_hit) in results {
+            if row.error.is_some() {
+                stats.errors += 1;
+            } else if cache_hit {
+                stats.cache_hits += 1;
+            } else {
+                stats.simulated += 1;
+            }
+            specs.push(spec);
+            rows.push(row);
+        }
+        SweepReport { specs, rows, stats }
     }
 
     /// [`Sweep::run`] against the built-in global registry.
@@ -213,14 +285,34 @@ pub struct SweepRow {
     pub error: Option<String>,
 }
 
+/// Per-run execution statistics of one sweep: how each cell was satisfied
+/// and how long the whole run took. `cells == cache_hits + simulated +
+/// errors` always holds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Total number of expanded scenario cells.
+    pub cells: usize,
+    /// Cells served from the attached [`ResultStore`] without simulating.
+    pub cache_hits: usize,
+    /// Cells that actually ran the simulator.
+    pub simulated: usize,
+    /// Cells that failed (infeasible placement, unknown algorithm, …).
+    pub errors: usize,
+    /// Wall-clock time of the whole run, milliseconds.
+    pub elapsed_ms: f64,
+}
+
 /// The structured output of one sweep: rows plus the specs that produced
-/// them, kept index-aligned.
+/// them, kept index-aligned, and the run's cache/timing statistics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepReport {
     /// The expanded scenarios, in row order.
     pub specs: Vec<ScenarioSpec>,
     /// One row per scenario.
     pub rows: Vec<SweepRow>,
+    /// How the cells were satisfied (hit/simulated/error) and the wall-clock
+    /// time of this run.
+    pub stats: SweepStats,
 }
 
 impl SweepReport {
@@ -327,6 +419,58 @@ mod tests {
         let report = Sweep::new().run_default();
         assert!(report.rows.is_empty());
         assert!(report.all_detected_ok(), "vacuously true");
+        assert_eq!(report.stats.cells, 0);
+    }
+
+    #[test]
+    fn uncached_sweeps_report_every_cell_as_simulated() {
+        let report = tiny_sweep().threads(2).run_default();
+        let stats = report.stats;
+        assert_eq!(stats.cells, report.rows.len());
+        assert_eq!(stats.simulated, stats.cells);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.errors, 0);
+        assert!(stats.elapsed_ms >= 0.0);
+    }
+
+    #[test]
+    fn cached_sweep_second_run_serves_every_cell_from_the_store() {
+        use crate::cache::{CachePolicy, MemStore};
+        use std::sync::Arc;
+        let store = Arc::new(MemStore::new());
+        let sweep = tiny_sweep()
+            .threads(2)
+            .cache(store.clone(), CachePolicy::ReadWrite);
+        let first = sweep.run_default();
+        assert_eq!(first.stats.simulated, first.stats.cells);
+        assert_eq!(store.len(), first.stats.cells);
+        let second = sweep.run_default();
+        assert_eq!(second.stats.cache_hits, second.stats.cells);
+        assert_eq!(second.stats.simulated, 0, "{:?}", second.stats);
+        assert_eq!(second.rows, first.rows);
+    }
+
+    #[test]
+    fn error_cells_are_counted_and_never_cached() {
+        use crate::cache::{CachePolicy, MemStore};
+        use std::sync::Arc;
+        let store = Arc::new(MemStore::new());
+        let sweep = Sweep::new()
+            .graph(GraphSpec::new(Family::Path, 4))
+            .placements([
+                PlacementSpec::new(PlacementKind::UndispersedRandom, 3),
+                PlacementSpec::new(PlacementKind::DispersedRandom, 40),
+            ])
+            .algorithm(AlgorithmSpec::new("faster_gathering"))
+            .cache(store.clone(), CachePolicy::ReadWrite);
+        let report = sweep.run_default();
+        assert_eq!(report.stats.errors, 1);
+        assert_eq!(report.stats.simulated, 1);
+        assert_eq!(store.len(), 1, "only the successful cell is stored");
+        // The error cell stays an error (and a miss) on the second run.
+        let second = sweep.run_default();
+        assert_eq!(second.stats.errors, 1);
+        assert_eq!(second.stats.cache_hits, 1);
     }
 
     #[test]

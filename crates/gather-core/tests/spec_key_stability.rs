@@ -1,0 +1,55 @@
+//! Pins the [`gather_core::cache::spec_key`] format across releases.
+//!
+//! Persisted caches (`results/cache/`, the CI `actions/cache` entries) are
+//! addressed by these keys: if the canonical serialization or the hash ever
+//! changes, every stored result silently stops being found — or worse, a
+//! future format could collide with an old one. Any intentional change must
+//! bump `KEY_FORMAT_VERSION` *and* update the fixtures here in the same
+//! commit.
+
+use gather_core::cache::{spec_key, ENGINE_VERSION, KEY_FORMAT_VERSION};
+use gather_core::scenario::{AlgorithmSpec, GraphSpec, LabelSpec, PlacementSpec, ScenarioSpec};
+use gather_core::GatherConfig;
+use gather_graph::generators::Family;
+use gather_sim::placement::PlacementKind;
+
+#[test]
+fn the_version_tags_are_pinned() {
+    // Bumping either constant invalidates every persisted cache; the CI
+    // cache key comment in .github/workflows/ci.yml tracks the format
+    // version. ENGINE_VERSION must be bumped whenever an intentional
+    // algorithm/engine change alters outcomes for an unchanged spec.
+    assert_eq!(KEY_FORMAT_VERSION, 1);
+    assert_eq!(ENGINE_VERSION, 1);
+}
+
+#[test]
+fn spec_key_is_pinned_across_releases() {
+    // A spec exercising every field, including non-default label and
+    // placement variants. The expected keys are frozen: a mismatch means
+    // the canonical form or the hash changed and persisted caches are
+    // invisible — bump KEY_FORMAT_VERSION and re-pin, never re-pin alone.
+    let spec = ScenarioSpec::new(
+        GraphSpec::new(Family::Cycle, 8),
+        PlacementSpec::new(PlacementKind::UndispersedRandom, 3),
+        AlgorithmSpec::new("faster_gathering"),
+    )
+    .with_seed(7);
+    assert_eq!(
+        spec_key(&spec),
+        "v1e1-7e2bb39be24a30e02084f276b9d92a2a39b1310215427fa897f627d03d0c9c4a"
+    );
+
+    let exotic = ScenarioSpec::new(
+        GraphSpec::new(Family::RandomSparse, 24),
+        PlacementSpec::new(PlacementKind::PairAtDistance(3), 2)
+            .with_labels(LabelSpec::Random { b: 2 }),
+        AlgorithmSpec::new("uxs_gathering").with_config(GatherConfig::with_calibrated_uxs(500)),
+    )
+    .with_seed(u64::MAX)
+    .with_max_rounds(123_456);
+    assert_eq!(
+        spec_key(&exotic),
+        "v1e1-8ea407612061368710785dfd3881c96d7f5889b5ba042b207a090b8d3b948fcf"
+    );
+}

@@ -4,9 +4,8 @@
 //! deterministic: random families take an explicit `seed`. Port numbers of
 //! random families are shuffled so they never leak construction order.
 //!
-//! The [`family`] module additionally provides a single enumeration,
-//! [`family::Family`], that names each family so sweeps and reports can refer
-//! to graphs uniformly.
+//! A single enumeration, [`Family`], additionally names each family so
+//! sweeps and reports can refer to graphs uniformly.
 
 mod classic;
 mod family;

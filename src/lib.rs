@@ -17,8 +17,9 @@
 //!
 //! ## Quickstart
 //!
-//! An experiment is a declarative, JSON-roundtrippable [`ScenarioSpec`]
-//! value, executed through the open algorithm registry:
+//! An experiment is a declarative, JSON-roundtrippable
+//! [`ScenarioSpec`](core::scenario::ScenarioSpec) value, executed through
+//! the open algorithm registry:
 //!
 //! ```
 //! use gathering::prelude::*;
@@ -42,7 +43,8 @@
 //! assert_eq!(again.run_default().unwrap().outcome.rounds, result.outcome.rounds);
 //! ```
 //!
-//! Whole parameter grids run in parallel through [`Sweep`]:
+//! Whole parameter grids run in parallel through
+//! [`Sweep`](core::sweep::Sweep):
 //!
 //! ```
 //! use gathering::prelude::*;
@@ -68,16 +70,19 @@ pub use gather_uxs as uxs;
 
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
+    pub use gather_core::cache::{
+        spec_key, CacheEntry, CachePolicy, DirStore, MemStore, ResultStore, ENGINE_VERSION,
+        KEY_FORMAT_VERSION,
+    };
     pub use gather_core::registry::{self, AlgorithmFactory, AlgorithmRegistry};
     pub use gather_core::scenario::{
         AlgorithmSpec, GraphSpec, LabelSpec, PlacementSpec, ScenarioError, ScenarioOutcome,
         ScenarioSpec,
     };
-    pub use gather_core::sweep::{Sweep, SweepReport, SweepRow};
-    #[allow(deprecated)]
+    pub use gather_core::sweep::{Sweep, SweepReport, SweepRow, SweepStats};
     pub use gather_core::{
-        analysis, run_algorithm, Algorithm, FasterRobot, GatherConfig, HopMeetingRobot, RunSpec,
-        UndispersedRobot, UxsGatherRobot,
+        analysis, Algorithm, FasterRobot, GatherConfig, HopMeetingRobot, UndispersedRobot,
+        UxsGatherRobot,
     };
     pub use gather_graph::generators::Family;
     pub use gather_graph::{algo, dot, generators, GraphBuilder, PortGraph};
@@ -104,11 +109,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_shim_still_runs_through_the_facade() {
-        let graph = generators::cycle(5).unwrap();
-        let start = Placement::new(vec![(1, 0), (2, 0)]);
-        let out = run_algorithm(&graph, &start, &RunSpec::new(Algorithm::Undispersed));
-        assert!(out.is_correct_gathering_with_detection());
+    fn cached_scenarios_run_through_the_facade() {
+        let spec = ScenarioSpec::new(
+            GraphSpec::new(Family::Cycle, 5),
+            PlacementSpec::new(PlacementKind::AllOnOneNode, 2),
+            AlgorithmSpec::new(Algorithm::Undispersed.name()),
+        );
+        let store = MemStore::new();
+        let (first, hit) = spec
+            .run_cached(registry::global(), &store, CachePolicy::ReadWrite)
+            .unwrap();
+        assert!(!hit);
+        let (second, hit) = spec
+            .run_cached(registry::global(), &store, CachePolicy::ReadWrite)
+            .unwrap();
+        assert!(hit);
+        assert_eq!(first.outcome.rounds, second.outcome.rounds);
     }
 }

@@ -15,7 +15,10 @@
 
 use crate::cache::{CachePolicy, ResultStore};
 use crate::registry::AlgorithmRegistry;
-use crate::scenario::{AlgorithmSpec, GraphSpec, PlacementSpec, ScenarioSpec, DEFAULT_MAX_ROUNDS};
+use crate::scenario::{
+    AlgorithmSpec, GraphSpec, PlacementSpec, ScenarioError, ScenarioOutcome, ScenarioSpec,
+    DEFAULT_MAX_ROUNDS,
+};
 use gather_sim::placement::PlacementKind;
 use gather_sim::runner;
 use serde::{Deserialize, Serialize};
@@ -176,48 +179,8 @@ impl Sweep {
             .map(|spec| {
                 let store = self.cache.clone();
                 move || {
-                    let ran = match &store {
-                        Some(store) => spec.run_cached(registry, store.as_ref(), policy),
-                        None => spec.run(registry).map(|outcome| (outcome, false)),
-                    };
-                    let (row, cache_hit) = match ran {
-                        Ok((result, hit)) => (
-                            SweepRow {
-                                family: spec.graph.family.name().to_string(),
-                                n: result.n,
-                                k: result.k,
-                                kind: spec.placement.kind,
-                                algorithm: spec.algorithm.name.clone(),
-                                seed: spec.seed,
-                                closest_pair: result.closest_pair,
-                                rounds: result.outcome.rounds,
-                                total_moves: result.outcome.metrics.total_moves,
-                                messages: result.outcome.metrics.messages_delivered,
-                                peak_memory_bits: result.outcome.metrics.max_memory_bits(),
-                                detected_ok: result.outcome.is_correct_gathering_with_detection(),
-                                error: None,
-                            },
-                            hit,
-                        ),
-                        Err(e) => (
-                            SweepRow {
-                                family: spec.graph.family.name().to_string(),
-                                n: spec.graph.n,
-                                k: spec.placement.k,
-                                kind: spec.placement.kind,
-                                algorithm: spec.algorithm.name.clone(),
-                                seed: spec.seed,
-                                closest_pair: None,
-                                rounds: 0,
-                                total_moves: 0,
-                                messages: 0,
-                                peak_memory_bits: 0,
-                                detected_ok: false,
-                                error: Some(e.to_string()),
-                            },
-                            false,
-                        ),
-                    };
+                    let (row, cache_hit) =
+                        SweepRow::compute(&spec, registry, store.as_deref(), policy);
                     (spec, row, cache_hit)
                 }
             })
@@ -245,12 +208,106 @@ impl Sweep {
             specs.push(spec);
             rows.push(row);
         }
-        SweepReport { specs, rows, stats }
+        SweepReport::from_rows(specs, rows, stats)
     }
 
     /// [`Sweep::run`] against the built-in global registry.
     pub fn run_default(&self) -> SweepReport {
         self.run(crate::registry::global())
+    }
+
+    /// The serializable mirror of this builder's axes (threads and cache
+    /// wiring are execution details and are not part of the wire value).
+    pub fn to_spec(&self) -> SweepSpec {
+        SweepSpec {
+            graphs: self.graphs.clone(),
+            placements: self.placements.clone(),
+            algorithms: self.algorithms.clone(),
+            seeds: self.seeds.clone(),
+            max_rounds: self.max_rounds,
+        }
+    }
+}
+
+/// A whole sweep grid as one serializable value: the wire format submitted
+/// to the sweep service (`gather-service`) and a convenient way to keep
+/// experiment grids in JSON files.
+///
+/// `SweepSpec` mirrors the [`Sweep`] builder's axes — graphs × placements ×
+/// algorithms × seeds plus the shared round cap — but carries none of the
+/// execution knobs (thread count, cache wiring): those belong to whoever
+/// runs the grid, not to the grid itself. Convert with
+/// [`SweepSpec::into_sweep`] to execute locally, or expand with
+/// [`SweepSpec::specs`] (same deterministic cell order as [`Sweep::specs`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Graph axis points.
+    pub graphs: Vec<GraphSpec>,
+    /// Placement axis points.
+    pub placements: Vec<PlacementSpec>,
+    /// Algorithm axis points.
+    pub algorithms: Vec<AlgorithmSpec>,
+    /// Seed axis points (an empty list behaves as the single seed 0).
+    pub seeds: Vec<u64>,
+    /// Per-scenario round cap shared by every cell.
+    pub max_rounds: u64,
+}
+
+impl SweepSpec {
+    /// An empty grid with seed axis `[0]` and the default round cap.
+    pub fn new() -> Self {
+        Sweep::new().to_spec()
+    }
+
+    /// Converts the wire value back into an executable [`Sweep`] builder
+    /// (default thread count, no cache attached — chain [`Sweep::threads`] /
+    /// [`Sweep::cache`] as needed).
+    pub fn into_sweep(self) -> Sweep {
+        Sweep::new()
+            .graphs(self.graphs)
+            .placements(self.placements)
+            .algorithms(self.algorithms)
+            .seeds(self.seeds)
+            .max_rounds(self.max_rounds)
+    }
+
+    /// Expands the grid into concrete scenarios in the deterministic cell
+    /// order (graph → placement → algorithm → seed), exactly like
+    /// [`Sweep::specs`].
+    pub fn specs(&self) -> Vec<ScenarioSpec> {
+        self.clone().into_sweep().specs()
+    }
+
+    /// Number of cells the grid expands to, computed without materializing
+    /// them (saturating, so a hostile grid cannot overflow the count).
+    pub fn cells(&self) -> usize {
+        self.graphs
+            .len()
+            .saturating_mul(self.placements.len())
+            .saturating_mul(self.algorithms.len())
+            .saturating_mul(self.seeds.len().max(1))
+    }
+
+    /// Serializes to compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("SweepSpec serializes")
+    }
+
+    /// Parses a grid from JSON text.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec::new()
+    }
+}
+
+impl From<SweepSpec> for Sweep {
+    fn from(spec: SweepSpec) -> Sweep {
+        spec.into_sweep()
     }
 }
 
@@ -285,6 +342,71 @@ pub struct SweepRow {
     pub error: Option<String>,
 }
 
+impl SweepRow {
+    /// Executes one sweep cell: through `store` under `policy` when a store
+    /// is given, plain otherwise. Returns the row plus whether it was
+    /// served from the cache. This is *the* cell-execution path, shared by
+    /// the local [`Sweep::run`] pool and the `gather-service` workers, so a
+    /// change to cache semantics can never make the two executors diverge.
+    pub fn compute(
+        spec: &ScenarioSpec,
+        registry: &AlgorithmRegistry,
+        store: Option<&dyn ResultStore>,
+        policy: CachePolicy,
+    ) -> (SweepRow, bool) {
+        let ran = match store {
+            Some(store) => spec.run_cached(registry, store, policy),
+            None => spec.run(registry).map(|outcome| (outcome, false)),
+        };
+        match ran {
+            Ok((outcome, hit)) => (SweepRow::ok(spec, &outcome), hit),
+            Err(e) => (SweepRow::failed(spec, &e), false),
+        }
+    }
+
+    /// The row of a successfully executed scenario. Every field is a pure
+    /// function of `(spec, result)`, so a row built here is byte-identical
+    /// (as JSON) no matter which executor produced the outcome — the local
+    /// [`Sweep::run`] pool, a service worker, or a cache hit.
+    pub fn ok(spec: &ScenarioSpec, result: &ScenarioOutcome) -> Self {
+        SweepRow {
+            family: spec.graph.family.name().to_string(),
+            n: result.n,
+            k: result.k,
+            kind: spec.placement.kind,
+            algorithm: spec.algorithm.name.clone(),
+            seed: spec.seed,
+            closest_pair: result.closest_pair,
+            rounds: result.outcome.rounds,
+            total_moves: result.outcome.metrics.total_moves,
+            messages: result.outcome.metrics.messages_delivered,
+            peak_memory_bits: result.outcome.metrics.max_memory_bits(),
+            detected_ok: result.outcome.is_correct_gathering_with_detection(),
+            error: None,
+        }
+    }
+
+    /// The row of a scenario that failed to run (infeasible placement,
+    /// unknown algorithm, graph construction error).
+    pub fn failed(spec: &ScenarioSpec, error: &ScenarioError) -> Self {
+        SweepRow {
+            family: spec.graph.family.name().to_string(),
+            n: spec.graph.n,
+            k: spec.placement.k,
+            kind: spec.placement.kind,
+            algorithm: spec.algorithm.name.clone(),
+            seed: spec.seed,
+            closest_pair: None,
+            rounds: 0,
+            total_moves: 0,
+            messages: 0,
+            peak_memory_bits: 0,
+            detected_ok: false,
+            error: Some(error.to_string()),
+        }
+    }
+}
+
 /// Per-run execution statistics of one sweep: how each cell was satisfied
 /// and how long the whole run took. `cells == cache_hits + simulated +
 /// errors` always holds.
@@ -316,6 +438,22 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
+    /// Assembles a report from index-aligned specs and rows plus the run's
+    /// statistics. This is how remote executors (the `gather-service`
+    /// client) and replayers rebuild the exact value [`Sweep::run`] returns.
+    ///
+    /// # Panics
+    /// If `specs` and `rows` differ in length — the two vectors are one
+    /// report split in half, never independent data.
+    pub fn from_rows(specs: Vec<ScenarioSpec>, rows: Vec<SweepRow>, stats: SweepStats) -> Self {
+        assert_eq!(
+            specs.len(),
+            rows.len(),
+            "specs and rows must be index-aligned"
+        );
+        SweepReport { specs, rows, stats }
+    }
+
     /// The rows that ran successfully.
     pub fn ok_rows(&self) -> impl Iterator<Item = &SweepRow> {
         self.rows.iter().filter(|r| r.error.is_none())
@@ -471,6 +609,59 @@ mod tests {
         let second = sweep.run_default();
         assert_eq!(second.stats.errors, 1);
         assert_eq!(second.stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn sweep_spec_roundtrips_through_json() {
+        let spec = tiny_sweep().max_rounds(123_456).to_spec();
+        let json = spec.to_json();
+        let back = SweepSpec::from_json(&json).unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(back.max_rounds, 123_456);
+        assert_eq!(back.seeds, vec![1, 2]);
+    }
+
+    #[test]
+    fn sweep_spec_expands_exactly_like_the_builder() {
+        let sweep = tiny_sweep();
+        let spec = sweep.to_spec();
+        assert_eq!(spec.cells(), 8);
+        assert_eq!(spec.specs(), sweep.specs());
+        assert_eq!(spec.clone().into_sweep().specs(), sweep.specs());
+    }
+
+    #[test]
+    fn sweep_spec_runs_straight_from_parsed_json() {
+        let json = r#"{
+            "graphs": [{"family": "Cycle", "n": 6}],
+            "placements": [{"kind": "UndispersedRandom", "k": 3,
+                             "labels": "Sequential"}],
+            "algorithms": [{"name": "faster_gathering",
+                             "config": {"uxs_policy": {"Polynomial": 3},
+                                        "map_bound": "Paper"}}],
+            "seeds": [1],
+            "max_rounds": 2000000000
+        }"#;
+        let spec = SweepSpec::from_json(json).unwrap();
+        let report = spec.into_sweep().run_default();
+        assert_eq!(report.rows.len(), 1);
+        assert!(report.all_detected_ok(), "{:?}", report.rows);
+    }
+
+    #[test]
+    fn from_rows_rebuilds_a_run_report() {
+        let report = tiny_sweep().threads(2).run_default();
+        let rebuilt =
+            SweepReport::from_rows(report.specs.clone(), report.rows.clone(), report.stats);
+        assert_eq!(rebuilt.rows, report.rows);
+        assert_eq!(rebuilt.specs, report.specs);
+    }
+
+    #[test]
+    #[should_panic(expected = "index-aligned")]
+    fn from_rows_rejects_misaligned_halves() {
+        let report = tiny_sweep().threads(2).run_default();
+        let _ = SweepReport::from_rows(report.specs.clone(), Vec::new(), report.stats);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use super::{
     balanced_binary_tree, barbell, complete, cycle, grid, hypercube, lollipop, maze, path,
-    random_connected, random_regular, random_tree, star, torus,
+    preferential_attachment, random_connected, random_regular, random_tree, star, torus,
 };
 use crate::error::GraphError;
 use crate::graph::PortGraph;
@@ -47,11 +47,18 @@ pub enum Family {
     RandomDense,
     /// Near-4-regular random graph.
     RandomRegular4,
+    /// Barabási–Albert preferential-attachment graph: each arriving node
+    /// attaches `m` degree-proportional edges, producing scale-free
+    /// hub-and-spoke topologies.
+    PreferentialAttachment {
+        /// Edges each arriving node attaches (`m >= 1`).
+        m: usize,
+    },
 }
 
 impl Family {
     /// All families, in a stable order used by reports.
-    pub const ALL: [Family; 15] = [
+    pub const ALL: [Family; 16] = [
         Family::Path,
         Family::Cycle,
         Family::Complete,
@@ -67,6 +74,7 @@ impl Family {
         Family::RandomSparse,
         Family::RandomDense,
         Family::RandomRegular4,
+        Family::PreferentialAttachment { m: 2 },
     ];
 
     /// Short, stable name used in result tables.
@@ -87,6 +95,7 @@ impl Family {
             Family::RandomSparse => "random_sparse",
             Family::RandomDense => "random_dense",
             Family::RandomRegular4 => "random_regular4",
+            Family::PreferentialAttachment { .. } => "pref_attach",
         }
     }
 
@@ -136,6 +145,9 @@ impl Family {
             }
             Family::RandomDense => random_connected(n, 0.5, seed),
             Family::RandomRegular4 => random_regular(n.max(6), 4, seed),
+            Family::PreferentialAttachment { m } => {
+                preferential_attachment(n.max(2), (*m).max(1), seed)
+            }
         }
     }
 }
@@ -220,5 +232,23 @@ mod tests {
         let s = serde_json::to_string(&spec).unwrap();
         let back: FamilySpec = serde_json::from_str(&s).unwrap();
         assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn preferential_attachment_is_declaratively_nameable() {
+        // The struct variant must carry `m` through serde, so sweeps can
+        // name the family (and its parameter) in JSON.
+        let spec = FamilySpec::new(Family::PreferentialAttachment { m: 3 }, 30, 4);
+        let s = serde_json::to_string(&spec).unwrap();
+        assert!(s.contains("PreferentialAttachment"), "{s}");
+        assert!(s.contains("\"m\":3"), "{s}");
+        let back: FamilySpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(spec, back);
+        let g = back.build().unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.n(), 30);
+        // m is honoured, not silently fixed at the ALL default: each of the
+        // 26 post-seed arrivals contributes exactly 3 edges.
+        assert_eq!(g.m(), 3 + (30 - 4) * 3);
     }
 }

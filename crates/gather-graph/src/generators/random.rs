@@ -77,6 +77,64 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<PortGraph, GraphE
     b.shuffle_ports(&mut rng).build()
 }
 
+/// Barabási–Albert-style preferential-attachment graph: nodes arrive one at
+/// a time and attach `m` edges to existing nodes chosen with probability
+/// proportional to their current degree ("rich get richer"), yielding the
+/// heavy-tailed hub-and-spoke degree profile of scale-free networks — a
+/// qualitatively different gathering arena from grids and Erdős–Rényi
+/// graphs, because a few hubs dominate the meeting structure.
+///
+/// The first `m + 1` nodes form a seed path (guaranteeing connectivity);
+/// every later node draws `min(m, existing)` *distinct* neighbours by
+/// sampling the endpoint multiset (each node appears once per unit of
+/// degree). Ports are shuffled. Requires `n >= 2` and `m >= 1`.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Result<PortGraph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("preferential_attachment requires n >= 2, got {n}"),
+        });
+    }
+    if m == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "preferential_attachment requires m >= 1".to_string(),
+        });
+    }
+    // A node can attach to at most n-1 distinct earlier nodes, so larger m
+    // adds nothing — clamping also keeps the arithmetic below (capacities,
+    // edge counts) overflow-free for hostile m values from parsed specs.
+    let m = m.min(n - 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b =
+        GraphBuilder::new(n).name(format!("preferential_attachment(n={n},m={m},seed={seed})"));
+    // Endpoint multiset: node `v` appears once per unit of degree, so a
+    // uniform draw from it is exactly degree-proportional sampling.
+    let mut endpoints: Vec<usize> = Vec::with_capacity(2 * m * n);
+    let seed_nodes = (m + 1).min(n);
+    for v in 1..seed_nodes {
+        b.add_edge(v - 1, v);
+        endpoints.push(v - 1);
+        endpoints.push(v);
+    }
+    for v in seed_nodes..n {
+        let wanted = m.min(v);
+        let mut chosen: Vec<usize> = Vec::with_capacity(wanted);
+        // Rejection-sample distinct targets; `wanted <= v` distinct earlier
+        // nodes always exist, so this terminates.
+        while chosen.len() < wanted {
+            let target = endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        for target in chosen {
+            b.add_edge(v, target);
+            endpoints.push(v);
+            endpoints.push(target);
+        }
+    }
+    b.shuffle_ports(&mut rng).build()
+}
+
 /// Lollipop graph: a clique of `clique` nodes attached to a path of `tail`
 /// nodes. A classic hard instance for walk-based exploration. Total nodes
 /// `clique + tail`.
@@ -182,6 +240,47 @@ mod tests {
         }
         assert!(random_regular(3, 2, 0).is_err());
         assert!(random_regular(10, 10, 0).is_err());
+    }
+
+    #[test]
+    fn preferential_attachment_is_connected_with_sane_degrees() {
+        for seed in 0..10u64 {
+            let g = preferential_attachment(40, 2, seed).unwrap();
+            assert_eq!(g.n(), 40);
+            assert!(g.is_connected());
+            // Every arrival adds exactly m = 2 edges once past the seed
+            // path: m0 - 1 seed edges + (n - m0) * m attachment edges.
+            assert_eq!(g.m(), 2 + (40 - 3) * 2);
+            // Attachment degree is a floor for every node past the seed.
+            assert!(g.nodes().all(|v| g.degree(v) >= 1));
+            // Preferential attachment concentrates degree: some hub must
+            // clearly exceed the attachment parameter.
+            let max_degree = g.nodes().map(|v| g.degree(v)).max().unwrap();
+            assert!(max_degree >= 6, "no hub emerged (max degree {max_degree})");
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_deterministic_per_seed() {
+        assert_eq!(
+            preferential_attachment(24, 3, 9).unwrap(),
+            preferential_attachment(24, 3, 9).unwrap()
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_rejects_degenerate_parameters() {
+        assert!(preferential_attachment(1, 2, 0).is_err());
+        assert!(preferential_attachment(10, 0, 0).is_err());
+        // m >= n just saturates: the graph stays simple and connected.
+        let g = preferential_attachment(5, 10, 1).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.n(), 5);
+        // Hostile m values (attacker-controlled JSON specs reach this
+        // through the sweep service) must clamp, not overflow or panic.
+        let g = preferential_attachment(12, usize::MAX, 0).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.n(), 12);
     }
 
     #[test]

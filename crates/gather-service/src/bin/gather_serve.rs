@@ -1,0 +1,118 @@
+//! `gather-serve` — the sweep daemon.
+//!
+//! ```text
+//! gather-serve [--addr 127.0.0.1:7177] [--workers N]
+//!              [--cache-dir results/cache | --no-cache]
+//!              [--policy readwrite|readonly|off]
+//!              [--port-file PATH]
+//! ```
+//!
+//! Binds, prints (and optionally writes to `--port-file`) the actual
+//! listening address — `--addr 127.0.0.1:0` picks an ephemeral port, which
+//! is how CI and tests avoid port collisions — then serves until a client
+//! sends `Shutdown`. The cache directory is shared with local sweeps: runs
+//! cached by `cargo run --bin cache_probe` (or any `Sweep::cache` user
+//! pointed at the same directory) are served without simulating, and
+//! vice versa.
+
+use gather_core::cache::{CachePolicy, DirStore, ResultStore};
+use gather_service::server::{Server, ServerConfig};
+use gather_sim::runner;
+use std::process::exit;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gather-serve [--addr HOST:PORT] [--workers N] \
+         [--cache-dir DIR | --no-cache] [--policy readwrite|readonly|off] \
+         [--port-file PATH]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7177".to_string();
+    let mut workers = runner::default_threads();
+    let mut cache_dir = Some("results/cache".to_string());
+    let mut policy = CachePolicy::ReadWrite;
+    let mut port_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("gather-serve: {what} expects a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--workers" => {
+                workers = value("--workers").parse().unwrap_or_else(|_| {
+                    eprintln!("gather-serve: --workers expects a positive integer");
+                    usage()
+                })
+            }
+            "--cache-dir" => cache_dir = Some(value("--cache-dir")),
+            "--no-cache" => cache_dir = None,
+            "--policy" => {
+                policy = match value("--policy").as_str() {
+                    "readwrite" => CachePolicy::ReadWrite,
+                    "readonly" => CachePolicy::ReadOnly,
+                    "off" => CachePolicy::Off,
+                    other => {
+                        eprintln!("gather-serve: unknown policy `{other}`");
+                        usage()
+                    }
+                }
+            }
+            "--port-file" => port_file = Some(value("--port-file")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("gather-serve: unknown argument `{other}`");
+                usage()
+            }
+        }
+    }
+
+    let store: Option<Arc<dyn ResultStore>> = cache_dir
+        .as_ref()
+        .map(|dir| Arc::new(DirStore::new(dir)) as Arc<dyn ResultStore>);
+    let cache_desc = match (&cache_dir, policy) {
+        (None, _) => "no cache".to_string(),
+        (Some(dir), policy) => format!("cache {dir} ({policy:?})"),
+    };
+
+    let server = match Server::bind(ServerConfig {
+        addr: addr.clone(),
+        workers,
+        store,
+        policy,
+    }) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("gather-serve: cannot bind {addr}: {e}");
+            exit(1);
+        }
+    };
+    let bound = server.local_addr().expect("bound listener has an address");
+    if let Some(path) = &port_file {
+        // Written atomically-enough for the "wait until the file is
+        // non-empty" pattern: tmp + rename.
+        let tmp = format!("{path}.tmp");
+        if std::fs::write(&tmp, bound.to_string())
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .is_err()
+        {
+            eprintln!("gather-serve: cannot write port file {path}");
+            exit(1);
+        }
+    }
+    println!("gather-serve listening on {bound} ({workers} workers, {cache_desc})");
+
+    if let Err(e) = server.run() {
+        eprintln!("gather-serve: server failed: {e}");
+        exit(1);
+    }
+    println!("gather-serve: shut down cleanly");
+}

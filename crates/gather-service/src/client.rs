@@ -1,0 +1,317 @@
+//! Client library for the sweep daemon.
+//!
+//! [`Client`] wraps one TCP connection. Submitting a sweep returns a
+//! [`RowStream`] that yields rows in *completion* order as the daemon's
+//! workers finish cells; [`Client::run_sweep`] drains the stream and
+//! reassembles the deterministic [`SweepReport`] a local
+//! [`gather_core::sweep::Sweep::run`] would have produced — same specs,
+//! same rows (byte-identical as JSON), with the daemon-side [`SweepStats`]
+//! attached, so callers cannot tell (except by the stats' cache hits) where
+//! the grid actually ran.
+
+use crate::protocol::{read_frame, write_frame, FrameError, Request, Response, PROTOCOL_VERSION};
+use gather_core::sweep::{SweepReport, SweepRow, SweepSpec, SweepStats};
+use std::fmt;
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(io::Error),
+    /// A frame could not be read or parsed.
+    Frame(FrameError),
+    /// The daemon answered with a structured error frame.
+    Remote {
+        /// The job the daemon blamed, if any.
+        job: Option<u64>,
+        /// The daemon's description.
+        message: String,
+    },
+    /// The daemon sent a well-formed frame that violates the protocol
+    /// contract (wrong version, unexpected frame, inconsistent indices).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Frame(e) => write!(f, "bad frame from daemon: {e}"),
+            ClientError::Remote {
+                job: Some(id),
+                message,
+            } => {
+                write!(f, "daemon error for job {id}: {message}")
+            }
+            ClientError::Remote { job: None, message } => {
+                write!(f, "daemon error: {message}")
+            }
+            ClientError::Protocol(why) => write!(f, "protocol violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => ClientError::Io(io),
+            other => ClientError::Frame(other),
+        }
+    }
+}
+
+/// One connection to a sweep daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, request).map_err(ClientError::Io)
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        match read_frame::<Response>(&mut self.reader)? {
+            Some(response) => Ok(response),
+            None => Err(ClientError::Protocol(
+                "daemon closed the connection mid-conversation".to_string(),
+            )),
+        }
+    }
+
+    /// Submits a sweep and returns the live row stream. `workers` caps how
+    /// many daemon workers run this job concurrently (`None`: all of them —
+    /// the row *content* is identical either way, only completion order and
+    /// wall-clock change).
+    pub fn submit_sweep(
+        &mut self,
+        sweep: &SweepSpec,
+        workers: Option<usize>,
+    ) -> Result<RowStream<'_>, ClientError> {
+        self.send(&Request::SubmitSweep {
+            sweep: sweep.clone(),
+            workers,
+        })?;
+        self.expect_accepted()
+    }
+
+    /// Submits a single scenario (a one-cell sweep).
+    pub fn submit_scenario(
+        &mut self,
+        scenario: &gather_core::scenario::ScenarioSpec,
+    ) -> Result<RowStream<'_>, ClientError> {
+        self.send(&Request::SubmitScenario {
+            scenario: scenario.clone(),
+        })?;
+        self.expect_accepted()
+    }
+
+    fn expect_accepted(&mut self) -> Result<RowStream<'_>, ClientError> {
+        match self.recv()? {
+            Response::Accepted {
+                job,
+                cells,
+                protocol,
+            } => {
+                if protocol != PROTOCOL_VERSION {
+                    return Err(ClientError::Protocol(format!(
+                        "daemon speaks protocol v{protocol}, this client v{PROTOCOL_VERSION}"
+                    )));
+                }
+                Ok(RowStream {
+                    client: self,
+                    job,
+                    cells,
+                    stats: None,
+                    finished: false,
+                })
+            }
+            Response::Error { job, message } => Err(ClientError::Remote { job, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected Accepted, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Submits a sweep, drains the stream and reassembles the report in the
+    /// grid's deterministic cell order — the same value
+    /// [`gather_core::sweep::Sweep::run`] produces locally, with the
+    /// daemon's execution stats attached.
+    ///
+    /// On a mid-stream protocol violation (version skew producing a cell
+    /// count mismatch or inconsistent indices) the error is returned only
+    /// after the abandoned stream drains — see [`RowStream`]'s `Drop` —
+    /// which keeps the connection usable but can take as long as the
+    /// daemon needs to finish the job.
+    pub fn run_sweep(
+        &mut self,
+        sweep: &SweepSpec,
+        workers: Option<usize>,
+    ) -> Result<SweepReport, ClientError> {
+        let specs = sweep.specs();
+        let mut stream = self.submit_sweep(sweep, workers)?;
+        if stream.cells != specs.len() {
+            return Err(ClientError::Protocol(format!(
+                "daemon expanded {} cells, client {}",
+                stream.cells,
+                specs.len()
+            )));
+        }
+        let mut rows: Vec<Option<SweepRow>> = vec![None; specs.len()];
+        while let Some((index, row)) = stream.next_row()? {
+            let slot = rows
+                .get_mut(index)
+                .ok_or_else(|| ClientError::Protocol(format!("row index {index} out of range")))?;
+            if slot.replace(row).is_some() {
+                return Err(ClientError::Protocol(format!("duplicate row {index}")));
+            }
+        }
+        let stats = stream
+            .stats()
+            .ok_or_else(|| ClientError::Protocol("stream ended without Done".to_string()))?;
+        let rows: Option<Vec<SweepRow>> = rows.into_iter().collect();
+        let rows =
+            rows.ok_or_else(|| ClientError::Protocol("missing rows in stream".to_string()))?;
+        Ok(SweepReport::from_rows(specs, rows, stats))
+    }
+
+    /// A job's `(done, total, cancelled)` progress; `None` asks for the
+    /// daemon's lifetime `(done, total)` totals instead.
+    pub fn status(&mut self, job: Option<u64>) -> Result<(usize, usize, bool), ClientError> {
+        self.send(&Request::Status { job })?;
+        match self.recv()? {
+            Response::Progress {
+                done,
+                total,
+                cancelled,
+                ..
+            } => Ok((done, total, cancelled)),
+            Response::Error { job, message } => Err(ClientError::Remote { job, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected Progress, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Cancels a job (submitted on this or any other connection).
+    pub fn cancel(&mut self, job: u64) -> Result<(), ClientError> {
+        self.send(&Request::Cancel { job })?;
+        match self.recv()? {
+            Response::Progress { .. } => Ok(()),
+            Response::Error { job, message } => Err(ClientError::Remote { job, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected Progress, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to shut down (acknowledged before it stops).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)?;
+        match self.recv()? {
+            Response::Accepted { .. } => Ok(()),
+            Response::Error { job, message } => Err(ClientError::Remote { job, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected Accepted, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// The live response stream of one submitted job.
+///
+/// Yields `(cell index, row)` pairs in completion order; after the stream
+/// ends, [`RowStream::stats`] holds the job's [`SweepStats`]. Also usable
+/// as an [`Iterator`] of `Result<(usize, SweepRow), ClientError>`.
+pub struct RowStream<'c> {
+    client: &'c mut Client,
+    /// The daemon's id for this job.
+    pub job: u64,
+    /// Number of cells the daemon expanded the submission to.
+    pub cells: usize,
+    stats: Option<SweepStats>,
+    finished: bool,
+}
+
+impl RowStream<'_> {
+    /// The next finished cell, or `None` once the job is done. A daemon-side
+    /// cancellation or error surfaces as [`ClientError::Remote`].
+    pub fn next_row(&mut self) -> Result<Option<(usize, SweepRow)>, ClientError> {
+        if self.finished {
+            return Ok(None);
+        }
+        loop {
+            match self.client.recv()? {
+                Response::Row { index, row, .. } => return Ok(Some((index, row))),
+                Response::Done { stats, .. } => {
+                    self.stats = Some(stats);
+                    self.finished = true;
+                    return Ok(None);
+                }
+                Response::Error { job, message } => {
+                    self.finished = true;
+                    return Err(ClientError::Remote { job, message });
+                }
+                // Progress frames interleave harmlessly.
+                Response::Progress { .. } => continue,
+                other => {
+                    self.finished = true;
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame mid-stream: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// The job's execution stats; `Some` once the stream ended with `Done`.
+    pub fn stats(&self) -> Option<SweepStats> {
+        self.stats
+    }
+}
+
+impl Iterator for RowStream<'_> {
+    type Item = Result<(usize, SweepRow), ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_row().transpose()
+    }
+}
+
+impl Drop for RowStream<'_> {
+    /// Dropping a stream mid-job drains the remaining frames (discarding
+    /// the rows) so the connection stays frame-aligned — otherwise the next
+    /// request on this [`Client`] would misread the abandoned job's
+    /// leftover `Row`/`Done` frames as its own response. This blocks until
+    /// the daemon finishes the job; abandon streams sparingly, or use a
+    /// second connection's `Cancel` to cut the job short first.
+    fn drop(&mut self) {
+        while !self.finished {
+            match self.next_row() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                // Remote/protocol errors mark the stream finished; a
+                // transport error means the connection is dead anyway.
+                Err(_) => break,
+            }
+        }
+    }
+}

@@ -1,0 +1,626 @@
+//! The daemon's sharded job scheduler.
+//!
+//! A submitted grid is expanded into per-cell jobs ([`ScenarioSpec`]s) and
+//! sharded dynamically over a fixed pool of worker threads: workers claim
+//! the next unclaimed cell of the oldest runnable job (self-scheduling /
+//! work-sharing — idle workers pull work instead of work being pushed at
+//! them, so an expensive cell never stalls the rest of its grid). Because a
+//! cell's row is a pure function of its spec, the produced row *set* is
+//! identical for any worker count; only completion order varies, and rows
+//! carry their cell index so clients reassemble the deterministic order.
+//!
+//! Every worker runs cells through one shared [`ResultStore`] under the
+//! daemon's [`CachePolicy`] — so repeated submissions across connections
+//! (and, with a [`gather_core::cache::DirStore`], across daemon restarts)
+//! are served from cache, and a finished job's [`SweepStats`] reports
+//! exactly how many cells hit.
+//!
+//! Results are delivered as [`JobEvent`]s over a per-job channel: the
+//! connection that submitted the job drains it and forwards each event as a
+//! protocol frame while later cells are still running.
+
+use gather_core::cache::{CachePolicy, ResultStore};
+use gather_core::registry;
+use gather_core::scenario::ScenarioSpec;
+use gather_core::sweep::{SweepRow, SweepStats};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// What happened to a job, streamed to its submitter.
+#[derive(Debug)]
+pub enum JobEvent {
+    /// One cell finished (in completion order; `index` is the cell's
+    /// position in the grid's deterministic expansion).
+    Row {
+        /// Cell position in the grid expansion.
+        index: usize,
+        /// The finished row.
+        row: SweepRow,
+    },
+    /// Every cell finished. Always the final event of an uncancelled job.
+    Done {
+        /// How the cells were satisfied and how long the job took.
+        stats: SweepStats,
+    },
+    /// The job was cancelled; no further `Row` events will be claimed
+    /// (cells already in flight may still deliver).
+    Cancelled,
+}
+
+/// One submitted grid.
+pub struct Job {
+    /// Daemon-unique id, handed back in [`crate::protocol::Response::Accepted`].
+    pub id: u64,
+    specs: Vec<ScenarioSpec>,
+    max_workers: usize,
+    cancelled: AtomicBool,
+    tx: mpsc::Sender<JobEvent>,
+    progress: Mutex<Progress>,
+}
+
+struct Progress {
+    next_cell: usize,
+    active: usize,
+    done: usize,
+    cache_hits: usize,
+    simulated: usize,
+    errors: usize,
+    started: Instant,
+}
+
+impl Job {
+    /// Total number of cells.
+    pub fn cells(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `(done, total, cancelled)` snapshot for status frames.
+    pub fn snapshot(&self) -> (usize, usize, bool) {
+        let p = self.progress.lock().expect("job progress lock");
+        (
+            p.done,
+            self.specs.len(),
+            self.cancelled.load(Ordering::Relaxed),
+        )
+    }
+
+    fn stats(&self, p: &Progress) -> SweepStats {
+        SweepStats {
+            cells: self.specs.len(),
+            cache_hits: p.cache_hits,
+            simulated: p.simulated,
+            errors: p.errors,
+            elapsed_ms: p.started.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+/// What the id-indexed job table holds: a live job, or the compact
+/// tombstone it collapses to once it finished or was cancelled. Tombstones
+/// keep `Status`/`Cancel` on old ids answerable without retaining the
+/// job's specs and event channel forever (a long-running daemon would
+/// otherwise grow without bound).
+enum JobSlot {
+    Live(Arc<Job>),
+    Finished {
+        done: usize,
+        total: usize,
+        cancelled: bool,
+    },
+}
+
+/// How many finished-job tombstones are retained for `Status`/`Cancel`
+/// lookups on old ids; beyond this the oldest are evicted and their ids
+/// answer "unknown job". Keeps a long-running daemon's job table bounded.
+const MAX_TOMBSTONES: usize = 1024;
+
+struct SchedState {
+    /// Jobs with unclaimed cells, oldest first.
+    runnable: VecDeque<Arc<Job>>,
+    /// Every live job plus the newest [`MAX_TOMBSTONES`] finished ones.
+    jobs: HashMap<u64, JobSlot>,
+    /// Tombstoned ids in creation order, for eviction.
+    tombstone_order: VecDeque<u64>,
+    shutdown: bool,
+}
+
+impl SchedState {
+    /// Replaces a job's slot with a tombstone (idempotent per id) and
+    /// evicts the oldest tombstones beyond [`MAX_TOMBSTONES`]. Ids are
+    /// never reused, so an id in `tombstone_order` is always a tombstone.
+    fn tombstone(&mut self, id: u64, done: usize, total: usize, cancelled: bool) {
+        let previous = self.jobs.insert(
+            id,
+            JobSlot::Finished {
+                done,
+                total,
+                cancelled,
+            },
+        );
+        if !matches!(previous, Some(JobSlot::Finished { .. })) {
+            self.tombstone_order.push_back(id);
+            while self.tombstone_order.len() > MAX_TOMBSTONES {
+                if let Some(oldest) = self.tombstone_order.pop_front() {
+                    self.jobs.remove(&oldest);
+                }
+            }
+        }
+    }
+}
+
+struct SchedCore {
+    state: Mutex<SchedState>,
+    work_ready: Condvar,
+    store: Option<Arc<dyn ResultStore>>,
+    policy: CachePolicy,
+    next_job_id: AtomicU64,
+}
+
+/// The shared worker pool plus its job queue.
+pub struct Scheduler {
+    core: Arc<SchedCore>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Spawns `workers` worker threads sharing `store` under `policy`
+    /// (`store: None` always simulates).
+    pub fn new(
+        workers: usize,
+        store: Option<Arc<dyn ResultStore>>,
+        policy: CachePolicy,
+    ) -> Scheduler {
+        let core = Arc::new(SchedCore {
+            state: Mutex::new(SchedState {
+                runnable: VecDeque::new(),
+                jobs: HashMap::new(),
+                tombstone_order: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            store,
+            policy,
+            next_job_id: AtomicU64::new(1),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let core = Arc::clone(&core);
+                thread::Builder::new()
+                    .name(format!("gather-worker-{i}"))
+                    .spawn(move || worker_loop(&core))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Scheduler {
+            core,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Queues a job over `specs`, capping its concurrency at `max_workers`
+    /// (`None`: the whole pool). Returns the job plus the event stream its
+    /// submitter drains. An empty grid completes immediately.
+    pub fn submit(
+        &self,
+        specs: Vec<ScenarioSpec>,
+        max_workers: Option<usize>,
+    ) -> (Arc<Job>, mpsc::Receiver<JobEvent>) {
+        let (tx, rx) = mpsc::channel();
+        let job = Arc::new(Job {
+            id: self.core.next_job_id.fetch_add(1, Ordering::Relaxed),
+            specs,
+            max_workers: max_workers.unwrap_or(usize::MAX).max(1),
+            cancelled: AtomicBool::new(false),
+            tx,
+            progress: Mutex::new(Progress {
+                next_cell: 0,
+                active: 0,
+                done: 0,
+                cache_hits: 0,
+                simulated: 0,
+                errors: 0,
+                started: Instant::now(),
+            }),
+        });
+        let mut st = self.core.state.lock().expect("scheduler state lock");
+        if st.shutdown {
+            // The pool is gone; nothing will ever claim these cells. Tell
+            // the submitter immediately instead of letting it wait forever
+            // (a connection thread can still be serving while the daemon
+            // winds down).
+            job.cancelled.store(true, Ordering::Relaxed);
+            let _ = job.tx.send(JobEvent::Cancelled);
+            st.tombstone(job.id, 0, job.specs.len(), true);
+        } else if job.specs.is_empty() {
+            let p = job.progress.lock().expect("job progress lock");
+            let _ = job.tx.send(JobEvent::Done {
+                stats: job.stats(&p),
+            });
+            drop(p);
+            st.tombstone(job.id, 0, 0, false);
+        } else {
+            st.jobs.insert(job.id, JobSlot::Live(Arc::clone(&job)));
+            st.runnable.push_back(Arc::clone(&job));
+            drop(st);
+            self.core.work_ready.notify_all();
+        }
+        (job, rx)
+    }
+
+    /// A job's `(done, total, cancelled)` progress, or `None` for ids the
+    /// daemon has never seen. Works for finished jobs too (tombstones).
+    pub fn progress(&self, id: u64) -> Option<(usize, usize, bool)> {
+        let st = self.core.state.lock().expect("scheduler state lock");
+        match st.jobs.get(&id)? {
+            JobSlot::Live(job) => Some(job.snapshot()),
+            JobSlot::Finished {
+                done,
+                total,
+                cancelled,
+            } => Some((*done, *total, *cancelled)),
+        }
+    }
+
+    /// Cancels a job: unclaimed cells are dropped and a
+    /// [`JobEvent::Cancelled`] is emitted. Returns false for unknown ids;
+    /// cancelling a finished or already-cancelled job is a harmless no-op
+    /// (returns true).
+    pub fn cancel(&self, id: u64) -> bool {
+        let job = {
+            let st = self.core.state.lock().expect("scheduler state lock");
+            match st.jobs.get(&id) {
+                None => return false,
+                Some(JobSlot::Finished { .. }) => return true,
+                Some(JobSlot::Live(job)) => Arc::clone(job),
+            }
+        };
+        if !job.cancelled.swap(true, Ordering::Relaxed) {
+            let _ = job.tx.send(JobEvent::Cancelled);
+            // Decay to a tombstone now: workers stop claiming, so the live
+            // entry would otherwise be retained forever. In-flight cells
+            // may still bump the (now frozen) done count — acceptable
+            // imprecision for a cancelled job.
+            let (done, total, _) = job.snapshot();
+            let mut st = self.core.state.lock().expect("scheduler state lock");
+            st.tombstone(id, done, total, true);
+        }
+        true
+    }
+
+    /// `(cells done, cells total)` summed over every job ever submitted.
+    pub fn totals(&self) -> (usize, usize) {
+        let st = self.core.state.lock().expect("scheduler state lock");
+        let mut done = 0;
+        let mut total = 0;
+        for slot in st.jobs.values() {
+            let (d, t) = match slot {
+                JobSlot::Live(job) => {
+                    let (d, t, _) = job.snapshot();
+                    (d, t)
+                }
+                JobSlot::Finished { done, total, .. } => (*done, *total),
+            };
+            done += d;
+            total += t;
+        }
+        (done, total)
+    }
+
+    /// Stops the workers (in-flight cells finish first), joins them, then
+    /// cancels every job that can no longer complete — its submitter's
+    /// event stream ends with [`JobEvent::Cancelled`] instead of hanging
+    /// forever on a `Done` that will never come. Queued-but-unclaimed
+    /// cells are abandoned.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.core.state.lock().expect("scheduler state lock");
+            st.shutdown = true;
+        }
+        self.core.work_ready.notify_all();
+        let mut workers = self.workers.lock().expect("scheduler workers lock");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+        drop(workers);
+        // No worker is running any more: every still-live job is final.
+        let mut st = self.core.state.lock().expect("scheduler state lock");
+        st.runnable.clear();
+        for slot in st.jobs.values_mut() {
+            if let JobSlot::Live(job) = slot {
+                let (done, total, _) = job.snapshot();
+                let cancelled = if done < total {
+                    if !job.cancelled.swap(true, Ordering::Relaxed) {
+                        let _ = job.tx.send(JobEvent::Cancelled);
+                    }
+                    true
+                } else {
+                    job.cancelled.load(Ordering::Relaxed)
+                };
+                *slot = JobSlot::Finished {
+                    done,
+                    total,
+                    cancelled,
+                };
+            }
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Claims the next cell of the oldest runnable job with spare per-job
+/// capacity. Must run under the state lock.
+fn try_claim(st: &mut SchedState) -> Option<(Arc<Job>, usize)> {
+    let mut scan = 0;
+    while scan < st.runnable.len() {
+        let job = Arc::clone(&st.runnable[scan]);
+        if job.cancelled.load(Ordering::Relaxed) {
+            st.runnable.remove(scan);
+            continue;
+        }
+        let mut p = job.progress.lock().expect("job progress lock");
+        if p.next_cell >= job.specs.len() {
+            drop(p);
+            st.runnable.remove(scan);
+            continue;
+        }
+        if p.active >= job.max_workers {
+            // This job is saturated; let the worker help a later one.
+            scan += 1;
+            continue;
+        }
+        let idx = p.next_cell;
+        p.next_cell += 1;
+        p.active += 1;
+        let exhausted = p.next_cell >= job.specs.len();
+        drop(p);
+        if exhausted {
+            st.runnable.remove(scan);
+        }
+        return Some((job, idx));
+    }
+    None
+}
+
+fn worker_loop(core: &SchedCore) {
+    loop {
+        let claimed = {
+            let mut st = core.state.lock().expect("scheduler state lock");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(claim) = try_claim(&mut st) {
+                    break claim;
+                }
+                st = core
+                    .work_ready
+                    .wait(st)
+                    .expect("scheduler state lock poisoned");
+            }
+        };
+        let (job, idx) = claimed;
+        let (row, hit) = run_cell(core, &job.specs[idx]);
+        let finished = {
+            let mut p = job.progress.lock().expect("job progress lock");
+            p.active -= 1;
+            p.done += 1;
+            if row.error.is_some() {
+                p.errors += 1;
+            } else if hit {
+                p.cache_hits += 1;
+            } else {
+                p.simulated += 1;
+            }
+            // Both sends happen under the progress lock: every worker's Row
+            // is enqueued in the same critical section that bumps `done`,
+            // so the Done emitted by whoever completes the last cell is
+            // ordered strictly after every Row in the channel. (A gone
+            // receiver — client disconnected — is not the worker's
+            // problem.) Sends never block: the channel is unbounded.
+            let _ = job.tx.send(JobEvent::Row { index: idx, row });
+            if p.done == job.specs.len() {
+                let _ = job.tx.send(JobEvent::Done {
+                    stats: job.stats(&p),
+                });
+                true
+            } else {
+                false
+            }
+        };
+        if finished {
+            // Collapse the completed job to a tombstone (progress lock
+            // released first — lock order is always state → progress).
+            let mut st = core.state.lock().expect("scheduler state lock");
+            st.tombstone(
+                job.id,
+                job.specs.len(),
+                job.specs.len(),
+                job.cancelled.load(Ordering::Relaxed),
+            );
+        }
+        // A slot freed up (this worker finished a cell): a job that was
+        // saturated at max_workers may be claimable again.
+        core.work_ready.notify_one();
+    }
+}
+
+/// Executes one cell against the shared store via the same
+/// [`SweepRow::compute`] path the local `Sweep::run` pool uses. Pure in the
+/// spec: the row is identical whether it was simulated here, on another
+/// worker, or served from cache.
+fn run_cell(core: &SchedCore, spec: &ScenarioSpec) -> (SweepRow, bool) {
+    // Unwind containment: specs arrive over the wire, and a spec that
+    // panics deep inside graph construction or a registered algorithm
+    // (absurd sizes, an invariant violation) must become an error *row* —
+    // not a dead worker thread and a job that never finishes. The default
+    // panic hook still logs the panic to stderr.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        SweepRow::compute(spec, registry::global(), core.store.as_deref(), core.policy)
+    }));
+    match outcome {
+        Ok(cell) => cell,
+        Err(payload) => {
+            let why = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            (panic_row(spec, &why), false)
+        }
+    }
+}
+
+/// An error row for a cell whose execution panicked — same shape as
+/// [`SweepRow::failed`], but a panic carries no
+/// [`gather_core::scenario::ScenarioError`] to wrap.
+fn panic_row(spec: &ScenarioSpec, why: &str) -> SweepRow {
+    SweepRow {
+        family: spec.graph.family.name().to_string(),
+        n: spec.graph.n,
+        k: spec.placement.k,
+        kind: spec.placement.kind,
+        algorithm: spec.algorithm.name.clone(),
+        seed: spec.seed,
+        closest_pair: None,
+        rounds: 0,
+        total_moves: 0,
+        messages: 0,
+        peak_memory_bits: 0,
+        detected_ok: false,
+        error: Some(format!("cell panicked: {why}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_core::cache::MemStore;
+    use gather_core::scenario::{AlgorithmSpec, GraphSpec, PlacementSpec};
+    use gather_core::sweep::Sweep;
+    use gather_graph::generators::Family;
+    use gather_sim::placement::PlacementKind;
+
+    fn demo_specs() -> Vec<ScenarioSpec> {
+        Sweep::new()
+            .graphs([
+                GraphSpec::new(Family::Cycle, 6),
+                GraphSpec::new(Family::Path, 5),
+            ])
+            .placement(PlacementSpec::new(PlacementKind::UndispersedRandom, 3))
+            .algorithm(AlgorithmSpec::new("faster_gathering"))
+            .seeds([1, 2])
+            .specs()
+    }
+
+    fn drain(rx: mpsc::Receiver<JobEvent>, cells: usize) -> (Vec<SweepRow>, SweepStats) {
+        let mut rows: Vec<Option<SweepRow>> = vec![None; cells];
+        let mut stats = None;
+        for event in rx {
+            match event {
+                JobEvent::Row { index, row } => {
+                    assert!(rows[index].replace(row).is_none(), "duplicate cell {index}");
+                }
+                JobEvent::Done { stats: s } => {
+                    stats = Some(s);
+                    break;
+                }
+                JobEvent::Cancelled => panic!("unexpected cancellation"),
+            }
+        }
+        (
+            rows.into_iter().map(|r| r.unwrap()).collect(),
+            stats.expect("job must finish"),
+        )
+    }
+
+    #[test]
+    fn sharded_execution_matches_the_local_sweep_for_any_worker_cap() {
+        let local: Vec<SweepRow> = demo_specs()
+            .iter()
+            .map(|s| SweepRow::ok(s, &s.run_default().unwrap()))
+            .collect();
+        let scheduler = Scheduler::new(4, None, CachePolicy::Off);
+        for cap in [Some(1), Some(3), None] {
+            let specs = demo_specs();
+            let (job, rx) = scheduler.submit(specs.clone(), cap);
+            let (rows, stats) = drain(rx, specs.len());
+            assert_eq!(rows, local, "worker cap {cap:?} changed row content");
+            assert_eq!(stats.cells, specs.len());
+            assert_eq!(stats.simulated, specs.len());
+            let (done, total, cancelled) = job.snapshot();
+            assert_eq!((done, total, cancelled), (specs.len(), specs.len(), false));
+        }
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn shared_store_turns_the_second_submission_into_pure_hits() {
+        let store = Arc::new(MemStore::new());
+        let scheduler = Scheduler::new(3, Some(store.clone()), CachePolicy::ReadWrite);
+        let specs = demo_specs();
+        let (_, rx) = scheduler.submit(specs.clone(), None);
+        let (first_rows, first_stats) = drain(rx, specs.len());
+        assert_eq!(first_stats.simulated, specs.len());
+        assert_eq!(store.len(), specs.len());
+        let (_, rx) = scheduler.submit(specs.clone(), None);
+        let (second_rows, second_stats) = drain(rx, specs.len());
+        assert_eq!(second_stats.cache_hits, specs.len());
+        assert_eq!(second_stats.simulated, 0);
+        assert_eq!(second_rows, first_rows);
+    }
+
+    #[test]
+    fn empty_jobs_finish_immediately_and_errors_become_rows() {
+        let scheduler = Scheduler::new(2, None, CachePolicy::Off);
+        let (_, rx) = scheduler.submit(Vec::new(), None);
+        let (rows, stats) = drain(rx, 0);
+        assert!(rows.is_empty());
+        assert_eq!(stats.cells, 0);
+
+        // An infeasible placement becomes an error row, not a dead worker.
+        let bad = Sweep::new()
+            .graph(GraphSpec::new(Family::Path, 4))
+            .placement(PlacementSpec::new(PlacementKind::DispersedRandom, 40))
+            .algorithm(AlgorithmSpec::new("faster_gathering"))
+            .specs();
+        let (_, rx) = scheduler.submit(bad, None);
+        let (rows, stats) = drain(rx, 1);
+        assert!(rows[0].error.is_some());
+        assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    fn cancellation_stops_claiming_and_reports_cancelled() {
+        // One worker and a 1-worker cap make the race deterministic enough:
+        // cancel immediately after submit; the job either never starts or
+        // stops early, but a Cancelled event always arrives.
+        let scheduler = Scheduler::new(1, None, CachePolicy::Off);
+        let specs = demo_specs();
+        let cells = specs.len();
+        let (job, rx) = scheduler.submit(specs, Some(1));
+        assert!(scheduler.cancel(job.id));
+        assert!(!scheduler.cancel(9999), "unknown ids report false");
+        // `cancel` always emits exactly one Cancelled event (even when it
+        // raced a concurrent completion), so draining until we see it never
+        // hangs regardless of who won.
+        let mut rows = 0;
+        for event in rx {
+            match event {
+                JobEvent::Row { .. } => rows += 1,
+                JobEvent::Cancelled => break,
+                JobEvent::Done { .. } => {}
+            }
+        }
+        assert!(rows <= cells);
+        let (_, _, flagged) = job.snapshot();
+        assert!(flagged);
+    }
+}

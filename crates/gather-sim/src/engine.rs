@@ -140,6 +140,22 @@ impl<'g> Simulator<'g> {
         let mut arena: Vec<(RobotId, <R as Robot>::Msg)> = Vec::with_capacity(k);
         let mut arena_pos: Vec<u32> = vec![u32::MAX; k]; // robot -> arena index
         let mut slot_msgs: Vec<(u32, u32)> = Vec::with_capacity(k); // slot -> arena range
+                                                                    // Payload recycling (only for robots that opt in, i.e. the erased
+                                                                    // `DynRobot` path): last round's arena entries are drained back into
+                                                                    // per-robot slots and offered to `announce_reuse`, so `Arc`-backed
+                                                                    // messages overwrite their previous allocation instead of making a
+                                                                    // new one every round. `arena_owner` remembers which robot wrote
+                                                                    // each arena entry.
+        let mut msg_slots: Vec<Option<<R as Robot>::Msg>> = if R::REUSES_MSG_STORAGE {
+            vec![None; k]
+        } else {
+            Vec::new()
+        };
+        let mut arena_owner: Vec<u32> = if R::REUSES_MSG_STORAGE {
+            Vec::with_capacity(k)
+        } else {
+            Vec::new()
+        };
         let dummy_obs = Observation {
             round: 0,
             n,
@@ -169,6 +185,13 @@ impl<'g> Simulator<'g> {
             slot_head.clear();
             slot_tail.clear();
             slot_msgs.clear();
+            if R::REUSES_MSG_STORAGE {
+                // Hand every robot its own last announcement back so the
+                // next announce can overwrite the payload in place.
+                for (owner, (_, msg)) in arena_owner.drain(..).zip(arena.drain(..)) {
+                    msg_slots[owner as usize] = Some(msg);
+                }
+            }
             arena.clear();
             let mut max_bucket: u32 = 0;
             for &i in &order {
@@ -251,7 +274,14 @@ impl<'g> Simulator<'g> {
                         arena_pos[i] = u32::MAX;
                     } else {
                         arena_pos[i] = arena.len() as u32;
-                        arena.push((ids[i], agents[i].announce(&obs)));
+                        let msg = if R::REUSES_MSG_STORAGE {
+                            arena_owner.push(i as u32);
+                            let prev = msg_slots[i].take();
+                            agents[i].announce_reuse(&obs, prev)
+                        } else {
+                            agents[i].announce(&obs)
+                        };
+                        arena.push((ids[i], msg));
                     }
                 }
                 slot_msgs.push((msg_start, arena.len() as u32));

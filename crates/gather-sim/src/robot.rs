@@ -246,11 +246,28 @@ pub trait Robot {
     /// type-erased [`DynRobot`] layer without copying.)
     type Msg: Clone + std::fmt::Debug + Any;
 
+    /// True when [`Robot::announce_reuse`] actually reuses the storage of
+    /// the previous round's message. The engine only pays for recycling
+    /// message payloads (draining its arena back into per-robot slots) when
+    /// an implementation opts in; the erased [`DynRobot`] layer does, which
+    /// is what makes its hot path allocation-free in steady state.
+    const REUSES_MSG_STORAGE: bool = false;
+
     /// This robot's label.
     fn id(&self) -> RobotId;
 
     /// Publish this round's announcement.
     fn announce(&mut self, obs: &Observation) -> Self::Msg;
+
+    /// [`Robot::announce`], offered the previous round's message back so its
+    /// storage can be reused. The default ignores `prev` (plain message
+    /// types carry no reusable storage); the erased layer overrides it to
+    /// overwrite the recycled [`DynMsg`] allocation in place. Only called by
+    /// the engine when [`Robot::REUSES_MSG_STORAGE`] is set.
+    fn announce_reuse(&mut self, obs: &Observation, prev: Option<Self::Msg>) -> Self::Msg {
+        let _ = prev;
+        self.announce(obs)
+    }
 
     /// Read co-located announcements (own announcement excluded) and decide
     /// this round's action. The inbox is sorted by robot id for determinism
@@ -299,6 +316,21 @@ impl DynMsg {
     pub fn downcast_ref<M: Any>(&self) -> Option<&M> {
         self.0.downcast_ref::<M>()
     }
+
+    /// Writes `msg` into this value's existing allocation, if it is the sole
+    /// owner and the payload is already of type `M`; hands `msg` back
+    /// otherwise. This is the recycling step of the erased hot path: a slot
+    /// that came back from the engine's arena has exactly one owner, so the
+    /// overwrite succeeds and no new `Arc` is allocated.
+    pub fn try_overwrite<M: Any + Send + Sync>(&mut self, msg: M) -> Result<(), M> {
+        match Arc::get_mut(&mut self.0).and_then(|payload| payload.downcast_mut::<M>()) {
+            Some(slot) => {
+                *slot = msg;
+                Ok(())
+            }
+            None => Err(msg),
+        }
+    }
 }
 
 impl fmt::Debug for DynMsg {
@@ -315,14 +347,26 @@ impl fmt::Debug for DynMsg {
 /// this workspace or downstream — and the simulator runs them through the
 /// [`Robot`] impl on the boxed trait object.
 ///
-/// The erased hot path stays allocation-light: inboxes are re-viewed (not
-/// re-collected) at the concrete message type via [`Inbox::downcast`], so the
-/// only per-round cost erasure adds is one `Arc` allocation per announcement.
+/// The erased hot path is allocation-free in steady state: inboxes are
+/// re-viewed (not re-collected) at the concrete message type via
+/// [`Inbox::downcast`], and announcement payloads live in recycled per-robot
+/// `Arc` slots — the engine hands each robot its previous round's [`DynMsg`]
+/// back through [`DynRobot::announce_dyn_reuse`], which overwrites the
+/// payload in place instead of allocating a fresh `Arc` (asserted by the
+/// counting-allocator test in `gather-sim/tests/alloc_free.rs`).
 pub trait DynRobot: Send {
     /// This robot's label.
     fn id_dyn(&self) -> RobotId;
     /// Publish this round's announcement (erased).
     fn announce_dyn(&mut self, obs: &Observation) -> DynMsg;
+    /// [`DynRobot::announce_dyn`], reusing `slot`'s allocation when it is
+    /// uniquely owned and already holds this robot's message type (the
+    /// common case: the engine recycles each robot's own last announcement).
+    /// The default ignores the slot and allocates.
+    fn announce_dyn_reuse(&mut self, obs: &Observation, slot: DynMsg) -> DynMsg {
+        let _ = slot;
+        self.announce_dyn(obs)
+    }
     /// Read co-located announcements and decide this round's action.
     fn decide_dyn(&mut self, obs: &Observation, inbox: Inbox<'_, DynMsg>) -> Action;
     /// See [`Robot::has_terminated`].
@@ -344,6 +388,15 @@ where
         DynMsg::new(self.announce(obs))
     }
 
+    fn announce_dyn_reuse(&mut self, obs: &Observation, mut slot: DynMsg) -> DynMsg {
+        match slot.try_overwrite(self.announce(obs)) {
+            Ok(()) => slot,
+            // Someone still holds a reference to the old payload (or the
+            // slot carried a foreign type): fall back to a fresh allocation.
+            Err(msg) => DynMsg::new(msg),
+        }
+    }
+
     fn decide_dyn(&mut self, obs: &Observation, inbox: Inbox<'_, DynMsg>) -> Action {
         // Messages of foreign types are dropped lazily during iteration; the
         // inbox stays sorted by robot id because downcasting preserves order.
@@ -362,12 +415,23 @@ where
 impl Robot for Box<dyn DynRobot> {
     type Msg = DynMsg;
 
+    /// Erased announcements are `Arc`-backed, so recycling their storage is
+    /// what keeps the erased round loop allocation-free.
+    const REUSES_MSG_STORAGE: bool = true;
+
     fn id(&self) -> RobotId {
         self.as_ref().id_dyn()
     }
 
     fn announce(&mut self, obs: &Observation) -> DynMsg {
         self.as_mut().announce_dyn(obs)
+    }
+
+    fn announce_reuse(&mut self, obs: &Observation, prev: Option<DynMsg>) -> DynMsg {
+        match prev {
+            Some(slot) => self.as_mut().announce_dyn_reuse(obs, slot),
+            None => self.as_mut().announce_dyn(obs),
+        }
     }
 
     fn decide(&mut self, obs: &Observation, inbox: Inbox<'_, DynMsg>) -> Action {

@@ -13,7 +13,11 @@
 //! * [`map`] — map construction with a movable token;
 //! * [`core`] — the gathering algorithms (`Faster-Gathering`,
 //!   `Undispersed-Gathering`, `i-Hop-Meeting`, the UXS algorithm), the
-//!   baselines, and the scenario/registry/sweep public API.
+//!   baselines, and the scenario/registry/sweep public API;
+//! * [`service`] — the sweep daemon: a newline-delimited JSON protocol
+//!   over TCP, a sharded worker pool behind a shared result cache, and the
+//!   [`service::Client`] library (binaries: `gather-serve`,
+//!   `gather-submit`).
 //!
 //! ## Quickstart
 //!
@@ -65,6 +69,7 @@
 pub use gather_core as core;
 pub use gather_graph as graph;
 pub use gather_map as map;
+pub use gather_service as service;
 pub use gather_sim as sim;
 pub use gather_uxs as uxs;
 
@@ -79,13 +84,16 @@ pub mod prelude {
         AlgorithmSpec, GraphSpec, LabelSpec, PlacementSpec, ScenarioError, ScenarioOutcome,
         ScenarioSpec,
     };
-    pub use gather_core::sweep::{Sweep, SweepReport, SweepRow, SweepStats};
+    pub use gather_core::sweep::{Sweep, SweepReport, SweepRow, SweepSpec, SweepStats};
     pub use gather_core::{
         analysis, Algorithm, FasterRobot, GatherConfig, HopMeetingRobot, UndispersedRobot,
         UxsGatherRobot,
     };
     pub use gather_graph::generators::Family;
     pub use gather_graph::{algo, dot, generators, GraphBuilder, PortGraph};
+    pub use gather_service::{
+        Client, ClientError, Request, Response, RowStream, Server, ServerConfig, PROTOCOL_VERSION,
+    };
     pub use gather_sim::{
         placement, Action, DynMsg, DynRobot, Inbox, Observation, Placement, PlacementKind, Robot,
         RobotId, SimConfig, SimOutcome, Simulator,
@@ -106,6 +114,36 @@ mod tests {
         );
         let out = spec.run_default().unwrap();
         assert!(out.outcome.is_correct_gathering_with_detection());
+    }
+
+    #[test]
+    fn the_sweep_service_is_reachable_through_the_prelude() {
+        use std::sync::Arc;
+        let server = Server::bind(ServerConfig {
+            workers: 2,
+            store: Some(Arc::new(MemStore::new())),
+            policy: CachePolicy::ReadWrite,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let daemon = std::thread::spawn(move || server.run());
+
+        let sweep = Sweep::new()
+            .graph(GraphSpec::new(Family::Cycle, 5))
+            .placement(PlacementSpec::new(PlacementKind::AllOnOneNode, 2))
+            .algorithm(AlgorithmSpec::new(Algorithm::Undispersed.name()))
+            .to_spec();
+        let local = sweep.clone().into_sweep().run_default();
+
+        let mut client = Client::connect(addr).unwrap();
+        let remote = client.run_sweep(&sweep, None).unwrap();
+        assert_eq!(remote.rows, local.rows);
+        let again = client.run_sweep(&sweep, None).unwrap();
+        assert_eq!(again.stats.cache_hits, again.stats.cells);
+
+        client.shutdown().unwrap();
+        daemon.join().unwrap().unwrap();
     }
 
     #[test]

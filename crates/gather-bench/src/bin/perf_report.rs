@@ -27,6 +27,7 @@
 //! `faster_gathering` run (erasure-free monomorphized dispatch).
 
 use gather_bench::{quick_mode, results_dir};
+use gather_core::artifact::ArtifactStats;
 use gather_core::scenario::{AlgorithmSpec, GraphSpec, PlacementSpec};
 use gather_core::sweep::Sweep;
 use gather_core::{registry, GatherConfig};
@@ -78,6 +79,38 @@ struct EngineBench {
     timing_iterations: u32,
     scenarios: Vec<ScenarioRow>,
     sweep: SweepThroughput,
+}
+
+/// One side (instance cache on or off) of the sweep-throughput benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SweepBenchSide {
+    elapsed_ms: f64,
+    rows_per_sec: f64,
+}
+
+/// The sweep-throughput report written to `results/BENCH_sweep.json`.
+///
+/// The probe grid is deliberately *graph-heavy*: expensive graph families
+/// (mazes, dense random graphs, holed grids) and distance-matrix-hungry
+/// placements under a small round cap, so instance construction — not
+/// simulation — dominates each cell. `off` runs the pre-artifact-cache
+/// executor (every cell rebuilds its instances); `on` runs the default
+/// shared per-run [`gather_core::artifact::ArtifactCache`].
+/// `speedup_on_vs_off` is therefore a host-independent measure of what the
+/// instance cache buys on this workload, and `on.rows_per_sec` is gated
+/// against the committed `BENCH_sweep_baseline.json` by `--check`. The
+/// result cache is off on both sides — this measures execution, not
+/// result reuse.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SweepBench {
+    quick: bool,
+    timing_iterations: u32,
+    cells: usize,
+    max_rounds: u64,
+    off: SweepBenchSide,
+    on: SweepBenchSide,
+    speedup_on_vs_off: f64,
+    artifacts: Option<ArtifactStats>,
 }
 
 fn stress_matrix(quick: bool) -> Vec<Stress> {
@@ -216,31 +249,124 @@ fn time_sweep(quick: bool, iters: u32) -> SweepThroughput {
     }
 }
 
+/// Per-cell round cap of the sweep-throughput probe grid (halved in quick
+/// mode, like the rest of the workload). Single source for both the grid
+/// and the recorded report metadata.
+fn sweep_probe_max_rounds(quick: bool) -> u64 {
+    64 / if quick { 2 } else { 1 }
+}
+
+/// The graph-heavy probe grid of the sweep-throughput benchmark: expensive
+/// families and placements, all four algorithms, a small round cap.
+fn sweep_probe_grid(quick: bool) -> Sweep {
+    let scale = if quick { 2 } else { 1 };
+    let sizes: [usize; 2] = [96 / scale, 128 / scale];
+    Sweep::new()
+        .graphs(sizes.iter().map(|&n| GraphSpec::new(Family::Maze, n)))
+        .graphs(
+            sizes
+                .iter()
+                .map(|&n| GraphSpec::new(Family::RandomDense, n)),
+        )
+        .graph(GraphSpec::new(
+            Family::GridWithHoles {
+                rows: 12 / scale,
+                cols: 10 / scale,
+                holes: 8 / scale,
+            },
+            0,
+        ))
+        .placements([
+            PlacementSpec::new(PlacementKind::MaxSpread, 6),
+            PlacementSpec::new(PlacementKind::UndispersedRandom, 6),
+        ])
+        .algorithms([
+            AlgorithmSpec::new("faster_gathering"),
+            AlgorithmSpec::new("uxs_gathering"),
+            AlgorithmSpec::new("undispersed_gathering"),
+            AlgorithmSpec::new("expanding_baseline"),
+        ])
+        .seeds([1, 2])
+        .max_rounds(sweep_probe_max_rounds(quick))
+        .threads(1)
+}
+
+/// Times the probe grid with the instance cache off and on (single-thread,
+/// best of `iters`), asserting the two paths produce byte-identical rows.
+fn time_sweep_bench(quick: bool, iters: u32) -> SweepBench {
+    let grid = sweep_probe_grid(quick);
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    let mut cells = 0usize;
+    let mut artifacts = None;
+    for i in 0..=iters {
+        let t0 = Instant::now();
+        let off = grid.clone().artifact_cache_off().run_default();
+        let off_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let on = grid.run_default();
+        let on_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            serde_json::to_string(&off.rows).expect("rows serialize"),
+            serde_json::to_string(&on.rows).expect("rows serialize"),
+            "artifact-cached rows must be byte-identical to the cache-off path"
+        );
+        cells = on.rows.len();
+        if i == 0 {
+            continue; // warm-up (memoized UXS sequences, schedules, …)
+        }
+        best_off = best_off.min(off_ms);
+        if on_ms < best_on {
+            best_on = on_ms;
+            artifacts = on.stats.artifacts;
+        }
+    }
+    let side = |ms: f64| SweepBenchSide {
+        elapsed_ms: ms,
+        rows_per_sec: cells as f64 / (ms / 1e3),
+    };
+    SweepBench {
+        quick,
+        timing_iterations: iters,
+        cells,
+        max_rounds: sweep_probe_max_rounds(quick),
+        off: side(best_off),
+        on: side(best_on),
+        speedup_on_vs_off: best_off / best_on,
+        artifacts,
+    }
+}
+
 /// Largest tolerated throughput drop vs the baseline before `--check` fails.
 const MAX_REGRESSION: f64 = 0.25;
 
-/// The `--check` gate: compares the last written report against the
-/// committed baseline. Exit code 0 = within budget, 1 = regression (or
-/// unusable inputs — the gate never silently passes).
-fn check() -> i32 {
-    let dir = results_dir();
-    let read = |name: &str| -> Option<EngineBench> {
-        let path = dir.join(name);
-        let raw = match std::fs::read_to_string(&path) {
-            Ok(raw) => raw,
-            Err(e) => {
-                eprintln!("cannot read {}: {e}", path.display());
-                return None;
-            }
-        };
-        match serde_json::from_str(&raw) {
-            Ok(bench) => Some(bench),
-            Err(e) => {
-                eprintln!("cannot parse {}: {e}", path.display());
-                None
-            }
+/// Reads and parses one JSON report from the results directory, logging
+/// (not panicking) on failure — the gate never silently passes.
+fn read_report<T: serde::Deserialize>(dir: &std::path::Path, name: &str) -> Option<T> {
+    let path = dir.join(name);
+    let raw = match std::fs::read_to_string(&path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return None;
         }
     };
+    match serde_json::from_str(&raw) {
+        Ok(bench) => Some(bench),
+        Err(e) => {
+            eprintln!("cannot parse {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// The `--check` gate: compares the last written reports against the
+/// committed baselines (engine scenarios + the artifact-cached sweep
+/// benchmark). Exit code 0 = within budget, 1 = regression (or unusable
+/// inputs — the gate never silently passes).
+fn check() -> i32 {
+    let dir = results_dir();
+    let read = |name: &str| -> Option<EngineBench> { read_report(&dir, name) };
     let Some(report) = read("BENCH_engine.json") else {
         eprintln!("run `perf_report` (no flags) first to produce the report");
         return 1;
@@ -303,6 +429,38 @@ fn check() -> i32 {
             report.sweep.rows_per_sec / base.sweep.rows_per_sec,
         ));
     }
+
+    // The artifact-cached sweep benchmark is gated alongside the engine
+    // numbers, host-normalized by the same factor.
+    let Some(sweep_bench) = read_report::<SweepBench>(&dir, "BENCH_sweep.json") else {
+        eprintln!("run `perf_report` (no flags) first to produce BENCH_sweep.json");
+        return 1;
+    };
+    let Some(sweep_base) = read_report::<SweepBench>(&dir, "BENCH_sweep_baseline.json") else {
+        return 1;
+    };
+    if sweep_bench.quick != sweep_base.quick {
+        eprintln!(
+            "BENCH_sweep.json is a {} run but its baseline is a {} run; regenerate with \
+             GATHER_QUICK={}",
+            if sweep_bench.quick { "quick" } else { "full" },
+            if sweep_base.quick { "quick" } else { "full" },
+            if sweep_base.quick { "1" } else { "0" },
+        );
+        return 1;
+    }
+    eprintln!(
+        "sweep-bench instance cache: {:.2}x vs per-cell rebuilds \
+         (off {:.1} rows/s, on {:.1} rows/s)",
+        sweep_bench.speedup_on_vs_off, sweep_bench.off.rows_per_sec, sweep_bench.on.rows_per_sec
+    );
+    if sweep_base.on.rows_per_sec > 0.0 {
+        ratios.push((
+            "sweep-bench rows/sec (on)".to_string(),
+            sweep_bench.on.rows_per_sec / sweep_base.on.rows_per_sec,
+        ));
+    }
+
     for (name, ratio) in &ratios {
         let normalized = ratio / host_factor;
         let ok = normalized >= 1.0 - MAX_REGRESSION;
@@ -395,6 +553,28 @@ fn main() {
     std::fs::write(
         &path,
         serde_json::to_string_pretty(&bench).expect("serializes"),
+    )
+    .expect("results dir writable");
+    eprintln!("wrote {}", path.display());
+
+    // Sweep-throughput benchmark: the graph-heavy probe grid with the
+    // instance cache off (the pre-cache executor) vs on (the default).
+    let sweep_bench = time_sweep_bench(quick, iters);
+    eprintln!(
+        "sweep bench: {} cells — cache off {:.1} rows/s, cache on {:.1} rows/s \
+         ({:.2}x; instance builds {:?})",
+        sweep_bench.cells,
+        sweep_bench.off.rows_per_sec,
+        sweep_bench.on.rows_per_sec,
+        sweep_bench.speedup_on_vs_off,
+        sweep_bench
+            .artifacts
+            .map(|a| (a.graph_builds, a.placement_builds)),
+    );
+    let path = dir.join("BENCH_sweep.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&sweep_bench).expect("serializes"),
     )
     .expect("results dir writable");
     eprintln!("wrote {}", path.display());

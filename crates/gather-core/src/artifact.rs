@@ -1,0 +1,543 @@
+//! Shared graph/placement instance cache for scenario execution.
+//!
+//! A scenario's *result* has been content-addressable since PR 3
+//! ([`crate::cache`]), but its *instances* — the built [`PortGraph`] and the
+//! generated [`Placement`] — were still reconstructed from scratch for every
+//! cell: a sweep over `G` graphs × `P` placements × `A` algorithms × `S`
+//! seeds instantiated each graph `P·A·S` times instead of once, and each
+//! placement `A` times. Graph construction (random families, distance
+//! matrices for `MaxSpread`/`PairAtDistance` placements) easily dominates
+//! short simulations, so graph-heavy grids paid most of their wall-clock for
+//! redundant rebuilds.
+//!
+//! [`ArtifactCache`] closes that gap: a bounded, thread-safe cache mapping
+//!
+//! * `(GraphSpec, graph seed) → Arc<PortGraph>` and
+//! * `(PlacementSpec, GraphSpec, graph seed, placement seed) → Arc<Placement>`
+//!
+//! shared by every executor — [`crate::sweep::Sweep::run`]'s thread pool
+//! (one per-run cache by default, or a caller-supplied shared one), cached
+//! scenario runs, and the `gather-service` scheduler's worker pool (one
+//! cache for the daemon's lifetime).
+//!
+//! ## Exactly-once construction
+//!
+//! A missing key is claimed with a *building* marker under the map lock and
+//! then constructed **outside** it: workers racing for the same key wait on
+//! a condvar until the builder publishes (so each distinct key is built
+//! *exactly once* per cache — pinned by a counter test), while lookups and
+//! builds of *different* keys proceed in parallel (a sweep over 100 seeds
+//! on 8 threads still builds 8 graphs concurrently). Failed or panicked
+//! builds clear their marker and wake the waiters, so a hostile spec can
+//! neither wedge the cache nor get its error cached.
+//!
+//! ## Determinism
+//!
+//! Instances are pure functions of their keys (generators take explicit
+//! seeds), so a cached instance is bit-identical to a freshly built one and
+//! rows computed through the cache are byte-identical (as JSON) to the
+//! cache-off path — asserted end to end by `tests/artifact_cache.rs`.
+//!
+//! ## Bounds and observability
+//!
+//! Each map holds at most `cap` entries; insertion beyond that evicts the
+//! least-recently-used entry, so a long-running daemon's memory stays
+//! bounded no matter how many distinct grids pass through it. Hit/build
+//! counters are exposed as [`ArtifactStats`] — surfaced on
+//! [`crate::sweep::SweepStats`] and in the sweep daemon's `Status` response.
+
+use crate::scenario::{GraphSpec, PlacementSpec, ScenarioError, ScenarioSpec};
+use gather_graph::{GraphError, PortGraph};
+use gather_sim::placement::Placement;
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Hit/build/occupancy counters of one [`ArtifactCache`].
+///
+/// `*_builds` counts actual constructions (misses), `*_hits` lookups served
+/// from the cache; `*_entries` is the current occupancy (≤ the cache cap).
+/// Failed constructions are not cached and count as neither.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ArtifactStats {
+    /// Graphs currently held.
+    pub graph_entries: usize,
+    /// Graph lookups served from the cache.
+    pub graph_hits: u64,
+    /// Graphs actually constructed (cache misses).
+    pub graph_builds: u64,
+    /// Placements currently held.
+    pub placement_entries: usize,
+    /// Placement lookups served from the cache.
+    pub placement_hits: u64,
+    /// Placements actually generated (cache misses).
+    pub placement_builds: u64,
+}
+
+impl ArtifactStats {
+    /// Total lookups served without construction.
+    pub fn hits(&self) -> u64 {
+        self.graph_hits + self.placement_hits
+    }
+
+    /// Total constructions performed.
+    pub fn builds(&self) -> u64 {
+        self.graph_builds + self.placement_builds
+    }
+}
+
+/// A key-value slot: either a finished instance or a claim by the thread
+/// currently constructing it (waiters block on the map's condvar until the
+/// builder publishes or gives up).
+enum Slot<V> {
+    Building,
+    Ready(V),
+}
+
+struct Entry<K, V> {
+    key: K,
+    slot: Slot<V>,
+    last_used: u64,
+}
+
+struct MapState<K, V> {
+    entries: Vec<Entry<K, V>>,
+    tick: u64,
+    hits: u64,
+    builds: u64,
+}
+
+/// A bounded map with exactly-once construction per key: same-key racers
+/// wait for the one builder, distinct keys build in parallel (construction
+/// happens outside the lock). Ready entries are LRU-evicted beyond `cap`;
+/// building claims don't count toward the cap and are never evicted.
+struct BuildOnceMap<K, V> {
+    state: Mutex<MapState<K, V>>,
+    published: Condvar,
+    cap: usize,
+}
+
+impl<K: PartialEq + Clone, V: Clone> BuildOnceMap<K, V> {
+    fn new(cap: usize) -> Self {
+        BuildOnceMap {
+            state: Mutex::new(MapState {
+                entries: Vec::new(),
+                tick: 0,
+                hits: 0,
+                builds: 0,
+            }),
+            published: Condvar::new(),
+            cap,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, MapState<K, V>> {
+        // Nothing here panics while holding the lock (construction happens
+        // outside it), but recover from poisoning defensively: the state is
+        // always consistent at lock release.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// `(ready entries, hits, builds)` snapshot.
+    fn counters(&self) -> (usize, u64, u64) {
+        let st = self.lock();
+        let ready = st
+            .entries
+            .iter()
+            .filter(|e| matches!(e.slot, Slot::Ready(_)))
+            .count();
+        (ready, st.hits, st.builds)
+    }
+
+    /// The value for `key`: served from the map, awaited from a concurrent
+    /// builder, or constructed by calling `build` (outside the lock -
+    /// exactly one thread per key gets to). Errors propagate to the caller
+    /// and are never cached; a panicking `build` clears its claim on unwind
+    /// so waiters retry instead of hanging.
+    fn get_or_build<E>(&self, key: &K, build: impl FnOnce() -> Result<V, E>) -> Result<V, E> {
+        let mut st = self.lock();
+        loop {
+            st.tick += 1;
+            let tick = st.tick;
+            match st.entries.iter().position(|e| e.key == *key) {
+                Some(i) => match &st.entries[i].slot {
+                    Slot::Ready(v) => {
+                        let v = v.clone();
+                        st.entries[i].last_used = tick;
+                        st.hits += 1;
+                        return Ok(v);
+                    }
+                    Slot::Building => {
+                        // Another thread is constructing this key: wait for
+                        // it to publish (or to give up, in which case the
+                        // loop claims the slot itself).
+                        st = self.published.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                },
+                None => {
+                    st.entries.push(Entry {
+                        key: key.clone(),
+                        slot: Slot::Building,
+                        last_used: tick,
+                    });
+                    break;
+                }
+            }
+        }
+        drop(st);
+
+        // Construct outside the lock: other keys keep building/serving in
+        // parallel. The guard clears our claim (and wakes waiters) on every
+        // exit path that does not publish - error return or panic unwind.
+        let mut claim = ClaimGuard {
+            map: self,
+            key,
+            armed: true,
+        };
+        let value = build()?;
+
+        let mut st = self.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        let i = st
+            .entries
+            .iter()
+            .position(|e| e.key == *key)
+            .expect("building claims are never evicted");
+        st.entries[i].slot = Slot::Ready(value.clone());
+        // Publishing counts as a use: without this refresh a slow build
+        // could make the just-published (hottest) entry the immediate LRU
+        // victim and thrash-rebuild it.
+        st.entries[i].last_used = tick;
+        st.builds += 1;
+        let ready = st
+            .entries
+            .iter()
+            .filter(|e| matches!(e.slot, Slot::Ready(_)))
+            .count();
+        if ready > self.cap {
+            // Evict the least-recently-used *ready* entry (never a claim -
+            // its builder still expects to publish into it).
+            if let Some(victim) = st
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| matches!(e.slot, Slot::Ready(_)))
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+            {
+                st.entries.swap_remove(victim);
+            }
+        }
+        drop(st);
+        claim.armed = false;
+        self.published.notify_all();
+        Ok(value)
+    }
+}
+
+/// Removes a pending building claim on drop (unless disarmed by a
+/// successful publish) and wakes the waiters so one of them can retry.
+struct ClaimGuard<'m, K: PartialEq + Clone, V: Clone> {
+    map: &'m BuildOnceMap<K, V>,
+    key: &'m K,
+    armed: bool,
+}
+
+impl<K: PartialEq + Clone, V: Clone> Drop for ClaimGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut st = self.map.lock();
+        if let Some(i) = st
+            .entries
+            .iter()
+            .position(|e| e.key == *self.key && matches!(e.slot, Slot::Building))
+        {
+            st.entries.swap_remove(i);
+        }
+        drop(st);
+        self.map.published.notify_all();
+    }
+}
+
+#[derive(Clone, PartialEq)]
+struct GraphKey {
+    spec: GraphSpec,
+    seed: u64,
+}
+
+/// Placement instances are keyed by the placement spec *and* the graph key
+/// they were generated on - the same placement spec on a different graph
+/// instance is a different artifact.
+#[derive(Clone, PartialEq)]
+struct PlacementKey {
+    spec: PlacementSpec,
+    graph_spec: GraphSpec,
+    graph_seed: u64,
+    seed: u64,
+}
+
+/// A bounded, thread-safe cache of built graph and placement instances.
+///
+/// See the [module docs](self) for semantics. Clone-free sharing: wrap in an
+/// [`Arc`] and hand the same cache to every executor that should deduplicate
+/// instance construction.
+pub struct ArtifactCache {
+    graphs: BuildOnceMap<GraphKey, Arc<PortGraph>>,
+    placements: BuildOnceMap<PlacementKey, Arc<Placement>>,
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ArtifactCache")
+            .field("cap", &self.capacity())
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache::new()
+    }
+}
+
+impl ArtifactCache {
+    /// Default per-map entry cap. Graphs at experiment sizes are a few
+    /// kilobytes each, so the default keeps a long-running daemon's cache
+    /// comfortably under a few megabytes while covering typical grids.
+    pub const DEFAULT_CAP: usize = 128;
+
+    /// A cache with the default cap.
+    pub fn new() -> Self {
+        ArtifactCache::with_capacity(Self::DEFAULT_CAP)
+    }
+
+    /// A cache holding at most `cap` graphs and `cap` placements (LRU
+    /// eviction beyond that). `cap` is clamped to at least 1.
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(1);
+        ArtifactCache {
+            graphs: BuildOnceMap::new(cap),
+            placements: BuildOnceMap::new(cap),
+        }
+    }
+
+    /// The per-map entry cap.
+    pub fn capacity(&self) -> usize {
+        self.graphs.cap
+    }
+
+    /// A snapshot of the cache's counters and occupancy.
+    pub fn stats(&self) -> ArtifactStats {
+        let (graph_entries, graph_hits, graph_builds) = self.graphs.counters();
+        let (placement_entries, placement_hits, placement_builds) = self.placements.counters();
+        ArtifactStats {
+            graph_entries,
+            graph_hits,
+            graph_builds,
+            placement_entries,
+            placement_hits,
+            placement_builds,
+        }
+    }
+
+    /// The graph instance for `(spec, seed)`: served from the cache,
+    /// awaited from a concurrent builder of the same key, or built (exactly
+    /// once per key) and cached. Construction failures are returned and
+    /// never cached.
+    pub fn graph(&self, spec: &GraphSpec, seed: u64) -> Result<Arc<PortGraph>, GraphError> {
+        let key = GraphKey { spec: *spec, seed };
+        self.graphs
+            .get_or_build(&key, || spec.build(seed).map(Arc::new))
+    }
+
+    /// The placement instance for `(spec, graph key, seed)` on the given
+    /// built `graph` (which must be the instance `graph_spec`/`graph_seed`
+    /// describe): served, awaited or generated exactly once per key.
+    /// Infeasible placements are returned as errors, never cached.
+    pub fn placement(
+        &self,
+        spec: &PlacementSpec,
+        graph_spec: &GraphSpec,
+        graph_seed: u64,
+        seed: u64,
+        graph: &PortGraph,
+    ) -> Result<Arc<Placement>, ScenarioError> {
+        let key = PlacementKey {
+            spec: *spec,
+            graph_spec: *graph_spec,
+            graph_seed,
+            seed,
+        };
+        self.placements
+            .get_or_build(&key, || spec.build(graph, seed).map(Arc::new))
+    }
+
+    /// Both instances of one scenario - the graph at the scenario's
+    /// [`ScenarioSpec::graph_seed`] and the placement at its
+    /// [`ScenarioSpec::placement_seed`] - shared or built as needed.
+    pub fn instance(
+        &self,
+        spec: &ScenarioSpec,
+    ) -> Result<(Arc<PortGraph>, Arc<Placement>), ScenarioError> {
+        let graph = self.graph(&spec.graph, spec.graph_seed())?;
+        let placement = self.placement(
+            &spec.placement,
+            &spec.graph,
+            spec.graph_seed(),
+            spec.placement_seed(),
+            &graph,
+        )?;
+        Ok((graph, placement))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_graph::generators::Family;
+    use gather_sim::placement::PlacementKind;
+
+    fn graph_spec() -> GraphSpec {
+        GraphSpec::new(Family::Cycle, 8)
+    }
+
+    #[test]
+    fn repeated_graph_lookups_share_one_instance() {
+        let cache = ArtifactCache::new();
+        let a = cache.graph(&graph_spec(), 7).unwrap();
+        let b = cache.graph(&graph_spec(), 7).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hits must share storage");
+        let stats = cache.stats();
+        assert_eq!(stats.graph_builds, 1);
+        assert_eq!(stats.graph_hits, 1);
+        assert_eq!(stats.graph_entries, 1);
+    }
+
+    #[test]
+    fn distinct_seeds_and_specs_are_distinct_entries() {
+        let cache = ArtifactCache::new();
+        let _ = cache.graph(&graph_spec(), 1).unwrap();
+        let _ = cache.graph(&graph_spec(), 2).unwrap();
+        let _ = cache.graph(&GraphSpec::new(Family::Path, 8), 1).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.graph_builds, 3);
+        assert_eq!(stats.graph_hits, 0);
+        assert_eq!(stats.graph_entries, 3);
+    }
+
+    #[test]
+    fn placements_are_keyed_by_graph_and_both_seeds() {
+        let cache = ArtifactCache::new();
+        let pspec = PlacementSpec::new(PlacementKind::UndispersedRandom, 3);
+        let g1 = cache.graph(&graph_spec(), 1).unwrap();
+        let a = cache.placement(&pspec, &graph_spec(), 1, 10, &g1).unwrap();
+        let b = cache.placement(&pspec, &graph_spec(), 1, 10, &g1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // Different placement seed, and same placement on a different graph
+        // instance, are distinct artifacts.
+        let g2 = cache.graph(&graph_spec(), 2).unwrap();
+        let _ = cache.placement(&pspec, &graph_spec(), 1, 11, &g1).unwrap();
+        let _ = cache.placement(&pspec, &graph_spec(), 2, 10, &g2).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.placement_builds, 3);
+        assert_eq!(stats.placement_hits, 1);
+    }
+
+    #[test]
+    fn cached_instances_equal_freshly_built_ones() {
+        let cache = ArtifactCache::new();
+        let spec = ScenarioSpec::new(
+            GraphSpec::new(Family::RandomSparse, 12),
+            PlacementSpec::new(PlacementKind::MaxSpread, 4),
+            crate::scenario::AlgorithmSpec::new("faster_gathering"),
+        )
+        .with_seed(5);
+        let (graph, placement) = cache.instance(&spec).unwrap();
+        let fresh_graph = spec.graph.build(spec.graph_seed()).unwrap();
+        let fresh_placement = spec
+            .placement
+            .build(&fresh_graph, spec.placement_seed())
+            .unwrap();
+        assert_eq!(graph.n(), fresh_graph.n());
+        assert_eq!(graph.m(), fresh_graph.m());
+        assert_eq!(*placement, fresh_placement);
+        // Second lookup hits both maps.
+        let _ = cache.instance(&spec).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.graph_builds, stats.placement_builds), (1, 1));
+        assert_eq!((stats.graph_hits, stats.placement_hits), (1, 1));
+    }
+
+    #[test]
+    fn the_cap_is_enforced_by_lru_eviction() {
+        let cache = ArtifactCache::with_capacity(2);
+        let a = graph_spec();
+        let _ = cache.graph(&a, 1).unwrap();
+        let _ = cache.graph(&a, 2).unwrap();
+        // Touch seed 1 so seed 2 is the LRU victim.
+        let _ = cache.graph(&a, 1).unwrap();
+        let _ = cache.graph(&a, 3).unwrap(); // evicts seed 2
+        assert_eq!(cache.stats().graph_entries, 2);
+        let _ = cache.graph(&a, 1).unwrap(); // still cached
+        assert_eq!(cache.stats().graph_builds, 3, "seed 1 must not rebuild");
+        let _ = cache.graph(&a, 2).unwrap(); // evicted: rebuilds
+        assert_eq!(cache.stats().graph_builds, 4);
+    }
+
+    #[test]
+    fn failures_are_returned_and_never_cached() {
+        let cache = ArtifactCache::new();
+        let bad = PlacementSpec::new(PlacementKind::DispersedRandom, 40);
+        let g = cache.graph(&graph_spec(), 1).unwrap();
+        for _ in 0..2 {
+            let err = cache.placement(&bad, &graph_spec(), 1, 0, &g).unwrap_err();
+            assert!(matches!(err, ScenarioError::InvalidPlacement(_)));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.placement_entries, 0);
+        assert_eq!(stats.placement_builds, 0);
+    }
+
+    #[test]
+    fn concurrent_lookups_build_each_key_exactly_once() {
+        let cache = Arc::new(ArtifactCache::new());
+        let spec = GraphSpec::new(Family::RandomDense, 24);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for seed in 0..4u64 {
+                        let _ = cache.graph(&spec, seed).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(
+            stats.graph_builds, 4,
+            "each distinct key must be built exactly once: {stats:?}"
+        );
+        assert_eq!(stats.graph_hits, 8 * 4 - 4);
+    }
+
+    #[test]
+    fn stats_totals() {
+        let stats = ArtifactStats {
+            graph_entries: 1,
+            graph_hits: 2,
+            graph_builds: 3,
+            placement_entries: 4,
+            placement_hits: 5,
+            placement_builds: 6,
+        };
+        assert_eq!(stats.hits(), 7);
+        assert_eq!(stats.builds(), 9);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ArtifactStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(stats, back);
+    }
+}

@@ -25,6 +25,7 @@ use crate::undispersed::UndispersedGathering;
 use crate::uxs_gathering::UxsGathering;
 use gather_sim::{Action, Inbox, Observation, Robot, RobotId};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The kind of schedule segment a robot is executing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -84,6 +85,36 @@ pub fn build_schedule(n: usize, config: &GatherConfig) -> Vec<Segment> {
     segments
 }
 
+/// The memoized, process-wide shared form of [`build_schedule`]: the
+/// schedule is identical for every robot at the same `(n, config)`, so all
+/// `k` robots of a run (and all runs at the same size) share one immutable
+/// `Arc<[Segment]>` instead of each owning an 18-entry `Vec`.
+pub fn shared_schedule(n: usize, config: &GatherConfig) -> Arc<[Segment]> {
+    const CACHE_CAP: usize = 16;
+    type Entry = (usize, GatherConfig, Arc<[Segment]>);
+    static CACHE: OnceLock<Mutex<Vec<Entry>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::with_capacity(CACHE_CAP)));
+    let mut guard = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(i) = guard
+        .iter()
+        .position(|(en, ec, _)| *en == n && ec == config)
+    {
+        // Touch-refresh so repeated keys are not FIFO-evicted.
+        let entry = guard.remove(i);
+        let schedule = Arc::clone(&entry.2);
+        guard.push(entry);
+        return schedule;
+    }
+    // Built under the lock: schedules are tiny (18 segments), so losing
+    // parallelism here is cheaper than racing duplicates.
+    let schedule: Arc<[Segment]> = build_schedule(n, config).into();
+    if guard.len() >= CACHE_CAP {
+        guard.remove(0);
+    }
+    guard.push((n, *config, Arc::clone(&schedule)));
+    schedule
+}
+
 /// The active embedded sub-algorithm.
 #[derive(Debug, Clone)]
 enum ActiveSub {
@@ -99,7 +130,9 @@ pub struct FasterRobot {
     id: RobotId,
     n: usize,
     config: GatherConfig,
-    schedule: Vec<Segment>,
+    /// Shared with every robot at the same `(n, config)` — see
+    /// [`shared_schedule`].
+    schedule: Arc<[Segment]>,
     segment_idx: usize,
     active: ActiveSub,
     global_round: u64,
@@ -109,7 +142,7 @@ pub struct FasterRobot {
 impl FasterRobot {
     /// Creates the robot with label `id` for an `n`-node graph.
     pub fn new(id: RobotId, n: usize, config: &GatherConfig) -> Self {
-        let schedule = build_schedule(n, config);
+        let schedule = shared_schedule(n, config);
         let active = ActiveSub::Undispersed(Box::new(UndispersedGathering::new(id, n, config)));
         FasterRobot {
             id,
@@ -151,7 +184,8 @@ impl FasterRobot {
                 start: seg.start - base,
                 len: seg.len,
             })
-            .collect();
+            .collect::<Vec<_>>()
+            .into();
         robot.segment_idx = 0;
         robot.active = match robot.schedule[0].kind {
             SegmentKind::Undispersed => {

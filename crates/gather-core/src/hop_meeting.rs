@@ -41,15 +41,30 @@ struct Frame {
 
 impl BoundedDfs {
     /// A DFS that explores all walks of length at most `depth_limit`.
+    ///
+    /// The stack is pre-sized to its maximum depth (`depth_limit + 1`
+    /// frames), so driving the walk never allocates — and [`BoundedDfs::reset`]
+    /// rewinds it for the next cycle without giving the storage back. This
+    /// is what keeps the hop-meeting robots allocation-free in steady state
+    /// (one DFS per robot for the procedure's lifetime, not one per cycle).
     pub fn new(depth_limit: usize) -> Self {
         BoundedDfs {
             depth_limit,
-            stack: Vec::new(),
+            stack: Vec::with_capacity(depth_limit + 1),
             pending_descend: false,
             started: false,
             done: false,
             moves: 0,
         }
+    }
+
+    /// Rewinds to a fresh, unstarted walk, retaining the stack's allocation.
+    pub fn reset(&mut self) {
+        self.stack.clear();
+        self.pending_descend = false;
+        self.started = false;
+        self.done = false;
+        self.moves = 0;
     }
 
     /// True once the walk has returned home and exhausted every port sequence.
@@ -123,7 +138,11 @@ pub struct HopMeeting {
     duration: u64,
     local_round: u64,
     frozen: bool,
-    dfs: Option<BoundedDfs>,
+    /// One DFS for the procedure's lifetime, rewound (not reallocated) at
+    /// each exploration cycle; `exploring` distinguishes exploration cycles
+    /// (1 bits) from waiting cycles (0 bits / exhausted labels).
+    dfs: BoundedDfs,
+    exploring: bool,
 }
 
 impl HopMeeting {
@@ -137,7 +156,8 @@ impl HopMeeting {
             duration: hop_meeting_rounds(radius, n),
             local_round: 0,
             frozen: false,
-            dfs: None,
+            dfs: BoundedDfs::new(radius),
+            exploring: false,
         }
     }
 
@@ -155,7 +175,8 @@ impl HopMeeting {
             duration: crate::schedule::hop_meeting_rounds_with_degree(radius, n, max_degree),
             local_round: 0,
             frozen: false,
-            dfs: None,
+            dfs: BoundedDfs::new(radius),
+            exploring: false,
         }
     }
 
@@ -205,18 +226,20 @@ impl SubAlgorithm for HopMeeting {
         let pos_in_cycle = round_in_procedure % self.cycle_len;
         if pos_in_cycle == 0 {
             // New cycle: explore on a 1 bit, wait on a 0 bit or once the
-            // label's bits are exhausted.
-            self.dfs = match id_bit(self.id, cycle) {
-                Some(true) => Some(BoundedDfs::new(self.radius)),
-                _ => None,
-            };
+            // label's bits are exhausted. Exploration rewinds the persistent
+            // DFS instead of constructing a fresh one.
+            self.exploring = matches!(id_bit(self.id, cycle), Some(true));
+            if self.exploring {
+                self.dfs.reset();
+            }
         }
-        match self.dfs.as_mut() {
-            Some(dfs) if !dfs.is_done() => match dfs.next_move(obs.degree, obs.entry_port) {
+        if self.exploring && !self.dfs.is_done() {
+            match self.dfs.next_move(obs.degree, obs.entry_port) {
                 Some(p) => SubAction::Move(p),
                 None => SubAction::Stay,
-            },
-            _ => SubAction::Stay,
+            }
+        } else {
+            SubAction::Stay
         }
     }
 

@@ -38,7 +38,10 @@
 //!   structured [`sweep::SweepReport`] rows;
 //! * [`cache`] — a content-addressed result cache: scenarios are pure
 //!   functions of their fields, so finished runs are stored under a stable
-//!   [`cache::spec_key`] and repeated executions become O(1) lookups.
+//!   [`cache::spec_key`] and repeated executions become O(1) lookups;
+//! * [`artifact`] — a shared instance cache: built graphs and placements
+//!   are pure functions of their specs and seeds, so sweep cells that share
+//!   instances construct each one exactly once instead of once per cell.
 //!
 //! The seed's `run_algorithm`/`RunSpec` shims were removed once the last
 //! experiment binaries moved onto scenarios and sweeps; [`api::Algorithm`]
@@ -49,6 +52,7 @@
 
 pub mod analysis;
 pub mod api;
+pub mod artifact;
 pub mod baseline;
 pub mod cache;
 pub mod config;
@@ -65,13 +69,14 @@ pub mod undispersed;
 pub mod uxs_gathering;
 
 pub use api::Algorithm;
+pub use artifact::{ArtifactCache, ArtifactStats};
 pub use baseline::ExpandingRobot;
 pub use cache::{
     spec_key, CacheEntry, CachePolicy, DirStore, MemStore, ResultStore, ENGINE_VERSION,
     KEY_FORMAT_VERSION,
 };
 pub use config::GatherConfig;
-pub use faster::{build_schedule, FasterRobot, Segment, SegmentKind};
+pub use faster::{build_schedule, shared_schedule, FasterRobot, Segment, SegmentKind};
 pub use hop_meeting::{BoundedDfs, HopMeeting, HopMeetingRobot};
 pub use messages::{Msg, Role};
 pub use registry::{AlgorithmFactory, AlgorithmRegistry};

@@ -24,6 +24,7 @@
 //! assert!(outcome.outcome.is_correct_gathering_with_detection());
 //! ```
 
+use crate::artifact::ArtifactCache;
 use crate::cache::{spec_key, CacheEntry, CachePolicy, ResultStore};
 use crate::config::GatherConfig;
 use crate::registry::{AlgorithmRegistry, RegistryError};
@@ -264,6 +265,19 @@ impl ScenarioSpec {
     /// Builds the graph and placement, runs the algorithm through `registry`,
     /// and returns the outcome together with the realised instance sizes.
     pub fn run(&self, registry: &AlgorithmRegistry) -> Result<ScenarioOutcome, ScenarioError> {
+        self.run_with(registry, None)
+    }
+
+    /// [`ScenarioSpec::run`], optionally sourcing the built graph and
+    /// placement from a shared [`ArtifactCache`] instead of constructing
+    /// them. Instances are pure functions of the spec's fields and seeds, so
+    /// the outcome is identical either way — the cache only removes
+    /// redundant construction work when many scenarios share instances.
+    pub fn run_with(
+        &self,
+        registry: &AlgorithmRegistry,
+        artifacts: Option<&ArtifactCache>,
+    ) -> Result<ScenarioOutcome, ScenarioError> {
         if !registry.contains(&self.algorithm.name) {
             // Check before paying for graph construction.
             return Err(ScenarioError::Registry(RegistryError::UnknownAlgorithm {
@@ -271,13 +285,35 @@ impl ScenarioSpec {
                 available: registry.names().iter().map(|s| s.to_string()).collect(),
             }));
         }
-        let graph = self.graph.build(self.graph_seed())?;
-        let start = self.placement.build(&graph, self.placement_seed())?;
+        match artifacts {
+            Some(cache) => {
+                let (graph, start) = cache.instance(self)?;
+                self.run_on(registry, &graph, &start)
+            }
+            None => {
+                let graph = self.graph.build(self.graph_seed())?;
+                let start = self.placement.build(&graph, self.placement_seed())?;
+                self.run_on(registry, &graph, &start)
+            }
+        }
+    }
+
+    /// The execution core: runs this spec's algorithm on an already-built
+    /// instance. `graph` and `start` must be the instances this spec's
+    /// [`GraphSpec`]/[`PlacementSpec`] produce under the spec's derived
+    /// seeds — callers either build them ([`ScenarioSpec::run`]) or share
+    /// them through an [`ArtifactCache`] ([`ScenarioSpec::run_with`]).
+    pub fn run_on(
+        &self,
+        registry: &AlgorithmRegistry,
+        graph: &PortGraph,
+        start: &Placement,
+    ) -> Result<ScenarioOutcome, ScenarioError> {
         let outcome = registry
             .run(
                 &self.algorithm.name,
-                &graph,
-                &start,
+                graph,
+                start,
                 &self.algorithm.config,
                 SimConfig::with_max_rounds(self.max_rounds),
             )
@@ -285,7 +321,7 @@ impl ScenarioSpec {
         Ok(ScenarioOutcome {
             n: graph.n(),
             k: start.k(),
-            closest_pair: start.closest_pair_distance(&graph),
+            closest_pair: start.closest_pair_distance(graph),
             outcome,
         })
     }
@@ -310,16 +346,34 @@ impl ScenarioSpec {
         store: &dyn ResultStore,
         policy: CachePolicy,
     ) -> Result<(ScenarioOutcome, bool), ScenarioError> {
-        if !policy.reads() {
-            return self.run(registry).map(|outcome| (outcome, false));
-        }
+        self.run_cached_with(registry, Some(store), policy, None)
+    }
+
+    /// The fully general execution path: an optional content-addressed
+    /// *result* cache (`store` under `policy`, as in
+    /// [`ScenarioSpec::run_cached`]) layered over an optional shared
+    /// *instance* cache (`artifacts`, as in [`ScenarioSpec::run_with`]).
+    /// This is the single path every sweep executor routes through (see
+    /// [`crate::sweep::SweepRow::compute`]); the returned flag reports
+    /// whether the *result* came from `store`.
+    pub fn run_cached_with(
+        &self,
+        registry: &AlgorithmRegistry,
+        store: Option<&dyn ResultStore>,
+        policy: CachePolicy,
+        artifacts: Option<&ArtifactCache>,
+    ) -> Result<(ScenarioOutcome, bool), ScenarioError> {
+        let store = match store {
+            Some(store) if policy.reads() => store,
+            _ => return self.run_with(registry, artifacts).map(|o| (o, false)),
+        };
         let key = spec_key(self);
         if let Some(entry) = store.get(&key) {
             if entry.spec == *self {
                 return Ok((entry.outcome, true));
             }
         }
-        let outcome = self.run(registry)?;
+        let outcome = self.run_with(registry, artifacts)?;
         if policy.writes() {
             store.put(&CacheEntry::new(key, self.clone(), outcome.clone()));
         }

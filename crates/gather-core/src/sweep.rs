@@ -13,6 +13,7 @@
 //! stored skip simulation entirely, and [`SweepReport::stats`] reports how
 //! many cells hit, simulated or failed and how long the run took.
 
+use crate::artifact::{ArtifactCache, ArtifactStats};
 use crate::cache::{CachePolicy, ResultStore};
 use crate::registry::AlgorithmRegistry;
 use crate::scenario::{
@@ -26,6 +27,22 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// How a sweep shares built graph/placement instances across its cells.
+#[derive(Clone, Default)]
+enum ArtifactMode {
+    /// One fresh [`ArtifactCache`] per [`Sweep::run`] call (the default):
+    /// cells of the same run share instances, runs do not.
+    #[default]
+    PerRun,
+    /// A caller-supplied cache, shared across runs (and with any other
+    /// executor holding the same `Arc`).
+    Shared(Arc<ArtifactCache>),
+    /// Rebuild every instance per cell, exactly like the pre-cache
+    /// executor. Used by the equivalence tests that pin rows byte-identical
+    /// across the two paths.
+    Off,
+}
+
 /// Builder for a cartesian sweep over scenario axes.
 #[derive(Clone)]
 pub struct Sweep {
@@ -37,6 +54,7 @@ pub struct Sweep {
     threads: usize,
     cache: Option<Arc<dyn ResultStore>>,
     cache_policy: CachePolicy,
+    artifacts: ArtifactMode,
 }
 
 impl fmt::Debug for Sweep {
@@ -50,6 +68,14 @@ impl fmt::Debug for Sweep {
             .field("threads", &self.threads)
             .field("cache", &self.cache.as_ref().map(|_| "<ResultStore>"))
             .field("cache_policy", &self.cache_policy)
+            .field(
+                "artifacts",
+                match &self.artifacts {
+                    ArtifactMode::PerRun => &"per-run",
+                    ArtifactMode::Shared(_) => &"shared",
+                    ArtifactMode::Off => &"off",
+                },
+            )
             .finish()
     }
 }
@@ -72,7 +98,26 @@ impl Sweep {
             threads: runner::default_threads(),
             cache: None,
             cache_policy: CachePolicy::Off,
+            artifacts: ArtifactMode::PerRun,
         }
+    }
+
+    /// Shares a caller-supplied [`ArtifactCache`] across this sweep's cells
+    /// (and across repeated runs, and with any other executor holding the
+    /// same `Arc`). By default each [`Sweep::run`] call already shares one
+    /// fresh cache among its own cells; this widens the sharing scope.
+    pub fn artifacts(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.artifacts = ArtifactMode::Shared(cache);
+        self
+    }
+
+    /// Disables instance sharing: every cell rebuilds its graph and
+    /// placement, exactly like the pre-cache executor. Rows are identical
+    /// either way (instances are pure functions of the specs); this exists
+    /// for the equivalence tests that prove it.
+    pub fn artifact_cache_off(mut self) -> Self {
+        self.artifacts = ArtifactMode::Off;
+        self
     }
 
     /// Attaches a result cache: cells already stored under their
@@ -174,13 +219,29 @@ impl Sweep {
     pub fn run(&self, registry: &AlgorithmRegistry) -> SweepReport {
         let specs = self.specs();
         let policy = self.cache_policy;
+        // All cells of this run share one instance cache (unless disabled):
+        // each distinct (graph spec, seed) is built once, not once per cell.
+        let artifacts: Option<Arc<ArtifactCache>> = match &self.artifacts {
+            ArtifactMode::PerRun => Some(Arc::new(ArtifactCache::new())),
+            ArtifactMode::Shared(cache) => Some(Arc::clone(cache)),
+            ArtifactMode::Off => None,
+        };
+        // For the report's per-run counters: a shared cache carries history
+        // from earlier runs, so the run's own hits/builds are the delta.
+        let artifacts_before = artifacts.as_deref().map(ArtifactCache::stats);
         let jobs: Vec<_> = specs
             .into_iter()
             .map(|spec| {
                 let store = self.cache.clone();
+                let artifacts = artifacts.clone();
                 move || {
-                    let (row, cache_hit) =
-                        SweepRow::compute(&spec, registry, store.as_deref(), policy);
+                    let (row, cache_hit) = SweepRow::compute(
+                        &spec,
+                        registry,
+                        store.as_deref(),
+                        policy,
+                        artifacts.as_deref(),
+                    );
                     (spec, row, cache_hit)
                 }
             })
@@ -196,6 +257,21 @@ impl Sweep {
             simulated: 0,
             errors: 0,
             elapsed_ms,
+            artifacts: artifacts.as_deref().map(|cache| {
+                let after = cache.stats();
+                let before = artifacts_before.unwrap_or_default();
+                ArtifactStats {
+                    // Occupancy is a current property; counters are this
+                    // run's own work (approximate if another executor uses
+                    // the shared cache concurrently).
+                    graph_entries: after.graph_entries,
+                    graph_hits: after.graph_hits - before.graph_hits,
+                    graph_builds: after.graph_builds - before.graph_builds,
+                    placement_entries: after.placement_entries,
+                    placement_hits: after.placement_hits - before.placement_hits,
+                    placement_builds: after.placement_builds - before.placement_builds,
+                }
+            }),
         };
         for (spec, row, cache_hit) in results {
             if row.error.is_some() {
@@ -343,22 +419,21 @@ pub struct SweepRow {
 }
 
 impl SweepRow {
-    /// Executes one sweep cell: through `store` under `policy` when a store
-    /// is given, plain otherwise. Returns the row plus whether it was
-    /// served from the cache. This is *the* cell-execution path, shared by
-    /// the local [`Sweep::run`] pool and the `gather-service` workers, so a
-    /// change to cache semantics can never make the two executors diverge.
+    /// Executes one sweep cell: through the result `store` under `policy`
+    /// when a store is given (plain otherwise), sourcing built instances
+    /// from `artifacts` when one is shared. Returns the row plus whether it
+    /// was served from the result cache. This is *the* cell-execution path,
+    /// shared by the local [`Sweep::run`] pool and the `gather-service`
+    /// workers, so a change to cache semantics can never make the two
+    /// executors diverge.
     pub fn compute(
         spec: &ScenarioSpec,
         registry: &AlgorithmRegistry,
         store: Option<&dyn ResultStore>,
         policy: CachePolicy,
+        artifacts: Option<&ArtifactCache>,
     ) -> (SweepRow, bool) {
-        let ran = match store {
-            Some(store) => spec.run_cached(registry, store, policy),
-            None => spec.run(registry).map(|outcome| (outcome, false)),
-        };
-        match ran {
+        match spec.run_cached_with(registry, store, policy, artifacts) {
             Ok((outcome, hit)) => (SweepRow::ok(spec, &outcome), hit),
             Err(e) => (SweepRow::failed(spec, &e), false),
         }
@@ -422,6 +497,12 @@ pub struct SweepStats {
     pub errors: usize,
     /// Wall-clock time of the whole run, milliseconds.
     pub elapsed_ms: f64,
+    /// Instance-cache counters attributable to *this run*: hit/build
+    /// counts are deltas over the run (so a shared cache's history from
+    /// earlier runs is not misreported as this run's work), occupancy is
+    /// the cache's current state. `None` when instance sharing was
+    /// disabled, and absent in reports recorded before the cache existed.
+    pub artifacts: Option<ArtifactStats>,
 }
 
 /// The structured output of one sweep: rows plus the specs that produced

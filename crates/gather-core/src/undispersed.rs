@@ -186,36 +186,59 @@ impl UndispersedGathering {
     }
 
     fn phase2_decide(&mut self, inbox: Inbox<'_, Msg>) -> SubAction {
-        // Collect the Phase 2 state of co-located robots.
+        // Digest the Phase 2 state of co-located robots in one pass over the
+        // borrowed inbox — no per-round peer buffer (this used to collect a
+        // `Vec` every round, the dominant steady-state allocation of sweeps;
+        // pinned allocation-free by `tests/alloc_free_robots.rs`). Only
+        // three facts are ever needed:
+        //   * the minimum group id among the peers,
+        //   * the co-located finder with the minimum group id (group ids are
+        //     unique, so "first minimum" and "the minimum" coincide), and
+        //   * the Phase 2 state of the robot this one is following, if that
+        //     robot is present.
         struct Peer {
             id: RobotId,
             role: Role,
             gid: Option<RobotId>,
             intended: Option<PortId>,
         }
-        let peers: Vec<Peer> = inbox
-            .iter()
-            .filter_map(|(id, m)| match m {
-                Msg::Phase2 {
-                    role,
-                    groupid,
-                    intended,
-                } => Some(Peer {
+        let mut min_other_gid: Option<RobotId> = None;
+        let mut min_finder: Option<Peer> = None;
+        let mut followed: Option<Peer> = None;
+        for (id, m) in inbox.iter() {
+            let Msg::Phase2 {
+                role,
+                groupid,
+                intended,
+            } = m
+            else {
+                continue;
+            };
+            if let Some(gid) = *groupid {
+                min_other_gid = Some(min_other_gid.map_or(gid, |m| m.min(gid)));
+                if *role == Role::Finder
+                    && min_finder
+                        .as_ref()
+                        .is_none_or(|f| gid < f.gid.expect("min_finder only holds grouped finders"))
+                {
+                    min_finder = Some(Peer {
+                        id,
+                        role: *role,
+                        gid: *groupid,
+                        intended: *intended,
+                    });
+                }
+            }
+            if Some(id) == self.following {
+                followed = Some(Peer {
                     id,
                     role: *role,
                     gid: *groupid,
                     intended: *intended,
-                }),
-                _ => None,
-            })
-            .collect();
-        let min_other_gid = peers.iter().filter_map(|p| p.gid).min();
-        let min_finder_idx = peers
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.role == Role::Finder && p.gid.is_some())
-            .min_by_key(|(_, p)| p.gid.expect("filtered"))
-            .map(|(i, _)| i);
+                });
+            }
+        }
+        let min_finder = min_finder.as_ref();
         // The overall minimum group id present at this node (including ours).
         let node_min = [self.groupid, min_other_gid].into_iter().flatten().min();
         // A co-located finder actually moves this round iff its group id is
@@ -252,7 +275,7 @@ impl UndispersedGathering {
                     let m = min_other_gid.expect("smaller gid exists");
                     self.role = Role::Helper;
                     self.groupid = Some(m);
-                    match min_finder_idx.map(|i| &peers[i]) {
+                    match min_finder {
                         Some(f) if f.gid == Some(m) => {
                             // Captured by a finder: travel with it from now on.
                             self.following = Some(f.id);
@@ -269,8 +292,8 @@ impl UndispersedGathering {
             Role::Helper | Role::Waiter => {
                 // Adoption: a co-located finder with a strictly smaller group
                 // id (any finder, for a waiter) picks this robot up.
-                if let Some(f) = min_finder_idx.map(|i| &peers[i]) {
-                    let fgid = f.gid.expect("filtered");
+                if let Some(f) = min_finder {
+                    let fgid = f.gid.expect("min_finder only holds grouped finders");
                     let adopt = match self.role {
                         Role::Waiter => true,
                         _ => Some(fgid) < self.groupid,
@@ -285,8 +308,8 @@ impl UndispersedGathering {
                 // Otherwise keep travelling with the finder adopted earlier
                 // (a group's original helpers never adopt their own finder
                 // and therefore guard its start node).
-                if let Some(leader) = self.following {
-                    if let Some(f) = peers.iter().find(|p| p.id == leader) {
+                if self.following.is_some() {
+                    if let Some(f) = &followed {
                         if f.role == Role::Finder {
                             let fgid = f.gid.expect("finders carry a group id");
                             return follow_move_of(fgid, f.intended);

@@ -1,8 +1,9 @@
 //! A uniform way to name and instantiate graph families for sweeps.
 
 use super::{
-    balanced_binary_tree, barbell, complete, cycle, grid, hypercube, lollipop, maze, path,
-    preferential_attachment, random_connected, random_regular, random_tree, star, torus,
+    balanced_binary_tree, barbell, complete, cycle, grid, grid_with_holes, hypercube, lollipop,
+    maze, path, preferential_attachment, random_connected, random_regular, random_tree, star,
+    torus,
 };
 use crate::error::GraphError;
 use crate::graph::PortGraph;
@@ -54,11 +55,25 @@ pub enum Family {
         /// Edges each arriving node attaches (`m >= 1`).
         m: usize,
     },
+    /// A `rows x cols` grid with `holes` cells knocked out at random
+    /// (connectivity preserved) — city blocks with obstacles. Unlike the
+    /// other families this one is fully explicit: the dimensions are part
+    /// of the variant, so sweeps can name exact instances declaratively,
+    /// and [`Family::instantiate`]'s target `n` is ignored (the realised
+    /// node count is `rows·cols - holes`).
+    GridWithHoles {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+        /// Cells removed (seeded-random, never disconnecting).
+        holes: usize,
+    },
 }
 
 impl Family {
     /// All families, in a stable order used by reports.
-    pub const ALL: [Family; 16] = [
+    pub const ALL: [Family; 17] = [
         Family::Path,
         Family::Cycle,
         Family::Complete,
@@ -75,6 +90,11 @@ impl Family {
         Family::RandomDense,
         Family::RandomRegular4,
         Family::PreferentialAttachment { m: 2 },
+        Family::GridWithHoles {
+            rows: 5,
+            cols: 4,
+            holes: 3,
+        },
     ];
 
     /// Short, stable name used in result tables.
@@ -96,6 +116,7 @@ impl Family {
             Family::RandomDense => "random_dense",
             Family::RandomRegular4 => "random_regular4",
             Family::PreferentialAttachment { .. } => "pref_attach",
+            Family::GridWithHoles { .. } => "grid_holes",
         }
     }
 
@@ -147,6 +168,17 @@ impl Family {
             Family::RandomRegular4 => random_regular(n.max(6), 4, seed),
             Family::PreferentialAttachment { m } => {
                 preferential_attachment(n.max(2), (*m).max(1), seed)
+            }
+            // Fully explicit: the variant carries its own dimensions, so the
+            // target size is ignored (the produced graph's `n()` is
+            // authoritative, as for every structured family). Hostile hole
+            // counts are clamped so wire-submitted sweeps cannot error a
+            // whole grid out of existence.
+            Family::GridWithHoles { rows, cols, holes } => {
+                let rows = (*rows).max(1);
+                let cols = (*cols).max(if rows <= 1 { 2 } else { 1 });
+                let holes = (*holes).min(rows * cols - 2);
+                grid_with_holes(rows, cols, holes, seed)
             }
         }
     }
@@ -232,6 +264,45 @@ mod tests {
         let s = serde_json::to_string(&spec).unwrap();
         let back: FamilySpec = serde_json::from_str(&s).unwrap();
         assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn grid_with_holes_is_declaratively_nameable_and_deterministic() {
+        // The struct variant carries its exact dimensions through serde, so
+        // sweeps can name precise obstacle-grid instances in JSON.
+        let spec = FamilySpec::new(
+            Family::GridWithHoles {
+                rows: 6,
+                cols: 5,
+                holes: 4,
+            },
+            0, // target size is ignored by this fully explicit family
+            9,
+        );
+        let s = serde_json::to_string(&spec).unwrap();
+        assert!(s.contains("GridWithHoles"), "{s}");
+        assert!(s.contains("\"holes\":4"), "{s}");
+        let back: FamilySpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(spec, back);
+        let g = back.build().unwrap();
+        assert_eq!(g.n(), 6 * 5 - 4);
+        assert!(g.is_connected());
+        assert_eq!(g, spec.build().unwrap(), "same spec, same instance");
+    }
+
+    #[test]
+    fn grid_with_holes_clamps_hostile_parameters_instead_of_failing() {
+        // Wire-submitted grids can carry absurd values; instantiate must
+        // produce a valid graph rather than panic or error the whole sweep.
+        let g = Family::GridWithHoles {
+            rows: 0,
+            cols: 0,
+            holes: 1000,
+        }
+        .instantiate(16, 1)
+        .unwrap();
+        assert!(g.n() >= 2);
+        assert!(g.is_connected());
     }
 
     #[test]

@@ -16,7 +16,7 @@ mod trees;
 
 pub use classic::{complete, cycle, path, star, wheel};
 pub use family::{standard_suite, Family, FamilySpec};
-pub use grids::{grid, hypercube, torus};
+pub use grids::{grid, grid_with_holes, hypercube, torus};
 pub use maze::{complete_bipartite, maze};
 pub use random::{barbell, lollipop, preferential_attachment, random_connected, random_regular};
 pub use trees::{balanced_binary_tree, broom, caterpillar, random_tree, spider};

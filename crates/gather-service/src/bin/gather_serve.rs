@@ -4,6 +4,7 @@
 //! gather-serve [--addr 127.0.0.1:7177] [--workers N]
 //!              [--cache-dir results/cache | --no-cache]
 //!              [--policy readwrite|readonly|off]
+//!              [--artifact-cap N]
 //!              [--port-file PATH]
 //! ```
 //!
@@ -15,6 +16,7 @@
 //! pointed at the same directory) are served without simulating, and
 //! vice versa.
 
+use gather_core::artifact::ArtifactCache;
 use gather_core::cache::{CachePolicy, DirStore, ResultStore};
 use gather_service::server::{Server, ServerConfig};
 use gather_sim::runner;
@@ -25,7 +27,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: gather-serve [--addr HOST:PORT] [--workers N] \
          [--cache-dir DIR | --no-cache] [--policy readwrite|readonly|off] \
-         [--port-file PATH]"
+         [--artifact-cap N] [--port-file PATH]"
     );
     exit(2);
 }
@@ -35,6 +37,7 @@ fn main() {
     let mut workers = runner::default_threads();
     let mut cache_dir = Some("results/cache".to_string());
     let mut policy = CachePolicy::ReadWrite;
+    let mut artifact_cap = ArtifactCache::DEFAULT_CAP;
     let mut port_file: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -66,6 +69,12 @@ fn main() {
                     }
                 }
             }
+            "--artifact-cap" => {
+                artifact_cap = value("--artifact-cap").parse().unwrap_or_else(|_| {
+                    eprintln!("gather-serve: --artifact-cap expects a positive integer");
+                    usage()
+                })
+            }
             "--port-file" => port_file = Some(value("--port-file")),
             "--help" | "-h" => usage(),
             other => {
@@ -88,6 +97,7 @@ fn main() {
         workers,
         store,
         policy,
+        artifact_cap,
     }) {
         Ok(server) => server,
         Err(e) => {

@@ -211,6 +211,22 @@ impl Client {
         }
     }
 
+    /// The daemon's shared instance-cache counters (graph/placement
+    /// entries, hits, builds), from a daemon-level `Status` request. Lets a
+    /// client watch a long-running daemon's instance memory stay bounded.
+    pub fn daemon_artifacts(
+        &mut self,
+    ) -> Result<Option<gather_core::artifact::ArtifactStats>, ClientError> {
+        self.send(&Request::Status { job: None })?;
+        match self.recv()? {
+            Response::Progress { artifacts, .. } => Ok(artifacts),
+            Response::Error { job, message } => Err(ClientError::Remote { job, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected Progress, got {other:?}"
+            ))),
+        }
+    }
+
     /// Cancels a job (submitted on this or any other connection).
     pub fn cancel(&mut self, job: u64) -> Result<(), ClientError> {
         self.send(&Request::Cancel { job })?;

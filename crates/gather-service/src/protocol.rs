@@ -39,6 +39,7 @@
 //! oversized frames and parse failures, so servers can answer malformed
 //! input with a structured [`Response::Error`] instead of dying.
 
+use gather_core::artifact::ArtifactStats;
 use gather_core::scenario::ScenarioSpec;
 use gather_core::sweep::{SweepRow, SweepSpec, SweepStats};
 use serde::{Deserialize, Serialize};
@@ -129,6 +130,12 @@ pub enum Response {
         total: usize,
         /// True once the job was cancelled.
         cancelled: bool,
+        /// Counters of the daemon's shared graph/placement instance cache
+        /// (entries, hits, builds). Reported on daemon-level status
+        /// (`Status { job: None }`), `None` on per-job frames — the cache
+        /// is daemon-wide, not per-job. Lets operators watch a long-running
+        /// daemon's instance memory stay bounded.
+        artifacts: Option<ArtifactStats>,
     },
     /// A job finished: every cell produced its row. Carries the same
     /// [`SweepStats`] a local [`gather_core::sweep::Sweep::run`] reports,
@@ -342,6 +349,14 @@ mod tests {
                 done: 1,
                 total: 2,
                 cancelled: false,
+                artifacts: Some(ArtifactStats {
+                    graph_entries: 1,
+                    graph_hits: 2,
+                    graph_builds: 3,
+                    placement_entries: 4,
+                    placement_hits: 5,
+                    placement_builds: 6,
+                }),
             },
             Response::Done {
                 job: 3,
@@ -351,6 +366,7 @@ mod tests {
                     simulated: 0,
                     errors: 0,
                     elapsed_ms: 1.5,
+                    artifacts: None,
                 },
             },
             Response::Error {

@@ -13,12 +13,16 @@
 //! daemon's [`CachePolicy`] — so repeated submissions across connections
 //! (and, with a [`gather_core::cache::DirStore`], across daemon restarts)
 //! are served from cache, and a finished job's [`SweepStats`] reports
-//! exactly how many cells hit.
+//! exactly how many cells hit. Workers additionally share one
+//! [`ArtifactCache`]: cells that name the same graph/placement instance reuse
+//! one built copy instead of reconstructing it per cell, across jobs and
+//! connections alike, bounded by the daemon's configured cap.
 //!
 //! Results are delivered as [`JobEvent`]s over a per-job channel: the
 //! connection that submitted the job drains it and forwards each event as a
 //! protocol frame while later cells are still running.
 
+use gather_core::artifact::{ArtifactCache, ArtifactStats};
 use gather_core::cache::{CachePolicy, ResultStore};
 use gather_core::registry;
 use gather_core::scenario::ScenarioSpec;
@@ -87,6 +91,10 @@ impl Job {
         )
     }
 
+    /// The job's [`SweepStats`]. `artifacts` stays `None` on purpose: the
+    /// instance cache is daemon-wide, so per-job cumulative counters would
+    /// misread as this job's work — daemon-level `Status` is the
+    /// observability surface for them.
     fn stats(&self, p: &Progress) -> SweepStats {
         SweepStats {
             cells: self.specs.len(),
@@ -94,6 +102,7 @@ impl Job {
             simulated: p.simulated,
             errors: p.errors,
             elapsed_ms: p.started.elapsed().as_secs_f64() * 1e3,
+            artifacts: None,
         }
     }
 }
@@ -156,6 +165,9 @@ struct SchedCore {
     work_ready: Condvar,
     store: Option<Arc<dyn ResultStore>>,
     policy: CachePolicy,
+    /// Built graph/placement instances shared by every worker, across jobs
+    /// and connections, for the daemon's lifetime.
+    artifacts: Arc<ArtifactCache>,
     next_job_id: AtomicU64,
 }
 
@@ -167,11 +179,12 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// Spawns `workers` worker threads sharing `store` under `policy`
-    /// (`store: None` always simulates).
+    /// (`store: None` always simulates) and one `artifacts` instance cache.
     pub fn new(
         workers: usize,
         store: Option<Arc<dyn ResultStore>>,
         policy: CachePolicy,
+        artifacts: Arc<ArtifactCache>,
     ) -> Scheduler {
         let core = Arc::new(SchedCore {
             state: Mutex::new(SchedState {
@@ -183,6 +196,7 @@ impl Scheduler {
             work_ready: Condvar::new(),
             store,
             policy,
+            artifacts,
             next_job_id: AtomicU64::new(1),
         });
         let handles = (0..workers.max(1))
@@ -288,6 +302,12 @@ impl Scheduler {
             st.tombstone(id, done, total, true);
         }
         true
+    }
+
+    /// Counters of the shared instance cache (entries, hits, builds) — the
+    /// observability hook behind the daemon's `Status` response.
+    pub fn artifact_stats(&self) -> ArtifactStats {
+        self.core.artifacts.stats()
     }
 
     /// `(cells done, cells total)` summed over every job ever submitted.
@@ -463,7 +483,13 @@ fn run_cell(core: &SchedCore, spec: &ScenarioSpec) -> (SweepRow, bool) {
     // not a dead worker thread and a job that never finishes. The default
     // panic hook still logs the panic to stderr.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        SweepRow::compute(spec, registry::global(), core.store.as_deref(), core.policy)
+        SweepRow::compute(
+            spec,
+            registry::global(),
+            core.store.as_deref(),
+            core.policy,
+            Some(&core.artifacts),
+        )
     }));
     match outcome {
         Ok(cell) => cell,
@@ -547,7 +573,7 @@ mod tests {
             .iter()
             .map(|s| SweepRow::ok(s, &s.run_default().unwrap()))
             .collect();
-        let scheduler = Scheduler::new(4, None, CachePolicy::Off);
+        let scheduler = Scheduler::new(4, None, CachePolicy::Off, Arc::new(ArtifactCache::new()));
         for cap in [Some(1), Some(3), None] {
             let specs = demo_specs();
             let (job, rx) = scheduler.submit(specs.clone(), cap);
@@ -564,7 +590,12 @@ mod tests {
     #[test]
     fn shared_store_turns_the_second_submission_into_pure_hits() {
         let store = Arc::new(MemStore::new());
-        let scheduler = Scheduler::new(3, Some(store.clone()), CachePolicy::ReadWrite);
+        let scheduler = Scheduler::new(
+            3,
+            Some(store.clone()),
+            CachePolicy::ReadWrite,
+            Arc::new(ArtifactCache::new()),
+        );
         let specs = demo_specs();
         let (_, rx) = scheduler.submit(specs.clone(), None);
         let (first_rows, first_stats) = drain(rx, specs.len());
@@ -579,7 +610,7 @@ mod tests {
 
     #[test]
     fn empty_jobs_finish_immediately_and_errors_become_rows() {
-        let scheduler = Scheduler::new(2, None, CachePolicy::Off);
+        let scheduler = Scheduler::new(2, None, CachePolicy::Off, Arc::new(ArtifactCache::new()));
         let (_, rx) = scheduler.submit(Vec::new(), None);
         let (rows, stats) = drain(rx, 0);
         assert!(rows.is_empty());
@@ -602,7 +633,7 @@ mod tests {
         // One worker and a 1-worker cap make the race deterministic enough:
         // cancel immediately after submit; the job either never starts or
         // stops early, but a Cancelled event always arrives.
-        let scheduler = Scheduler::new(1, None, CachePolicy::Off);
+        let scheduler = Scheduler::new(1, None, CachePolicy::Off, Arc::new(ArtifactCache::new()));
         let specs = demo_specs();
         let cells = specs.len();
         let (job, rx) = scheduler.submit(specs, Some(1));

@@ -20,6 +20,7 @@ use crate::protocol::{
     read_frame, write_frame, FrameError, Request, Response, MAX_CELLS_PER_SUBMIT, PROTOCOL_VERSION,
 };
 use crate::scheduler::{JobEvent, Scheduler};
+use gather_core::artifact::ArtifactCache;
 use gather_core::cache::{CachePolicy, ResultStore};
 use gather_core::scenario::ScenarioSpec;
 use gather_sim::runner;
@@ -39,6 +40,12 @@ pub struct ServerConfig {
     pub store: Option<Arc<dyn ResultStore>>,
     /// How workers consult the store.
     pub policy: CachePolicy,
+    /// Entry cap of the shared graph/placement instance cache (per map,
+    /// LRU-evicted beyond it) — this is what keeps a long-running daemon's
+    /// instance memory bounded no matter how many distinct grids it serves.
+    /// Occupancy and hit/build counters are reported by the `Status`
+    /// response, so the bound is observable from the wire.
+    pub artifact_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +55,7 @@ impl Default for ServerConfig {
             workers: runner::default_threads(),
             store: None,
             policy: CachePolicy::Off,
+            artifact_cap: ArtifactCache::DEFAULT_CAP,
         }
     }
 }
@@ -63,7 +71,12 @@ impl Server {
     /// Binds the listener and spawns the worker pool. `run` starts serving.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let scheduler = Arc::new(Scheduler::new(config.workers, config.store, config.policy));
+        let scheduler = Arc::new(Scheduler::new(
+            config.workers,
+            config.store,
+            config.policy,
+            Arc::new(ArtifactCache::with_capacity(config.artifact_cap)),
+        ));
         Ok(Server {
             listener,
             scheduler,
@@ -169,6 +182,7 @@ fn handle_connection(
                         done,
                         total,
                         cancelled,
+                        artifacts: None,
                     },
                     None => Response::Error {
                         job: Some(id),
@@ -186,6 +200,7 @@ fn handle_connection(
                         done,
                         total,
                         cancelled: false,
+                        artifacts: Some(scheduler.artifact_stats()),
                     },
                 )?;
             }
@@ -197,6 +212,7 @@ fn handle_connection(
                         done,
                         total,
                         cancelled,
+                        artifacts: None,
                     }
                 } else {
                     Response::Error {

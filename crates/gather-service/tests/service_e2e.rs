@@ -139,6 +139,74 @@ fn sharding_is_deterministic_for_any_worker_count() {
 }
 
 #[test]
+fn artifact_cache_is_shared_across_worker_counts_and_reported_by_status() {
+    let sweep = demo_sweep();
+    // Ground truth: the artifact-cache-off local executor.
+    let local = sweep
+        .clone()
+        .into_sweep()
+        .artifact_cache_off()
+        .run_default();
+    let local_rows_json = serde_json::to_string(&local.rows).unwrap();
+
+    let (addr, handle) = spawn_daemon(ServerConfig {
+        workers: 8,
+        store: None,
+        policy: CachePolicy::Off,
+        artifact_cap: 64,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    // A fresh daemon's cache is empty and visible over the wire.
+    let empty = client
+        .daemon_artifacts()
+        .expect("status answers")
+        .expect("daemon-level status reports artifact stats");
+    assert_eq!((empty.graph_entries, empty.graph_builds), (0, 0));
+
+    // The same grid through 1 worker and through 8, sharing the daemon's
+    // one instance cache: rows byte-identical to the cache-off local run
+    // both times.
+    let serial = client.run_sweep(&sweep, Some(1)).expect("workers = 1");
+    let sharded = client.run_sweep(&sweep, Some(8)).expect("workers = 8");
+    assert_eq!(
+        serde_json::to_string(&serial.rows).unwrap(),
+        local_rows_json,
+        "workers=1 rows must match the artifact-cache-off local run"
+    );
+    assert_eq!(
+        serde_json::to_string(&sharded.rows).unwrap(),
+        local_rows_json,
+        "workers=8 rows must match the artifact-cache-off local run"
+    );
+
+    // Both jobs shared one cache: each distinct (graph spec, seed) was
+    // built exactly once for the daemon's lifetime — the second job was
+    // pure hits — and the Status response exposes the counters. The demo
+    // grid has 3 graph axis points x 2 seeds.
+    let stats = client
+        .daemon_artifacts()
+        .expect("status answers")
+        .expect("artifact stats present");
+    assert_eq!(
+        stats.graph_builds, 6,
+        "each distinct graph instance is built once per daemon: {stats:?}"
+    );
+    assert!(stats.graph_entries <= 64, "cap respected: {stats:?}");
+    assert!(stats.graph_hits > 0, "{stats:?}");
+    // Per-job Done frames deliberately do NOT carry the daemon-wide
+    // counters — cumulative numbers would misread as the job's own work.
+    assert!(sharded.stats.artifacts.is_none(), "{:?}", sharded.stats);
+
+    // Per-job status frames stay artifact-free (the cache is daemon-wide).
+    let (_, _, cancelled) = client.status(Some(1)).expect("job status");
+    assert!(!cancelled);
+
+    stop_daemon(addr, handle);
+}
+
+#[test]
 fn dir_store_cache_survives_a_daemon_restart() {
     let dir = temp_cache_dir("restart");
     let sweep = demo_sweep();

@@ -12,7 +12,10 @@
 //! The robots used here exchange `u64` messages every round and move every
 //! round (touching fresh nodes, exercising occupancy rebuilds and the
 //! message arena) while allocating nothing themselves, so the measured
-//! counts isolate the engine.
+//! counts isolate the engine. The *robot* side of the claim — the four
+//! built-in algorithms' decide paths — is pinned by the same technique in
+//! `gather-core/tests/alloc_free_robots.rs` (the built-ins live above this
+//! crate in the dependency graph, so their test must too).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};

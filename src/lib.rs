@@ -75,6 +75,7 @@ pub use gather_uxs as uxs;
 
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
+    pub use gather_core::artifact::{ArtifactCache, ArtifactStats};
     pub use gather_core::cache::{
         spec_key, CacheEntry, CachePolicy, DirStore, MemStore, ResultStore, ENGINE_VERSION,
         KEY_FORMAT_VERSION,

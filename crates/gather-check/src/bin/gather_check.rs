@@ -1,0 +1,285 @@
+//! The `gather-check` command-line model checker.
+//!
+//! ```text
+//! gather-check --spec FILE.json [--cex-dir DIR]      check one instance
+//! gather-check --matrix FILE.json [--cex-dir DIR]    check a pinned matrix
+//! gather-check --replay FILE.json                    replay a counterexample
+//! gather-check --diagram FILE.json --out FILE.dot    emit a state diagram
+//! ```
+//!
+//! Exit codes: `0` — everything verified (or replay reproduced its
+//! violation); `1` — a violation or a truncated (unproven) run; `2` — usage
+//! or I/O error. With `--cex-dir`, every violation's minimal counterexample
+//! is written there as JSON for artifact upload and later `--replay`.
+
+#![forbid(unsafe_code)]
+
+use gather_check::{
+    run_check, state_diagram, CheckMatrix, CheckReport, CheckSpec, Counterexample, GatherMachine,
+    Verdict,
+};
+use gather_core::GatherConfig;
+use gather_core::{ExpandingRobot, FasterRobot, UndispersedRobot, UxsGatherRobot};
+use gather_graph::NodeId;
+use gather_uxs::Uxs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(cmd) => match execute(cmd) {
+            Ok(clean) => {
+                if clean {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(1)
+                }
+            }
+            Err(msg) => {
+                eprintln!("gather-check: {msg}");
+                ExitCode::from(2)
+            }
+        },
+        Err(msg) => {
+            eprintln!("gather-check: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  gather-check --spec FILE.json [--cex-dir DIR]
+  gather-check --matrix FILE.json [--cex-dir DIR]
+  gather-check --replay FILE.json
+  gather-check --diagram FILE.json --out FILE.dot";
+
+enum Cmd {
+    Spec {
+        path: PathBuf,
+        cex_dir: Option<PathBuf>,
+    },
+    Matrix {
+        path: PathBuf,
+        cex_dir: Option<PathBuf>,
+    },
+    Replay {
+        path: PathBuf,
+    },
+    Diagram {
+        path: PathBuf,
+        out: PathBuf,
+    },
+}
+
+fn parse(args: &[String]) -> Result<Cmd, String> {
+    let mut mode: Option<(&str, PathBuf)> = None;
+    let mut cex_dir = None;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spec" | "--matrix" | "--replay" | "--diagram" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a file argument"))?;
+                if let Some((prev, _)) = &mode {
+                    return Err(format!("{arg} conflicts with --{prev}"));
+                }
+                mode = Some((&arg[2..], PathBuf::from(path)));
+            }
+            "--cex-dir" => {
+                cex_dir = Some(PathBuf::from(
+                    it.next().ok_or("--cex-dir needs a directory argument")?,
+                ));
+            }
+            "--out" => {
+                out = Some(PathBuf::from(
+                    it.next().ok_or("--out needs a file argument")?,
+                ));
+            }
+            "--help" | "-h" => return Err("help requested".to_string()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    match mode {
+        Some(("spec", path)) => Ok(Cmd::Spec { path, cex_dir }),
+        Some(("matrix", path)) => Ok(Cmd::Matrix { path, cex_dir }),
+        Some(("replay", path)) => Ok(Cmd::Replay { path }),
+        Some(("diagram", path)) => Ok(Cmd::Diagram {
+            path,
+            out: out.ok_or("--diagram needs --out FILE.dot")?,
+        }),
+        _ => Err("one of --spec/--matrix/--replay/--diagram is required".to_string()),
+    }
+}
+
+/// Runs the command; `Ok(true)` means a fully clean outcome.
+fn execute(cmd: Cmd) -> Result<bool, String> {
+    match cmd {
+        Cmd::Spec { path, cex_dir } => {
+            let spec: CheckSpec = read_json(&path)?;
+            let report = run_check(&spec).map_err(|e| e.to_string())?;
+            Ok(handle_report(&report, 0, cex_dir.as_deref())?)
+        }
+        Cmd::Matrix { path, cex_dir } => {
+            let matrix: CheckMatrix = read_json(&path)?;
+            if matrix.checks.is_empty() {
+                return Err("matrix contains no checks".to_string());
+            }
+            let mut clean = true;
+            for (i, spec) in matrix.checks.iter().enumerate() {
+                let report = run_check(spec).map_err(|e| format!("check #{i}: {e}"))?;
+                clean &= handle_report(&report, i, cex_dir.as_deref())?;
+            }
+            if clean {
+                println!("matrix: all {} checks verified", matrix.checks.len());
+            }
+            Ok(clean)
+        }
+        Cmd::Replay { path } => {
+            let cex: Counterexample = read_json(&path)?;
+            match cex.verify() {
+                Ok(()) => {
+                    println!(
+                        "replay: reproduced `{}` in {} rounds",
+                        cex.violation,
+                        cex.activations.len()
+                    );
+                    Ok(true)
+                }
+                Err(e) => {
+                    eprintln!("replay: {e}");
+                    Ok(false)
+                }
+            }
+        }
+        Cmd::Diagram { path, out } => {
+            let spec: CheckSpec = read_json(&path)?;
+            let dot = diagram_for(&spec)?;
+            std::fs::write(&out, dot).map_err(|e| format!("writing {}: {e}", out.display()))?;
+            println!("diagram: wrote {}", out.display());
+            Ok(true)
+        }
+    }
+}
+
+fn handle_report(
+    report: &CheckReport,
+    index: usize,
+    cex_dir: Option<&Path>,
+) -> Result<bool, String> {
+    let spec = &report.spec;
+    let head = format!(
+        "[{index}] {} on {:?}(n={}) k={} seed={} {:?}",
+        spec.algorithm.name,
+        spec.graph.family,
+        spec.graph.n,
+        spec.placement.k,
+        spec.seed,
+        spec.scheduler,
+    );
+    match report.verdict {
+        Verdict::Verified => {
+            println!(
+                "{head}: verified ({} states, {} transitions, depth {}, bound {})",
+                report.states, report.transitions, report.depth, report.round_bound
+            );
+            Ok(true)
+        }
+        Verdict::Truncated => {
+            eprintln!(
+                "{head}: TRUNCATED at {} states — nothing proven; raise max_states",
+                report.states
+            );
+            Ok(false)
+        }
+        Verdict::Violated => {
+            let cex = report
+                .counterexample
+                .as_ref()
+                .expect("violated reports carry a counterexample");
+            eprintln!(
+                "{head}: VIOLATED — {} (trace length {})",
+                cex.violation,
+                cex.activations.len()
+            );
+            if let Some(dir) = cex_dir {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+                let file = dir.join(format!(
+                    "counterexample_{index}_{}.json",
+                    spec.algorithm.name
+                ));
+                std::fs::write(&file, cex.to_json_pretty())
+                    .map_err(|e| format!("writing {}: {e}", file.display()))?;
+                eprintln!("{head}: counterexample written to {}", file.display());
+            }
+            Ok(false)
+        }
+    }
+}
+
+/// Builds the projected state diagram for a spec (same dispatch as checking,
+/// written out because the machine type is generic in the robot).
+fn diagram_for(spec: &CheckSpec) -> Result<String, String> {
+    let scenario = spec.scenario();
+    let graph = spec
+        .graph
+        .build(scenario.graph_seed())
+        .map_err(|e| e.to_string())?;
+    let placement = spec
+        .placement
+        .build(&graph, scenario.placement_seed())
+        .map_err(|e| e.to_string())?;
+    let n = graph.n();
+    let config: &GatherConfig = &spec.algorithm.config;
+    let name = format!(
+        "{}_{:?}{}",
+        spec.algorithm.name.replace('-', "_"),
+        spec.graph.family,
+        n
+    );
+    macro_rules! draw {
+        ($robot:ty, $make:expr) => {{
+            let robots: Vec<($robot, NodeId)> = placement
+                .robots
+                .iter()
+                .map(|&(id, node)| ($make(id), node))
+                .collect();
+            let machine = GatherMachine::new(&graph, robots, spec.scheduler);
+            let d = state_diagram(
+                &machine,
+                spec.limits(),
+                gather_check::project_sim_state,
+                |s| s.all_terminated(),
+            );
+            Ok(d.to_dot(&name))
+        }};
+    }
+    match spec.algorithm.name.as_str() {
+        "faster_gathering" => draw!(FasterRobot, |id| FasterRobot::new(id, n, config)),
+        "uxs_gathering" => {
+            let uxs = Uxs::shared_for_n(n, config.uxs_policy);
+            draw!(UxsGatherRobot, |id| UxsGatherRobot::with_sequence(
+                id,
+                uxs.clone()
+            ))
+        }
+        "undispersed_gathering" => {
+            draw!(UndispersedRobot, |id| UndispersedRobot::new(id, n, config))
+        }
+        "expanding_baseline" => draw!(ExpandingRobot, |id| ExpandingRobot::new(id, n)),
+        gather_check::BROKEN_EAGER => {
+            draw!(gather_check::BrokenEager, gather_check::BrokenEager::new)
+        }
+        other => Err(format!("unknown algorithm `{other}`")),
+    }
+}
+
+fn read_json<T: serde::Deserialize>(path: &Path) -> Result<T, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+}

@@ -1,0 +1,159 @@
+//! The transition-system abstraction the traverser explores.
+//!
+//! Mirrors the shape of polestar's `Machine`: a value with an initial state,
+//! an action enumeration and a pure `transition`. The gathering instantiation
+//! ([`GatherMachine`]) wraps the engine's pure step function
+//! ([`gather_sim::transition_with`]) and a [`Scheduler`] that enumerates the
+//! legal activations per round.
+
+use crate::canon::CanonState;
+use gather_graph::PortGraph;
+use gather_sim::robot::Robot;
+use gather_sim::{alive_mask, Activation, Scheduler, SimState, StepBuffers};
+use std::cell::RefCell;
+use std::hash::Hash;
+
+/// A deterministic-transition system with enumerable nondeterminism: from
+/// each state, `actions` lists every choice the adversary has, and
+/// `transition` resolves one choice into the unique successor.
+pub trait Machine {
+    /// Full state — everything needed to compute successors.
+    type State: Clone;
+    /// Compact canonical form used for visited-set dedup and trace nodes.
+    type Canon: Clone + Eq + Ord + Hash;
+    /// One adversary choice (an activation, for gathering).
+    type Action: Copy + std::fmt::Debug;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// The canonical form of `state`.
+    fn canonicalize(&self, state: &Self::State) -> Self::Canon;
+
+    /// Every legal action in `state` (empty for terminal states).
+    fn actions(&self, state: &Self::State) -> Vec<Self::Action>;
+
+    /// The unique successor of `state` under `action`. Pure: equal inputs
+    /// give equal outputs and `state` is not modified.
+    fn transition(&self, state: &Self::State, action: Self::Action) -> Self::State;
+}
+
+/// The gathering transition system: one algorithm's robots on one graph
+/// under one scheduler.
+pub struct GatherMachine<'g, R: Robot> {
+    graph: &'g PortGraph,
+    scheduler: Scheduler,
+    initial: SimState<R>,
+    /// Step buffers shared across `transition` calls (interior mutability:
+    /// `Machine::transition` is `&self`). Reusing them amortizes the
+    /// per-step allocations across the whole traversal.
+    bufs: RefCell<StepBuffers<R>>,
+}
+
+impl<'g, R: Robot + Clone + Hash> GatherMachine<'g, R> {
+    /// Builds the machine for `robots` (each with its start node) on `graph`.
+    ///
+    /// Panics if the scheduler is not [`Scheduler::FullySync`] and `k > 64`
+    /// (activation subsets are bitmasks).
+    pub fn new(
+        graph: &'g PortGraph,
+        robots: Vec<(R, gather_graph::NodeId)>,
+        scheduler: Scheduler,
+    ) -> Self {
+        let initial = SimState::new(graph, robots);
+        if scheduler != Scheduler::FullySync {
+            assert!(
+                initial.k() <= 64,
+                "relaxed schedulers support at most 64 robots"
+            );
+        }
+        let bufs = RefCell::new(StepBuffers::new(graph.n(), &initial));
+        GatherMachine {
+            graph,
+            scheduler,
+            initial,
+            bufs,
+        }
+    }
+
+    /// The graph being checked.
+    pub fn graph(&self) -> &PortGraph {
+        self.graph
+    }
+
+    /// The scheduler whose interleavings are explored.
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+}
+
+impl<R: Robot + Clone + Hash> Machine for GatherMachine<'_, R> {
+    type State = SimState<R>;
+    type Canon = CanonState;
+    type Action = Activation;
+
+    fn initial(&self) -> SimState<R> {
+        self.initial.clone()
+    }
+
+    fn canonicalize(&self, state: &SimState<R>) -> CanonState {
+        CanonState::of(state)
+    }
+
+    fn actions(&self, state: &SimState<R>) -> Vec<Activation> {
+        if state.all_terminated() {
+            return Vec::new();
+        }
+        match self.scheduler {
+            // FullySync has exactly one legal activation and no 64-robot
+            // limit (Activation::All needs no mask).
+            Scheduler::FullySync => vec![Activation::All],
+            s => s.legal_activations(alive_mask(&state.terminated)),
+        }
+    }
+
+    fn transition(&self, state: &SimState<R>, action: Activation) -> SimState<R> {
+        gather_sim::transition_with(self.graph, state, action, &mut self.bufs.borrow_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_core::{GatherConfig, UxsGatherRobot};
+    use gather_graph::generators;
+
+    fn machine(scheduler: Scheduler) -> (PortGraph, Vec<(UxsGatherRobot, usize)>) {
+        let g = generators::path(3).unwrap();
+        let cfg = GatherConfig::fast();
+        let robots = vec![
+            (UxsGatherRobot::new(1, 3, &cfg), 0),
+            (UxsGatherRobot::new(2, 3, &cfg), 2),
+        ];
+        let _ = scheduler;
+        (g, robots)
+    }
+
+    #[test]
+    fn fully_sync_machine_is_a_chain() {
+        let (g, robots) = machine(Scheduler::FullySync);
+        let m = GatherMachine::new(&g, robots, Scheduler::FullySync);
+        let s0 = m.initial();
+        assert_eq!(m.actions(&s0), vec![Activation::All]);
+        let s1 = m.transition(&s0, Activation::All);
+        assert_eq!(s1.round, 1);
+        // Pure: the same transition again gives the same canonical state.
+        let s1b = m.transition(&s0, Activation::All);
+        assert_eq!(m.canonicalize(&s1), m.canonicalize(&s1b));
+        assert_ne!(m.canonicalize(&s0), m.canonicalize(&s1));
+    }
+
+    #[test]
+    fn semi_sync_branches() {
+        let (g, robots) = machine(Scheduler::SemiSync);
+        let m = GatherMachine::new(&g, robots, Scheduler::SemiSync);
+        let s0 = m.initial();
+        // Two alive robots: {0,1}, {1}, {0}.
+        assert_eq!(m.actions(&s0).len(), 3);
+    }
+}

@@ -1,0 +1,472 @@
+//! Serializable check specifications and their execution.
+//!
+//! A [`CheckSpec`] is to the model checker what a
+//! [`gather_core::ScenarioSpec`] is to the simulator: one JSON value naming
+//! the instance (graph, placement, algorithm, seed), the scheduler whose
+//! interleavings to exhaust, and optional overrides for the liveness bound
+//! and the state cap. [`run_check`] builds the instance — reusing the
+//! scenario seed-derivation so a check and a simulation of the same spec
+//! fields see the *same* graph and placement — explores every reachable
+//! state, and returns a [`CheckReport`] with a [`Counterexample`] on
+//! failure.
+
+use crate::machine::GatherMachine;
+use crate::predicates::{PredicateCtx, Violation};
+use crate::trace::Counterexample;
+use crate::traverse::{traverse, TraverseLimits, TraverseOutcome, TraverseStats};
+use gather_core::schedule::{
+    faster_step_start, hop_meeting_rounds, undispersed_total_rounds, uxs_gathering_round_bound,
+};
+use gather_core::{
+    AlgorithmSpec, ExpandingRobot, FasterRobot, GatherConfig, GraphSpec, PlacementSpec,
+    ScenarioError, ScenarioSpec, UndispersedRobot, UxsGatherRobot,
+};
+use gather_graph::{GraphError, NodeId, PortGraph};
+use gather_sim::robot::Robot;
+use gather_sim::{Activation, Scheduler};
+use gather_uxs::Uxs;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::Hash;
+
+/// The name under which the deliberately unsound
+/// [`BrokenEager`](crate::broken::BrokenEager) robot is
+/// dispatched. Not part of the simulator's algorithm registry: it exists
+/// only so checker failures (and their artifacts) can be exercised end to
+/// end.
+pub const BROKEN_EAGER: &str = "broken_eager";
+
+/// One model-checking instance, as a serializable value.
+///
+/// The `graph`/`placement`/`algorithm`/`seed` quadruple means exactly what
+/// it does in a [`ScenarioSpec`] (including the derived sub-seeds). Missing
+/// `scheduler` deserializes to [`Scheduler::FullySync`]; missing
+/// `round_bound`/`max_states` to `None` (use the built-in defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckSpec {
+    /// The environment graph.
+    pub graph: GraphSpec,
+    /// The initial robot configuration.
+    pub placement: PlacementSpec,
+    /// The algorithm under check (a registry name, or [`BROKEN_EAGER`]).
+    pub algorithm: AlgorithmSpec,
+    /// Master seed; graph and placement randomness derive from it exactly as
+    /// in [`ScenarioSpec`].
+    pub seed: u64,
+    /// Whose interleavings to exhaust.
+    pub scheduler: Scheduler,
+    /// Liveness bound override; `None` uses [`suggested_round_bound`].
+    pub round_bound: Option<u64>,
+    /// Visited-state cap override; `None` uses [`TraverseLimits::default`].
+    pub max_states: Option<u64>,
+}
+
+impl CheckSpec {
+    /// A fully-synchronous check of `algorithm` with default bounds.
+    pub fn new(graph: GraphSpec, placement: PlacementSpec, algorithm: AlgorithmSpec) -> Self {
+        CheckSpec {
+            graph,
+            placement,
+            algorithm,
+            seed: 0,
+            scheduler: Scheduler::FullySync,
+            round_bound: None,
+            max_states: None,
+        }
+    }
+
+    /// Replaces the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the scheduler.
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// The equivalent simulation scenario (used for seed derivation, and
+    /// handy for replaying an instance through the plain simulator).
+    pub fn scenario(&self) -> ScenarioSpec {
+        ScenarioSpec::new(self.graph, self.placement, self.algorithm.clone()).with_seed(self.seed)
+    }
+
+    /// Instantiates the graph (same derived seed as the scenario would use).
+    pub fn build_graph(&self) -> Result<PortGraph, GraphError> {
+        let scenario = self.scenario();
+        self.graph.build(scenario.graph_seed())
+    }
+
+    /// The exploration limits in force.
+    pub fn limits(&self) -> TraverseLimits {
+        match self.max_states {
+            Some(max_states) => TraverseLimits { max_states },
+            None => TraverseLimits::default(),
+        }
+    }
+}
+
+/// A pinned list of checks, as stored in `ci/check_matrix.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckMatrix {
+    /// The checks to run, in order.
+    pub checks: Vec<CheckSpec>,
+}
+
+/// How a finished check is judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Every reachable state visited, no violation: the properties are
+    /// *proven* for this instance.
+    Verified,
+    /// A violation was found (see the counterexample).
+    Violated,
+    /// The state cap was hit — the run proves nothing.
+    Truncated,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Verified => write!(f, "verified"),
+            Verdict::Violated => write!(f, "violated"),
+            Verdict::Truncated => write!(f, "truncated"),
+        }
+    }
+}
+
+/// The outcome of one [`run_check`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckReport {
+    /// The spec that was checked.
+    pub spec: CheckSpec,
+    /// The liveness bound that was enforced.
+    pub round_bound: u64,
+    /// The judgement.
+    pub verdict: Verdict,
+    /// Distinct states visited.
+    pub states: u64,
+    /// Transitions executed.
+    pub transitions: u64,
+    /// Deepest explored round.
+    pub depth: u64,
+    /// Present iff `verdict == Violated`; minimal by construction.
+    pub counterexample: Option<Counterexample>,
+}
+
+/// Errors preventing a check from running at all.
+#[derive(Debug)]
+pub enum CheckError {
+    /// The algorithm name is neither a builtin nor [`BROKEN_EAGER`].
+    UnknownAlgorithm(String),
+    /// The graph spec failed to instantiate.
+    Graph(GraphError),
+    /// The placement spec was infeasible on the instantiated graph.
+    Scenario(ScenarioError),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::UnknownAlgorithm(name) => write!(
+                f,
+                "unknown algorithm `{name}` (checkable: faster_gathering, uxs_gathering, \
+                 undispersed_gathering, expanding_baseline, {BROKEN_EAGER})"
+            ),
+            CheckError::Graph(e) => write!(f, "graph instantiation failed: {e}"),
+            CheckError::Scenario(e) => write!(f, "placement failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<GraphError> for CheckError {
+    fn from(e: GraphError) -> Self {
+        CheckError::Graph(e)
+    }
+}
+
+impl From<ScenarioError> for CheckError {
+    fn from(e: ScenarioError) -> Self {
+        CheckError::Scenario(e)
+    }
+}
+
+/// The default liveness bound for `algorithm` on an `n`-node graph: the
+/// paper's proven round bound for each builtin (with a small slack for the
+/// final detection rounds), or a token bound for [`BROKEN_EAGER`] (whose
+/// runs end in a safety violation long before any bound matters).
+///
+/// Returns `None` for unknown names.
+pub fn suggested_round_bound(algorithm: &str, n: usize, config: &GatherConfig) -> Option<u64> {
+    let uxs_bound = |n: usize| {
+        let t = config.uxs_policy.length(n) as u64;
+        uxs_gathering_round_bound(n, t)
+    };
+    match algorithm {
+        "uxs_gathering" => Some(uxs_bound(n) + 2),
+        "undispersed_gathering" => Some(undispersed_total_rounds(n, config) + 2),
+        "faster_gathering" => {
+            // Worst case: the UXS fallback (step 7) runs to its own bound.
+            Some(faster_step_start(7, n, config) + uxs_bound(n) + 2)
+        }
+        "expanding_baseline" => {
+            // The radius caps at n-1 >= eccentricity, so the phase at that
+            // radius must meet; each phase is followed by one check round.
+            let mut total = 0u64;
+            for i in 1..=n.saturating_sub(1).max(1) {
+                total = total
+                    .saturating_add(hop_meeting_rounds(i, n))
+                    .saturating_add(1);
+            }
+            Some(total + 2)
+        }
+        BROKEN_EAGER => Some(16 * n as u64 + 16),
+        _ => None,
+    }
+}
+
+/// Dispatches an algorithm name to its concrete (monomorphic) robot type:
+/// builds the robot vector from a `Placement` exactly as the simulator's
+/// registry does, binds it to `$robots`, and evaluates `$body` with it.
+///
+/// Checking must run monomorphized — the state digest needs `R: Hash`, which
+/// the erased `DynRobot` path deliberately lacks — so every caller that
+/// executes an instance (checking, replay) goes through this one table.
+/// Unknown names early-return [`CheckError::UnknownAlgorithm`], adapted into
+/// the caller's error type via `Into`.
+macro_rules! dispatch_robots {
+    ($name:expr, $graph:expr, $placement:expr, $config:expr, |$robots:ident| $body:expr) => {{
+        let n = $graph.n();
+        let config: &GatherConfig = $config;
+        match $name {
+            "faster_gathering" => {
+                let $robots: Vec<(FasterRobot, NodeId)> = $placement
+                    .robots
+                    .iter()
+                    .map(|&(id, node)| (FasterRobot::new(id, n, config), node))
+                    .collect();
+                $body
+            }
+            "uxs_gathering" => {
+                let uxs = Uxs::shared_for_n(n, config.uxs_policy);
+                let $robots: Vec<(UxsGatherRobot, NodeId)> = $placement
+                    .robots
+                    .iter()
+                    .map(|&(id, node)| (UxsGatherRobot::with_sequence(id, uxs.clone()), node))
+                    .collect();
+                $body
+            }
+            "undispersed_gathering" => {
+                let $robots: Vec<(UndispersedRobot, NodeId)> = $placement
+                    .robots
+                    .iter()
+                    .map(|&(id, node)| (UndispersedRobot::new(id, n, config), node))
+                    .collect();
+                $body
+            }
+            "expanding_baseline" => {
+                let $robots: Vec<(ExpandingRobot, NodeId)> = $placement
+                    .robots
+                    .iter()
+                    .map(|&(id, node)| (ExpandingRobot::new(id, n), node))
+                    .collect();
+                $body
+            }
+            $crate::spec::BROKEN_EAGER => {
+                let $robots: Vec<($crate::broken::BrokenEager, NodeId)> = $placement
+                    .robots
+                    .iter()
+                    .map(|&(id, node)| ($crate::broken::BrokenEager::new(id), node))
+                    .collect();
+                $body
+            }
+            other => {
+                return Err($crate::spec::CheckError::UnknownAlgorithm(other.to_string()).into())
+            }
+        }
+    }};
+}
+pub(crate) use dispatch_robots;
+
+/// Exhaustively checks one instance.
+///
+/// Fails only when the spec cannot be *instantiated*; a violation found by
+/// the traversal is a successful run with `verdict == Violated`.
+pub fn run_check(spec: &CheckSpec) -> Result<CheckReport, CheckError> {
+    let scenario = spec.scenario();
+    let graph = spec.graph.build(scenario.graph_seed())?;
+    let placement = spec.placement.build(&graph, scenario.placement_seed())?;
+    let config = &spec.algorithm.config;
+    let bound = match spec.round_bound {
+        Some(b) => b,
+        None => suggested_round_bound(&spec.algorithm.name, graph.n(), config)
+            .ok_or_else(|| CheckError::UnknownAlgorithm(spec.algorithm.name.clone()))?,
+    };
+    let limits = spec.limits();
+    let outcome = dispatch_robots!(
+        spec.algorithm.name.as_str(),
+        graph,
+        placement,
+        config,
+        |robots| check_generic(&graph, robots, spec.scheduler, bound, limits)
+    );
+    Ok(report_from(spec, bound, outcome))
+}
+
+/// Builds the machine for one concrete robot type and exhausts it.
+fn check_generic<R: Robot + Clone + Hash>(
+    graph: &PortGraph,
+    robots: Vec<(R, NodeId)>,
+    scheduler: Scheduler,
+    bound: u64,
+    limits: TraverseLimits,
+) -> TraverseOutcome<Activation, Violation> {
+    let machine = GatherMachine::new(graph, robots, scheduler);
+    let initial = crate::machine::Machine::initial(&machine);
+    let ctx = PredicateCtx::new(graph, &initial.positions, bound);
+    traverse(&machine, limits, |s| ctx.classify(s))
+}
+
+fn report_from(
+    spec: &CheckSpec,
+    bound: u64,
+    outcome: TraverseOutcome<Activation, Violation>,
+) -> CheckReport {
+    let stats = outcome.stats();
+    let (verdict, counterexample) = match outcome {
+        TraverseOutcome::Verified(_) => (Verdict::Verified, None),
+        TraverseOutcome::Truncated(_) => (Verdict::Truncated, None),
+        TraverseOutcome::Violation {
+            trace, violation, ..
+        } => (
+            Verdict::Violated,
+            Some(Counterexample {
+                spec: spec.clone(),
+                round_bound: bound,
+                violation,
+                activations: trace,
+            }),
+        ),
+    };
+    let TraverseStats {
+        states,
+        transitions,
+        depth,
+        ..
+    } = stats;
+    CheckReport {
+        spec: spec.clone(),
+        round_bound: bound,
+        verdict,
+        states,
+        transitions,
+        depth,
+        counterexample,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gather_graph::generators::Family;
+    use gather_sim::placement::PlacementKind;
+
+    fn spec(algorithm: &str, family: Family, n: usize, kind: PlacementKind, k: usize) -> CheckSpec {
+        CheckSpec::new(
+            GraphSpec::new(family, n),
+            PlacementSpec::new(kind, k),
+            AlgorithmSpec::new(algorithm),
+        )
+        .with_seed(7)
+    }
+
+    #[test]
+    fn uxs_on_small_path_verifies() {
+        let s = spec(
+            "uxs_gathering",
+            Family::Path,
+            4,
+            PlacementKind::MaxSpread,
+            2,
+        );
+        let report = run_check(&s).unwrap();
+        assert_eq!(report.verdict, Verdict::Verified);
+        assert!(report.counterexample.is_none());
+        assert!(report.states > 1);
+        // FullySync is a chain: exactly one transition per non-terminal state.
+        assert_eq!(report.transitions, report.states - 1);
+    }
+
+    #[test]
+    fn broken_eager_yields_minimal_counterexample() {
+        let s = spec(BROKEN_EAGER, Family::Path, 4, PlacementKind::TwoClusters, 3);
+        let report = run_check(&s).unwrap();
+        assert_eq!(report.verdict, Verdict::Violated);
+        let cex = report.counterexample.expect("violated => counterexample");
+        assert!(matches!(cex.violation, Violation::EarlyTermination { .. }));
+        // Minimal: the wrong detection happens on the very first round.
+        assert_eq!(cex.activations.len(), 1);
+    }
+
+    #[test]
+    fn unknown_algorithm_is_an_error() {
+        let s = spec("no_such", Family::Path, 4, PlacementKind::MaxSpread, 2);
+        assert!(matches!(
+            run_check(&s),
+            Err(CheckError::UnknownAlgorithm(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_reported_not_verified() {
+        let mut s = spec(
+            "uxs_gathering",
+            Family::Path,
+            4,
+            PlacementKind::MaxSpread,
+            2,
+        );
+        s.max_states = Some(3);
+        let report = run_check(&s).unwrap();
+        assert_eq!(report.verdict, Verdict::Truncated);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json_with_defaults() {
+        // `scheduler`, `round_bound` and `max_states` omitted: FullySync and
+        // the built-in defaults.
+        let json = r#"{
+            "graph": {"family": "Cycle", "n": 5},
+            "placement": {"kind": "UndispersedRandom", "k": 3, "labels": "Sequential"},
+            "algorithm": {"name": "uxs_gathering",
+                          "config": {"uxs_policy": {"Polynomial": 3},
+                                     "map_bound": "Paper"}},
+            "seed": 11
+        }"#;
+        let s: CheckSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(s.scheduler, Scheduler::FullySync);
+        assert_eq!(s.round_bound, None);
+        assert_eq!(s.max_states, None);
+        let back: CheckSpec = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn suggested_bounds_cover_all_builtins() {
+        let cfg = GatherConfig::fast();
+        for name in [
+            "faster_gathering",
+            "uxs_gathering",
+            "undispersed_gathering",
+            "expanding_baseline",
+            BROKEN_EAGER,
+        ] {
+            assert!(suggested_round_bound(name, 6, &cfg).is_some(), "{name}");
+        }
+        assert!(suggested_round_bound("no_such", 6, &cfg).is_none());
+    }
+}

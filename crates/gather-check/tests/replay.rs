@@ -1,0 +1,61 @@
+//! Counterexample replay against the committed fixture.
+//!
+//! `fixtures/broken_eager_counterexample.json` is a real checker artifact:
+//! the minimal trace `gather-check` emits for the deliberately unsound
+//! `broken_eager` robot on `Path(4)` with a two-clusters start. Loading and
+//! replaying it here pins three things at once: the counterexample JSON
+//! schema, the determinism of the pure engine step the trace is defined
+//! over, and the violation the trace is supposed to reproduce.
+//!
+//! Regenerate after an intentional schema change with:
+//!
+//! ```text
+//! GATHER_REGEN_FIXTURES=1 cargo test -p gather-check --test replay
+//! ```
+
+use gather_check::{run_check, Counterexample, Verdict, Violation};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/broken_eager_counterexample.json"
+);
+
+fn regen_requested() -> bool {
+    std::env::var_os("GATHER_REGEN_FIXTURES").is_some_and(|v| v == "1")
+}
+
+#[test]
+fn committed_counterexample_loads_and_replays() {
+    let text = std::fs::read_to_string(FIXTURE).expect("fixture exists");
+    let cex = Counterexample::from_json(&text).expect("fixture parses");
+    assert_eq!(cex.spec.algorithm.name, "broken_eager");
+    assert!(matches!(
+        cex.violation,
+        Violation::EarlyTermination {
+            robot_index: 1,
+            round: 1
+        }
+    ));
+    assert_eq!(cex.activations.len(), 1, "the counterexample is minimal");
+    // The trace must still drive the engine into the recorded violation.
+    cex.verify()
+        .expect("fixture replays to its recorded violation");
+}
+
+#[test]
+fn checker_reproduces_the_committed_fixture() {
+    let text = std::fs::read_to_string(FIXTURE).expect("fixture exists");
+    let cex = Counterexample::from_json(&text).expect("fixture parses");
+    let report = run_check(&cex.spec).expect("fixture spec instantiates");
+    assert_eq!(report.verdict, Verdict::Violated);
+    let fresh = report.counterexample.expect("violated => counterexample");
+    if regen_requested() {
+        std::fs::write(FIXTURE, fresh.to_json_pretty()).expect("fixture rewritten");
+        return;
+    }
+    assert_eq!(
+        fresh, cex,
+        "checker output drifted from the committed fixture; rerun with \
+         GATHER_REGEN_FIXTURES=1 if the change is intentional"
+    );
+}

@@ -23,7 +23,7 @@ use gather_sim::{Action, Inbox, Observation, Robot, RobotId};
 /// Designed for two robots (the setting of the original result); with more
 /// robots it still gathers pairs but its detection rule ("terminate when not
 /// alone at a phase boundary") is only sound for `k = 2`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct ExpandingRobot {
     id: RobotId,
     n: usize,

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// the policies play the role of the "commonly known constants" of the paper
 /// (the UXS length bound `T`, the Phase 1 budget `R1`), and synchronisation
 /// relies on them being identical across robots.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct GatherConfig {
     /// How long the shared exploration sequence is (the paper's `T = Õ(n⁵)`;
     /// shorter verified lengths keep simulations tractable — see

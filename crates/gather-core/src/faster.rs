@@ -28,7 +28,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// The kind of schedule segment a robot is executing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SegmentKind {
     /// An embedded `Undispersed-Gathering` run.
     Undispersed,
@@ -41,7 +41,7 @@ pub enum SegmentKind {
 }
 
 /// One segment of the fixed schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Segment {
     /// What runs during this segment.
     pub kind: SegmentKind,
@@ -116,7 +116,7 @@ pub fn shared_schedule(n: usize, config: &GatherConfig) -> Arc<[Segment]> {
 }
 
 /// The active embedded sub-algorithm.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 enum ActiveSub {
     Undispersed(Box<UndispersedGathering>),
     Hop(HopMeeting),
@@ -125,7 +125,7 @@ enum ActiveSub {
 }
 
 /// The `Faster-Gathering` robot (Theorems 12 and 16).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct FasterRobot {
     id: RobotId,
     n: usize,

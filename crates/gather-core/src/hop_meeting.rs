@@ -23,7 +23,7 @@ use gather_sim::{Action, Inbox, Observation, Robot, RobotId};
 /// home node), or `None` once the DFS has returned to — and exhausted — the
 /// home node. The walk enumerates *all* port sequences of length at most the
 /// depth limit, so it visits every node within that many hops of the start.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct BoundedDfs {
     depth_limit: usize,
     stack: Vec<Frame>,
@@ -33,7 +33,7 @@ pub struct BoundedDfs {
     moves: u64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 struct Frame {
     next_port: usize,
     return_port: Option<PortId>,
@@ -130,7 +130,7 @@ impl BoundedDfs {
 }
 
 /// The `i-Hop-Meeting` sub-algorithm state of one robot.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct HopMeeting {
     id: RobotId,
     radius: usize,
@@ -253,7 +253,7 @@ impl SubAlgorithm for HopMeeting {
 /// experiments that measure the procedure in isolation (Lemmas 9/10). After
 /// the fixed duration the robot simply stays forever (the procedure by itself
 /// does not solve gathering, so it never terminates).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct HopMeetingRobot {
     inner: HopMeeting,
 }

@@ -12,7 +12,7 @@ use gather_sim::RobotId;
 use serde::{Deserialize, Serialize};
 
 /// The role a robot holds inside `Undispersed-Gathering` (§2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Role {
     /// Minimum-label robot of an initially co-located group; builds the map
     /// and collects everyone in Phase 2.

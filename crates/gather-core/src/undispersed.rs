@@ -25,7 +25,7 @@ use gather_map::{MapperCommand, MapperFeedback, TokenMapper};
 use gather_sim::{Action, Inbox, Observation, Robot, RobotId};
 
 /// The §2.2 sub-algorithm state of one robot.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct UndispersedGathering {
     id: RobotId,
     n: usize,
@@ -423,7 +423,7 @@ impl SubAlgorithm for UndispersedGathering {
 /// undispersed, otherwise the unconditional termination at round `R1 + 2n`
 /// is a false detection (the composed `Faster-Gathering` adds the aloneness
 /// check that makes termination safe for arbitrary configurations).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct UndispersedRobot {
     inner: UndispersedGathering,
 }

@@ -25,7 +25,7 @@ use gather_sim::{Action, Inbox, Observation, Robot, RobotId};
 use gather_uxs::{Uxs, UxsWalker};
 
 /// The §2.1 sub-algorithm state of one robot.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct UxsGathering {
     id: RobotId,
     t: u64,
@@ -198,7 +198,7 @@ impl SubAlgorithm for UxsGathering {
 }
 
 /// Standalone [`Robot`] running §2.1 gathering-with-detection (Theorem 6).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct UxsGatherRobot {
     inner: UxsGathering,
 }

@@ -28,6 +28,10 @@
 //! vectors, as the registry's `run` overrides use) and the type-erased
 //! `DynRobot` path (recycled `DynMsg` payload slots).
 
+// A counting `GlobalAlloc` is necessarily `unsafe`; the workspace denies
+// `unsafe_code`, so this test opts back in explicitly.
+#![allow(unsafe_code)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 

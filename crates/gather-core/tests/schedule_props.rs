@@ -1,0 +1,127 @@
+//! Property tests for the round schedules in `gather_core::schedule`.
+//!
+//! The schedules are pure functions of `n` and the configuration policies,
+//! and the algorithms' synchronisation (and the model checker's liveness
+//! bounds) depend on two structural properties holding for *every* `n` and
+//! *every* policy, not just the sampled values the unit tests pin:
+//!
+//! * phase lengths are monotone non-decreasing in `n` — a larger graph never
+//!   gets a shorter budget (robots in a larger graph would otherwise run out
+//!   of schedule before a smaller graph's robots do);
+//! * the total `Undispersed-Gathering` duration decomposes exactly as
+//!   `R = R1 + 2n` under every map-bound policy — the phase boundaries the
+//!   robots derive locally agree with the total the checker uses as bound.
+
+use gather_core::schedule::{
+    faster_step_rounds, faster_step_start, hop_cycle_rounds, hop_meeting_rounds,
+    undispersed_phase1_rounds, undispersed_phase2_rounds, undispersed_total_rounds, MAX_HOP_RADIUS,
+};
+use gather_core::GatherConfig;
+use gather_map::MapBoundPolicy;
+use gather_uxs::LengthPolicy;
+
+/// The policy grid the properties are checked over: every map-bound policy
+/// crossed with representative UXS length policies.
+fn config_grid() -> Vec<GatherConfig> {
+    let mut grid = Vec::new();
+    for map_bound in [MapBoundPolicy::Paper, MapBoundPolicy::Implemented] {
+        for uxs_policy in [
+            LengthPolicy::Theoretical,
+            LengthPolicy::Polynomial(3),
+            LengthPolicy::Polynomial(4),
+            LengthPolicy::Fixed(1000),
+        ] {
+            grid.push(GatherConfig {
+                map_bound,
+                uxs_policy,
+            });
+        }
+    }
+    grid
+}
+
+const NS: std::ops::RangeInclusive<usize> = 2..=40;
+
+#[test]
+fn undispersed_phase_lengths_are_monotone_in_n() {
+    for config in config_grid() {
+        let mut prev = (0u64, 0u64, 0u64);
+        for n in NS {
+            let cur = (
+                undispersed_phase1_rounds(n, &config),
+                undispersed_phase2_rounds(n),
+                undispersed_total_rounds(n, &config),
+            );
+            assert!(
+                cur.0 >= prev.0 && cur.1 >= prev.1 && cur.2 >= prev.2,
+                "phase lengths shrank from n={} to n={n} under {config:?}",
+                n - 1
+            );
+            prev = cur;
+        }
+    }
+}
+
+#[test]
+fn undispersed_total_decomposes_exactly_across_the_grid() {
+    for config in config_grid() {
+        for n in NS {
+            assert_eq!(
+                undispersed_total_rounds(n, &config),
+                undispersed_phase1_rounds(n, &config) + undispersed_phase2_rounds(n),
+                "R != R1 + 2n at n={n} under {config:?}"
+            );
+            assert_eq!(undispersed_phase2_rounds(n), 2 * n as u64);
+        }
+    }
+}
+
+#[test]
+fn hop_meeting_durations_are_monotone_in_radius_and_n() {
+    for n in NS {
+        for i in 1..=MAX_HOP_RADIUS {
+            assert!(
+                hop_cycle_rounds(i + 1, n) >= hop_cycle_rounds(i, n),
+                "cycle length shrank from radius {i} to {} at n={n}",
+                i + 1
+            );
+            assert!(
+                hop_meeting_rounds(i + 1, n) >= hop_meeting_rounds(i, n),
+                "meeting length shrank from radius {i} to {} at n={n}",
+                i + 1
+            );
+        }
+    }
+    for i in 1..=MAX_HOP_RADIUS {
+        let mut prev = 0u64;
+        for n in NS {
+            let cur = hop_meeting_rounds(i, n);
+            assert!(cur >= prev, "meeting length shrank at n={n}, i={i}");
+            prev = cur;
+        }
+    }
+}
+
+#[test]
+fn faster_step_starts_telescope_over_step_durations() {
+    // The start of each step is exactly the sum of all earlier durations
+    // plus their one-round detection checks — the robots derive the
+    // boundaries incrementally, the checker derives them by this sum, and
+    // the two must agree for every (n, config) cell.
+    for config in config_grid() {
+        for n in NS {
+            let mut acc = 0u64;
+            for step in 1..=MAX_HOP_RADIUS + 2 {
+                assert_eq!(
+                    faster_step_start(step, n, &config),
+                    acc,
+                    "step {step} start mismatch at n={n} under {config:?}"
+                );
+                match faster_step_rounds(step, n, &config) {
+                    Some(d) => acc += d + 1,
+                    None => break,
+                }
+            }
+        }
+    }
+}

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 pub type MapNodeId = usize;
 
 /// One identified node of the partial map.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MapNode {
     /// Degree observed at the real node.
     pub degree: usize,
@@ -22,7 +22,7 @@ pub struct MapNode {
 
 /// A partially known, port-labeled map of the graph, rooted at the node the
 /// finder started on (map node 0).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PartialMap {
     nodes: Vec<MapNode>,
 }

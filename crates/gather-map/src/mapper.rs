@@ -29,7 +29,7 @@ pub struct MapperFeedback {
 }
 
 /// A queued primitive operation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 enum Op {
     Alone(PortId),
     WithToken(PortId),
@@ -37,7 +37,7 @@ enum Op {
 }
 
 /// Decision points reached after the preceding moves have completed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 enum Checkpoint {
     /// Very first round: observe the root's degree and initialise the map.
     InitRoot,
@@ -72,7 +72,7 @@ enum Checkpoint {
 /// See the crate-level documentation for the algorithm. The caller drives the
 /// machine by calling [`TokenMapper::step`] once per executed round with the
 /// current [`MapperFeedback`] and performing the returned command.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct TokenMapper {
     n: usize,
     map: PartialMap,

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::scheduler::Scheduler;
 use serde::{Deserialize, Serialize};
 
 /// Options controlling a single simulation run.
@@ -23,6 +24,14 @@ pub struct SimConfig {
     /// (i.e. the configuration first becomes *undispersed*). Used by the
     /// `i-Hop-Meeting` experiments.
     pub stop_at_first_contact: bool,
+    /// Which robots get activated each round. The default
+    /// [`Scheduler::FullySync`] is the paper's model; the relaxed schedulers
+    /// resolve their nondeterminism with a fixed canonical rule inside
+    /// [`crate::engine::Simulator::run`] (exhaustive exploration of all
+    /// interleavings is the model checker's job). A missing field in older
+    /// serialized configs deserializes as `FullySync` (see the hand-written
+    /// `Deserialize` on [`Scheduler`]).
+    pub scheduler: Scheduler,
 }
 
 impl Default for SimConfig {
@@ -33,6 +42,7 @@ impl Default for SimConfig {
             stop_when_all_terminated: true,
             stop_at_first_gathering: false,
             stop_at_first_contact: false,
+            scheduler: Scheduler::default(),
         }
     }
 }
@@ -61,6 +71,12 @@ impl SimConfig {
     /// Stop as soon as any two robots are first co-located.
     pub fn until_first_contact(mut self) -> Self {
         self.stop_at_first_contact = true;
+        self
+    }
+
+    /// Uses the given activation scheduler.
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }

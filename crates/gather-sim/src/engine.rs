@@ -21,6 +21,7 @@
 use crate::config::SimConfig;
 use crate::metrics::{Metrics, MetricsRecorder};
 use crate::robot::{Action, Inbox, Observation, Robot, RobotId};
+use crate::scheduler::{alive_mask, Activation, Scheduler};
 use crate::trace::Trace;
 use gather_graph::{NodeId, PortGraph, PortId};
 use serde::{Deserialize, Serialize};
@@ -68,6 +69,391 @@ impl SimOutcome {
     }
 }
 
+/// The complete configuration of a simulation between rounds: every robot's
+/// internal state machine, position, entry port and terminated flag, plus
+/// the global round counter.
+///
+/// This is the `State` of the pure step function [`transition`]: two equal
+/// `SimState` values evolve identically under equal activations, because the
+/// engine has no other mutable state (message exchange happens entirely
+/// *within* a round — announce, deliver and decide all execute in one
+/// [`StepBuffers::finish_round`] call — so there are never in-flight messages
+/// between rounds and the state needs no message component).
+///
+/// `Hash` covers every field, including the robots themselves (which is why
+/// it requires `R: Hash`); the model checker relies on this to digest states
+/// for its visited set, so robot `Hash` impls must cover all
+/// behavior-relevant internal state (see the `DynRobot` notes in
+/// [`crate::robot`] for the erased path, which has no digest).
+#[derive(Clone, Hash)]
+pub struct SimState<R> {
+    /// Robot state machines, in the order they were handed to the engine.
+    pub robots: Vec<R>,
+    /// Current node of each robot (indexed like `robots`).
+    pub positions: Vec<NodeId>,
+    /// Port through which each robot entered its current node (`None` until
+    /// its first move).
+    pub entry_ports: Vec<Option<PortId>>,
+    /// Which robots have declared termination.
+    pub terminated: Vec<bool>,
+    /// Robot ids, fixed at construction (indexed like `robots`).
+    pub ids: Vec<RobotId>,
+    /// The round about to execute (starts at 0, incremented per step).
+    pub round: u64,
+}
+
+impl<R: Robot> SimState<R> {
+    /// Builds the initial state for `robots` (each paired with its start
+    /// node) on `graph`. Robot ids must be unique and start nodes must be
+    /// valid node indices.
+    pub fn new(graph: &PortGraph, robots: Vec<(R, NodeId)>) -> Self {
+        assert!(!robots.is_empty(), "at least one robot is required");
+        let n = graph.n();
+        let k = robots.len();
+        let ids: Vec<RobotId> = robots.iter().map(|(r, _)| r.id()).collect();
+        {
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "robot ids must be unique");
+        }
+        for &(_, node) in &robots {
+            assert!(node < n, "start node {node} out of range (n = {n})");
+        }
+        let mut agents: Vec<R> = Vec::with_capacity(k);
+        let mut positions: Vec<NodeId> = Vec::with_capacity(k);
+        for (r, node) in robots {
+            agents.push(r);
+            positions.push(node);
+        }
+        SimState {
+            robots: agents,
+            positions,
+            entry_ports: vec![None; k],
+            terminated: vec![false; k],
+            ids,
+            round: 0,
+        }
+    }
+
+    /// Number of robots.
+    pub fn k(&self) -> usize {
+        self.robots.len()
+    }
+
+    /// True if all robots currently occupy one node.
+    pub fn gathered(&self) -> bool {
+        self.positions.iter().all(|&p| p == self.positions[0])
+    }
+
+    /// True if every robot has declared termination.
+    pub fn all_terminated(&self) -> bool {
+        self.terminated.iter().all(|&t| t)
+    }
+}
+
+/// What the occupancy pass of a round observed, before any robot acts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundShape {
+    /// Number of distinct occupied nodes (1 ⟺ gathered).
+    pub occupied: usize,
+    /// Size of the largest co-located group (≥ 2 ⟺ a contact exists).
+    pub max_bucket: u32,
+}
+
+/// The reusable per-round working memory of the engine: occupancy chains,
+/// the message arena, observation and action slots. Everything is pre-sized
+/// from `n`/`k` at construction; executing a round only clears and refills.
+///
+/// One `StepBuffers` serves one `(n, robot set)` shape. [`Simulator::run`]
+/// keeps a single instance across all rounds (that is the allocation-free
+/// steady state); [`transition`] builds a throwaway one, and batch callers
+/// like the model checker reuse one across many [`transition_with`] calls.
+pub struct StepBuffers<R: Robot> {
+    /// Robot indices in ascending id order: scattering robots into node
+    /// buckets in this order keeps every bucket — and therefore every
+    /// inbox — sorted by robot id with no per-round sort.
+    order: Vec<u32>,
+    node_slot: Vec<u32>,    // node -> bucket slot
+    touched: Vec<NodeId>,   // slot -> node
+    slot_count: Vec<u32>,   // robots per slot
+    slot_head: Vec<u32>,    // first robot in slot
+    slot_tail: Vec<u32>,    // last robot in slot
+    next_in_slot: Vec<u32>, // intra-bucket chain
+    robot_slot: Vec<u32>,   // robot -> its slot
+    arena: Vec<(RobotId, <R as Robot>::Msg)>,
+    arena_pos: Vec<u32>,        // robot -> arena index
+    slot_msgs: Vec<(u32, u32)>, // slot -> arena range
+    // Payload recycling (only for robots that opt in, i.e. the erased
+    // `DynRobot` path): last round's arena entries are drained back into
+    // per-robot slots and offered to `announce_reuse`, so `Arc`-backed
+    // messages overwrite their previous allocation instead of making a
+    // new one every round. `arena_owner` remembers which robot wrote
+    // each arena entry.
+    msg_slots: Vec<Option<<R as Robot>::Msg>>,
+    arena_owner: Vec<u32>,
+    observations: Vec<Observation>,
+    actions: Vec<Action>,
+}
+
+impl<R: Robot> StepBuffers<R> {
+    /// Allocates buffers sized for `state` on an `n`-node graph.
+    pub fn new(n: usize, state: &SimState<R>) -> Self {
+        let k = state.k();
+        let mut order: Vec<u32> = (0..k as u32).collect();
+        order.sort_unstable_by_key(|&i| state.ids[i as usize]);
+        let dummy_obs = Observation {
+            round: 0,
+            n,
+            degree: 0,
+            entry_port: None,
+            colocated: 0,
+        };
+        StepBuffers {
+            order,
+            node_slot: vec![u32::MAX; n],
+            touched: Vec::with_capacity(k),
+            slot_count: Vec::with_capacity(k),
+            slot_head: Vec::with_capacity(k),
+            slot_tail: Vec::with_capacity(k),
+            next_in_slot: vec![u32::MAX; k],
+            robot_slot: vec![0; k],
+            arena: Vec::with_capacity(k),
+            arena_pos: vec![u32::MAX; k],
+            slot_msgs: Vec::with_capacity(k),
+            msg_slots: if R::REUSES_MSG_STORAGE {
+                vec![None; k]
+            } else {
+                Vec::new()
+            },
+            arena_owner: if R::REUSES_MSG_STORAGE {
+                Vec::with_capacity(k)
+            } else {
+                Vec::new()
+            },
+            observations: vec![dummy_obs; k],
+            actions: vec![Action::Stay; k],
+        }
+    }
+
+    /// Builds occupancy for the round in one `O(k)` pass independent of `n`:
+    /// robot indices are threaded onto per-bucket linked chains in id order,
+    /// touching only the nodes that are actually occupied. Returns the
+    /// detection predicates that fall out of the same pass.
+    pub fn begin_round(&mut self, state: &SimState<R>) -> RoundShape {
+        for &node in &self.touched {
+            self.node_slot[node] = u32::MAX;
+        }
+        self.touched.clear();
+        self.slot_count.clear();
+        self.slot_head.clear();
+        self.slot_tail.clear();
+        self.slot_msgs.clear();
+        if R::REUSES_MSG_STORAGE {
+            // Hand every robot its own last announcement back so the
+            // next announce can overwrite the payload in place.
+            for (owner, (_, msg)) in self.arena_owner.drain(..).zip(self.arena.drain(..)) {
+                self.msg_slots[owner as usize] = Some(msg);
+            }
+        }
+        self.arena.clear();
+        let mut max_bucket: u32 = 0;
+        for &i in &self.order {
+            let node = state.positions[i as usize];
+            let existing = self.node_slot[node];
+            let slot = if existing == u32::MAX {
+                let s = self.touched.len() as u32;
+                self.node_slot[node] = s;
+                self.touched.push(node);
+                self.slot_count.push(1);
+                self.slot_head.push(i);
+                self.slot_tail.push(i);
+                s
+            } else {
+                self.next_in_slot[self.slot_tail[existing as usize] as usize] = i;
+                self.slot_tail[existing as usize] = i;
+                let c = self.slot_count[existing as usize] + 1;
+                self.slot_count[existing as usize] = c;
+                max_bucket = max_bucket.max(c);
+                existing
+            };
+            self.next_in_slot[i as usize] = u32::MAX;
+            self.robot_slot[i as usize] = slot;
+        }
+        RoundShape {
+            occupied: self.touched.len(),
+            max_bucket,
+        }
+    }
+
+    /// Executes the rest of the round on `state` in place: observations and
+    /// announcements (phase A), decisions over borrowed inboxes (phase B),
+    /// then the simultaneous application of actions and the round increment.
+    /// Must be called exactly once after [`StepBuffers::begin_round`] on the
+    /// same (unmodified) state.
+    ///
+    /// Robots not selected by `activation` — like terminated robots — keep
+    /// occupying their bucket (co-located robots still see them) but are
+    /// neither asked to announce nor to decide, and stay put.
+    ///
+    /// Returns true if some robot terminated this round while the robots
+    /// were not all co-located (the engine's false-detection flag; note it
+    /// reads positions mid-application — a longstanding quirk preserved for
+    /// fixture parity).
+    pub fn finish_round(
+        &mut self,
+        graph: &PortGraph,
+        state: &mut SimState<R>,
+        activation: Activation,
+    ) -> bool {
+        self.finish_round_metered(graph, state, activation, None)
+    }
+
+    /// [`StepBuffers::finish_round`] with the engine's metrics recorder
+    /// attached (crate-internal: the recorder type is not public API).
+    pub(crate) fn finish_round_metered(
+        &mut self,
+        graph: &PortGraph,
+        state: &mut SimState<R>,
+        activation: Activation,
+        mut metrics: Option<&mut MetricsRecorder>,
+    ) -> bool {
+        let k = state.k();
+        let n = graph.n();
+        let round = state.round;
+
+        // --- Phase A: observations and announcements ------------------
+        // Announcements are written once into the arena, grouped by node
+        // bucket (and id-sorted within it); terminated and non-activated
+        // robots occupy their bucket (they are still *seen*) but announce
+        // nothing.
+        for s in 0..self.touched.len() {
+            let colocated = self.slot_count[s] as usize - 1;
+            let msg_start = self.arena.len() as u32;
+            let mut cur = self.slot_head[s];
+            while cur != u32::MAX {
+                let i = cur as usize;
+                cur = self.next_in_slot[i];
+                let node = state.positions[i];
+                let obs = Observation {
+                    round,
+                    n,
+                    degree: graph.degree(node),
+                    entry_port: state.entry_ports[i],
+                    colocated,
+                };
+                self.observations[i] = obs;
+                if state.terminated[i] || !activation.is_active(i) {
+                    self.arena_pos[i] = u32::MAX;
+                } else {
+                    self.arena_pos[i] = self.arena.len() as u32;
+                    let msg = if R::REUSES_MSG_STORAGE {
+                        self.arena_owner.push(i as u32);
+                        let prev = self.msg_slots[i].take();
+                        state.robots[i].announce_reuse(&obs, prev)
+                    } else {
+                        state.robots[i].announce(&obs)
+                    };
+                    self.arena.push((state.ids[i], msg));
+                }
+            }
+            self.slot_msgs.push((msg_start, self.arena.len() as u32));
+        }
+
+        // --- Phase B: decisions ---------------------------------------
+        for i in 0..k {
+            if state.terminated[i] || !activation.is_active(i) {
+                self.actions[i] = Action::Stay;
+                continue;
+            }
+            // Inbox: this node's arena bucket (announcements of
+            // co-located, activated, non-terminated robots, sorted by
+            // id), minus the robot's own entry.
+            let (ms, me) = self.slot_msgs[self.robot_slot[i] as usize];
+            let entries = &self.arena[ms as usize..me as usize];
+            let skip = (self.arena_pos[i] - ms) as usize;
+            if let Some(m) = metrics.as_deref_mut() {
+                m.messages_delivered += entries.len() as u64 - 1;
+            }
+            self.actions[i] =
+                state.robots[i].decide(&self.observations[i], Inbox::typed(entries, skip));
+        }
+
+        // --- Apply actions simultaneously -----------------------------
+        let mut false_detection = false;
+        for i in 0..k {
+            match self.actions[i] {
+                Action::Stay => {}
+                Action::Move(p) => {
+                    let node = state.positions[i];
+                    let deg = graph.degree(node);
+                    assert!(
+                        p < deg,
+                        "robot {} attempted invalid port {} at a node of degree {} (round {})",
+                        state.ids[i],
+                        p,
+                        deg,
+                        round
+                    );
+                    let (next, entry) = graph.neighbor_via(node, p);
+                    state.positions[i] = next;
+                    state.entry_ports[i] = Some(entry);
+                    if let Some(m) = metrics.as_deref_mut() {
+                        m.record_move(i);
+                    }
+                }
+                Action::Terminate => {
+                    state.terminated[i] = true;
+                    // Longstanding quirk, preserved for fixture parity:
+                    // this reads `positions` mid-application, so moves of
+                    // lower-index robots this round are already visible.
+                    if !state.positions.iter().all(|&p| p == state.positions[0]) {
+                        false_detection = true;
+                    }
+                }
+            }
+        }
+        state.round = round + 1;
+        false_detection
+    }
+}
+
+/// One activation step as a **pure function**: returns the successor of
+/// `state` under `activation` without touching `state` itself. Equal inputs
+/// give equal outputs — the engine keeps no hidden mutable state and message
+/// exchange completes within the step (see [`SimState`]).
+///
+/// This is the semantic core the model checker explores; [`Simulator::run`]
+/// executes the identical round code ([`StepBuffers::begin_round`] +
+/// [`StepBuffers::finish_round`]) in place over one persistent state and
+/// buffer set, which is what keeps the simulation path allocation-free.
+///
+/// Stop conditions, metrics and tracing are the driver's business, not the
+/// transition's: this computes successor states only.
+pub fn transition<R: Robot + Clone>(
+    graph: &PortGraph,
+    state: &SimState<R>,
+    activation: Activation,
+) -> SimState<R> {
+    let mut bufs = StepBuffers::new(graph.n(), state);
+    transition_with(graph, state, activation, &mut bufs)
+}
+
+/// [`transition`] with caller-provided buffers, so batch explorers amortize
+/// the buffer allocations across many steps. `bufs` must have been built for
+/// the same graph size and robot set (any state of the same run is fine).
+pub fn transition_with<R: Robot + Clone>(
+    graph: &PortGraph,
+    state: &SimState<R>,
+    activation: Activation,
+    bufs: &mut StepBuffers<R>,
+) -> SimState<R> {
+    let mut next = state.clone();
+    bufs.begin_round(&next);
+    bufs.finish_round(graph, &mut next, activation);
+    next
+}
+
 /// Drives a set of robots implementing the same algorithm over a graph.
 pub struct Simulator<'g> {
     graph: &'g PortGraph,
@@ -90,29 +476,17 @@ impl<'g> Simulator<'g> {
     /// cap is hit.
     ///
     /// Robot ids must be unique and start nodes must be valid node indices.
+    ///
+    /// This is a driver over the same step code as the pure [`transition`]
+    /// function: one persistent [`SimState`] advanced in place through one
+    /// persistent [`StepBuffers`], which keeps the round loop allocation-free
+    /// in steady state. The scheduler in [`SimConfig`] picks each round's
+    /// activation via [`Scheduler::canonical_activation`] (for the default
+    /// [`Scheduler::FullySync`] that is always [`Activation::All`]).
     pub fn run<R: Robot>(&self, robots: Vec<(R, NodeId)>) -> SimOutcome {
-        assert!(!robots.is_empty(), "at least one robot is required");
-        let n = self.graph.n();
         let k = robots.len();
-        let ids: Vec<RobotId> = robots.iter().map(|(r, _)| r.id()).collect();
-        {
-            let mut sorted = ids.clone();
-            sorted.sort_unstable();
-            sorted.dedup();
-            assert_eq!(sorted.len(), k, "robot ids must be unique");
-        }
-        for &(_, node) in &robots {
-            assert!(node < n, "start node {node} out of range (n = {n})");
-        }
-
-        let mut agents: Vec<R> = Vec::with_capacity(k);
-        let mut positions: Vec<NodeId> = Vec::with_capacity(k);
-        for (r, node) in robots {
-            agents.push(r);
-            positions.push(node);
-        }
-        let mut entry_ports: Vec<Option<PortId>> = vec![None; k];
-        let mut terminated: Vec<bool> = vec![false; k];
+        let mut state = SimState::new(self.graph, robots);
+        let ids = state.ids.clone();
 
         let mut metrics = MetricsRecorder::new(k);
         let mut trace = if self.config.record_trace {
@@ -120,123 +494,37 @@ impl<'g> Simulator<'g> {
         } else {
             None
         };
-
-        // Robot indices in ascending id order: scattering robots into node
-        // buckets in this order keeps every bucket — and therefore every
-        // inbox — sorted by robot id with no per-round sort.
-        let mut order: Vec<u32> = (0..k as u32).collect();
-        order.sort_unstable_by_key(|&i| ids[i as usize]);
-
-        // Reusable per-round buffers. Everything is pre-sized from `n`/`k`
-        // here; the round loop below performs no heap allocation (modulo
-        // optional tracing and robot-internal state).
-        let mut node_slot: Vec<u32> = vec![u32::MAX; n]; // node -> bucket slot
-        let mut touched: Vec<NodeId> = Vec::with_capacity(k); // slot -> node
-        let mut slot_count: Vec<u32> = Vec::with_capacity(k); // robots per slot
-        let mut slot_head: Vec<u32> = Vec::with_capacity(k); // first robot in slot
-        let mut slot_tail: Vec<u32> = Vec::with_capacity(k); // last robot in slot
-        let mut next_in_slot: Vec<u32> = vec![u32::MAX; k]; // intra-bucket chain
-        let mut robot_slot: Vec<u32> = vec![0; k]; // robot -> its slot
-        let mut arena: Vec<(RobotId, <R as Robot>::Msg)> = Vec::with_capacity(k);
-        let mut arena_pos: Vec<u32> = vec![u32::MAX; k]; // robot -> arena index
-        let mut slot_msgs: Vec<(u32, u32)> = Vec::with_capacity(k); // slot -> arena range
-                                                                    // Payload recycling (only for robots that opt in, i.e. the erased
-                                                                    // `DynRobot` path): last round's arena entries are drained back into
-                                                                    // per-robot slots and offered to `announce_reuse`, so `Arc`-backed
-                                                                    // messages overwrite their previous allocation instead of making a
-                                                                    // new one every round. `arena_owner` remembers which robot wrote
-                                                                    // each arena entry.
-        let mut msg_slots: Vec<Option<<R as Robot>::Msg>> = if R::REUSES_MSG_STORAGE {
-            vec![None; k]
-        } else {
-            Vec::new()
-        };
-        let mut arena_owner: Vec<u32> = if R::REUSES_MSG_STORAGE {
-            Vec::with_capacity(k)
-        } else {
-            Vec::new()
-        };
-        let dummy_obs = Observation {
-            round: 0,
-            n,
-            degree: 0,
-            entry_port: None,
-            colocated: 0,
-        };
-        let mut observations: Vec<Observation> = vec![dummy_obs; k];
-        let mut actions: Vec<Action> = vec![Action::Stay; k];
+        let mut bufs: StepBuffers<R> = StepBuffers::new(self.graph.n(), &state);
 
         let mut first_gather_round: Option<u64> = None;
         let mut first_contact_round: Option<u64> = None;
         let mut termination_round: Option<u64> = None;
         let mut false_detection = false;
-        let mut round: u64 = 0;
         let mut timed_out = false;
 
         loop {
-            // --- Build occupancy (one pass, O(k)) -------------------------
-            // Robots are threaded onto per-bucket chains in id order; only
-            // occupied nodes are touched, so the pass is independent of `n`.
-            for &node in &touched {
-                node_slot[node] = u32::MAX;
-            }
-            touched.clear();
-            slot_count.clear();
-            slot_head.clear();
-            slot_tail.clear();
-            slot_msgs.clear();
-            if R::REUSES_MSG_STORAGE {
-                // Hand every robot its own last announcement back so the
-                // next announce can overwrite the payload in place.
-                for (owner, (_, msg)) in arena_owner.drain(..).zip(arena.drain(..)) {
-                    msg_slots[owner as usize] = Some(msg);
-                }
-            }
-            arena.clear();
-            let mut max_bucket: u32 = 0;
-            for &i in &order {
-                let node = positions[i as usize];
-                let existing = node_slot[node];
-                let slot = if existing == u32::MAX {
-                    let s = touched.len() as u32;
-                    node_slot[node] = s;
-                    touched.push(node);
-                    slot_count.push(1);
-                    slot_head.push(i);
-                    slot_tail.push(i);
-                    s
-                } else {
-                    next_in_slot[slot_tail[existing as usize] as usize] = i;
-                    slot_tail[existing as usize] = i;
-                    let c = slot_count[existing as usize] + 1;
-                    slot_count[existing as usize] = c;
-                    max_bucket = max_bucket.max(c);
-                    existing
-                };
-                next_in_slot[i as usize] = u32::MAX;
-                robot_slot[i as usize] = slot;
-            }
+            let shape = bufs.begin_round(&state);
 
             // --- Start-of-round bookkeeping -------------------------------
             // The occupancy pass already yields both detection predicates
             // incrementally: all robots share a node iff exactly one node is
             // occupied, and a contact exists iff some bucket holds >= 2.
-            let gathered_now = touched.len() == 1;
+            let gathered_now = shape.occupied == 1;
             if gathered_now && first_gather_round.is_none() {
-                first_gather_round = Some(round);
+                first_gather_round = Some(state.round);
             }
             let contact_now = if first_contact_round.is_some() {
                 true
-            } else if k == 1 || max_bucket >= 2 {
-                first_contact_round = Some(round);
+            } else if k == 1 || shape.max_bucket >= 2 {
+                first_contact_round = Some(state.round);
                 true
             } else {
                 false
             };
             if let Some(t) = trace.as_mut() {
-                t.push(positions.clone());
+                t.push(state.positions.clone());
             }
-            if terminated.iter().all(|&t| t) {
+            if state.all_terminated() {
                 break;
             }
             if self.config.stop_at_first_gathering && gathered_now {
@@ -245,123 +533,54 @@ impl<'g> Simulator<'g> {
             if self.config.stop_at_first_contact && contact_now {
                 break;
             }
-            if round >= self.config.max_rounds {
+            if state.round >= self.config.max_rounds {
                 timed_out = true;
                 break;
             }
 
-            // --- Phase A: observations and announcements ------------------
-            // Announcements are written once into the arena, grouped by node
-            // bucket (and id-sorted within it); terminated robots occupy
-            // their bucket (they are still *seen*) but announce nothing.
-            for s in 0..touched.len() {
-                let colocated = slot_count[s] as usize - 1;
-                let msg_start = arena.len() as u32;
-                let mut cur = slot_head[s];
-                while cur != u32::MAX {
-                    let i = cur as usize;
-                    cur = next_in_slot[i];
-                    let node = positions[i];
-                    let obs = Observation {
-                        round,
-                        n,
-                        degree: self.graph.degree(node),
-                        entry_port: entry_ports[i],
-                        colocated,
-                    };
-                    observations[i] = obs;
-                    if terminated[i] {
-                        arena_pos[i] = u32::MAX;
-                    } else {
-                        arena_pos[i] = arena.len() as u32;
-                        let msg = if R::REUSES_MSG_STORAGE {
-                            arena_owner.push(i as u32);
-                            let prev = msg_slots[i].take();
-                            agents[i].announce_reuse(&obs, prev)
-                        } else {
-                            agents[i].announce(&obs)
-                        };
-                        arena.push((ids[i], msg));
-                    }
-                }
-                slot_msgs.push((msg_start, arena.len() as u32));
+            let activation = match self.config.scheduler {
+                // Skip the (k <= 64)-limited mask for the default scheduler:
+                // fully synchronous runs support any k.
+                Scheduler::FullySync => Activation::All,
+                s => s.canonical_activation(alive_mask(&state.terminated), state.round),
+            };
+            let this_round = state.round;
+            if bufs.finish_round_metered(self.graph, &mut state, activation, Some(&mut metrics)) {
+                false_detection = true;
             }
-
-            // --- Phase B: decisions ---------------------------------------
-            for i in 0..k {
-                if terminated[i] {
-                    actions[i] = Action::Stay;
-                    continue;
-                }
-                // Inbox: this node's arena bucket (announcements of
-                // co-located, non-terminated robots, sorted by id), minus
-                // the robot's own entry.
-                let (ms, me) = slot_msgs[robot_slot[i] as usize];
-                let entries = &arena[ms as usize..me as usize];
-                let skip = (arena_pos[i] - ms) as usize;
-                metrics.messages_delivered += entries.len() as u64 - 1;
-                actions[i] = agents[i].decide(&observations[i], Inbox::typed(entries, skip));
-            }
-
-            // --- Apply actions simultaneously -----------------------------
-            for i in 0..k {
-                match actions[i] {
-                    Action::Stay => {}
-                    Action::Move(p) => {
-                        let node = positions[i];
-                        let deg = self.graph.degree(node);
-                        assert!(
-                            p < deg,
-                            "robot {} attempted invalid port {} at a node of degree {} (round {})",
-                            ids[i],
-                            p,
-                            deg,
-                            round
-                        );
-                        let (next, entry) = self.graph.neighbor_via(node, p);
-                        positions[i] = next;
-                        entry_ports[i] = Some(entry);
-                        metrics.record_move(i);
-                    }
-                    Action::Terminate => {
-                        terminated[i] = true;
-                        // Longstanding quirk, preserved for fixture parity:
-                        // this reads `positions` mid-application, so moves of
-                        // lower-index robots this round are already visible.
-                        if !positions.iter().all(|&p| p == positions[0]) {
-                            false_detection = true;
-                        }
-                    }
-                }
-            }
-            if terminated.iter().all(|&t| t) && termination_round.is_none() {
-                termination_round = Some(round);
+            if state.all_terminated() && termination_round.is_none() {
+                termination_round = Some(this_round);
             }
 
             // --- Periodic memory sampling ---------------------------------
-            if round.is_multiple_of(MEMORY_SAMPLE_INTERVAL) {
-                for (i, agent) in agents.iter().enumerate() {
+            if this_round.is_multiple_of(MEMORY_SAMPLE_INTERVAL) {
+                for (i, agent) in state.robots.iter().enumerate() {
                     metrics.record_memory(i, agent.memory_estimate_bits());
                 }
             }
-
-            round += 1;
         }
 
         // Final memory sample.
-        for (i, agent) in agents.iter().enumerate() {
+        for (i, agent) in state.robots.iter().enumerate() {
             metrics.record_memory(i, agent.memory_estimate_bits());
         }
-        metrics.rounds = round;
+        metrics.rounds = state.round;
 
-        let gathered = positions.iter().all(|&p| p == positions[0]);
-        let all_terminated = terminated.iter().all(|&t| t);
-        let final_positions: BTreeMap<RobotId, NodeId> =
-            ids.iter().copied().zip(positions.iter().copied()).collect();
+        let gathered = state.gathered();
+        let all_terminated = state.all_terminated();
+        let final_positions: BTreeMap<RobotId, NodeId> = ids
+            .iter()
+            .copied()
+            .zip(state.positions.iter().copied())
+            .collect();
         SimOutcome {
-            rounds: round,
+            rounds: state.round,
             gathered,
-            gather_node: if gathered { Some(positions[0]) } else { None },
+            gather_node: if gathered {
+                Some(state.positions[0])
+            } else {
+                None
+            },
             first_gather_round,
             first_contact_round,
             all_terminated,
@@ -423,6 +642,7 @@ mod tests {
     }
 
     /// Announces its id; remembers whether it has heard a larger id.
+    #[derive(Clone)]
     struct Chatter {
         id: RobotId,
         heard_larger: bool,
@@ -741,6 +961,122 @@ mod tests {
         let sim = Simulator::new(&g, SimConfig::with_max_rounds(3));
         let out = sim.run(vec![(PortZeroWalker { id: 1 }, 0)]);
         assert_eq!(out.first_contact_round, Some(0));
+    }
+
+    #[test]
+    fn pure_transition_reproduces_run() {
+        // Driving the pure step function by hand (FullySync = Activation::All
+        // every round) must land on exactly the trajectory `run` produces.
+        let g = generators::random_connected(10, 0.35, 3).unwrap();
+        let mk = || {
+            vec![
+                (CloneWalker { id: 2 }, 0),
+                (CloneWalker { id: 7 }, 4),
+                (CloneWalker { id: 5 }, 8),
+            ]
+        };
+        let rounds = 37;
+        let sim = Simulator::new(&g, SimConfig::with_max_rounds(rounds));
+        let out = sim.run(mk());
+
+        let mut state = SimState::new(&g, mk());
+        let mut bufs = StepBuffers::new(g.n(), &state);
+        for _ in 0..rounds {
+            state = transition_with(&g, &state, Activation::All, &mut bufs);
+        }
+        assert_eq!(state.round, out.rounds);
+        for (i, id) in state.ids.iter().enumerate() {
+            assert_eq!(state.positions[i], out.final_positions[id]);
+        }
+        // And the throwaway-buffer variant agrees with the reused-buffer one.
+        let mut state2 = SimState::new(&g, mk());
+        for _ in 0..rounds {
+            state2 = transition(&g, &state2, Activation::All);
+        }
+        assert_eq!(state2.positions, state.positions);
+    }
+
+    /// A `Clone`-able port-walker for the pure-transition tests.
+    #[derive(Clone, Hash)]
+    struct CloneWalker {
+        id: RobotId,
+    }
+
+    impl Robot for CloneWalker {
+        type Msg = ();
+        fn id(&self) -> RobotId {
+            self.id
+        }
+        fn announce(&mut self, _obs: &Observation) -> Self::Msg {}
+        fn decide(&mut self, obs: &Observation, _inbox: Inbox<'_, ()>) -> Action {
+            if obs.degree > 0 {
+                Action::Move((obs.round % obs.degree as u64) as PortId)
+            } else {
+                Action::Stay
+            }
+        }
+    }
+
+    #[test]
+    fn transition_leaves_source_state_untouched_and_is_deterministic() {
+        let g = generators::cycle(6).unwrap();
+        let state = SimState::new(
+            &g,
+            vec![(CloneWalker { id: 1 }, 0), (CloneWalker { id: 2 }, 3)],
+        );
+        let before = state.positions.clone();
+        let a = transition(&g, &state, Activation::All);
+        let b = transition(&g, &state, Activation::All);
+        assert_eq!(state.positions, before, "source state must not change");
+        assert_eq!(state.round, 0);
+        assert_eq!(a.positions, b.positions, "equal inputs, equal outputs");
+        assert_eq!(a.round, 1);
+    }
+
+    #[test]
+    fn subset_activation_freezes_inactive_robots() {
+        let g = generators::cycle(6).unwrap();
+        let state = SimState::new(
+            &g,
+            vec![(CloneWalker { id: 1 }, 0), (CloneWalker { id: 2 }, 3)],
+        );
+        // Activate only robot index 1: robot 0 must not move and must not
+        // consume an activation (its internal state is untouched).
+        let next = transition(&g, &state, Activation::Subset(0b10));
+        assert_eq!(next.positions[0], state.positions[0]);
+        assert_ne!(next.positions[1], state.positions[1]);
+        assert_eq!(next.round, 1);
+    }
+
+    #[test]
+    fn inactive_robots_are_still_seen_by_active_ones() {
+        let g = generators::path(3).unwrap();
+        let state = SimState::new(
+            &g,
+            vec![
+                (
+                    Chatter {
+                        id: 1,
+                        heard_larger: false,
+                    },
+                    1,
+                ),
+                (
+                    Chatter {
+                        id: 9,
+                        heard_larger: false,
+                    },
+                    1,
+                ),
+            ],
+        );
+        // Only robot 9 (index 1) is active: it sees a co-located robot in its
+        // observation but receives no message from the inactive robot 1.
+        let next = transition(&g, &state, Activation::Subset(0b10));
+        assert!(
+            !next.robots[1].heard_larger,
+            "inactive robots must not announce"
+        );
     }
 
     #[test]

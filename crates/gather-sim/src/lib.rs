@@ -17,7 +17,11 @@
 //! * [`robot`] — the [`robot::Robot`] state-machine trait and the
 //!   observation/action types that enforce the knowledge model;
 //! * [`engine`] — the round loop, gathering/termination detection and
-//!   validation of detection correctness;
+//!   validation of detection correctness, factored around the pure
+//!   [`engine::transition`] step function over [`engine::SimState`];
+//! * [`scheduler`] — activation schedulers ([`scheduler::Scheduler`]):
+//!   the paper's fully synchronous rounds plus relaxed (semi-synchronous
+//!   and sequential) adversaries for model checking;
 //! * [`metrics`] — rounds, moves, messages and memory accounting;
 //! * [`placement`] — initial placement generators (dispersed, undispersed,
 //!   adversarial spread, exact-distance pairs, …) and label assignment;
@@ -34,11 +38,15 @@ pub mod metrics;
 pub mod placement;
 pub mod robot;
 pub mod runner;
+pub mod scheduler;
 pub mod trace;
 
 pub use config::SimConfig;
-pub use engine::{SimOutcome, Simulator};
+pub use engine::{
+    transition, transition_with, RoundShape, SimOutcome, SimState, Simulator, StepBuffers,
+};
 pub use metrics::Metrics;
 pub use placement::{Placement, PlacementKind};
 pub use robot::{Action, DynMsg, DynRobot, Inbox, InboxIter, Observation, Robot, RobotId};
+pub use scheduler::{alive_mask, Activation, Scheduler};
 pub use trace::Trace;

@@ -354,6 +354,20 @@ impl fmt::Debug for DynMsg {
 /// back through [`DynRobot::announce_dyn_reuse`], which overwrites the
 /// payload in place instead of allocating a fresh `Arc` (asserted by the
 /// counting-allocator test in `gather-sim/tests/alloc_free.rs`).
+///
+/// # No state digest on the erased path
+///
+/// The model checker deduplicates visited [`crate::engine::SimState`]s by
+/// hashing them, which requires `R: Hash` on the *whole* robot — a bound a
+/// trait object cannot offer without forcing every implementor to expose a
+/// canonical digest. Rather than ship an easily-forgotten `digest_dyn`
+/// method whose omissions would silently merge distinct states (unsound
+/// dedup — the checker would skip unexplored states), the erased path simply
+/// has **no** digest: `Box<dyn DynRobot>` implements [`Robot`] but not
+/// `Hash`/`Clone`, so it cannot be model-checked, and the compiler enforces
+/// that. Exhaustive checking runs monomorphized — `gather-check` constructs
+/// the concrete robot types directly, where `#[derive(Hash)]` covers every
+/// internal field by construction and a new field cannot be forgotten.
 pub trait DynRobot: Send {
     /// This robot's label.
     fn id_dyn(&self) -> RobotId;

@@ -17,6 +17,10 @@
 //! `gather-core/tests/alloc_free_robots.rs` (the built-ins live above this
 //! crate in the dependency graph, so their test must too).
 
+// A counting `GlobalAlloc` is necessarily `unsafe`; the workspace denies
+// `unsafe_code`, so this test opts back in explicitly.
+#![allow(unsafe_code)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -142,6 +142,20 @@ impl PartialEq for Uxs {
 }
 impl Eq for Uxs {}
 
+/// Hashes `(n, policy)` only. The offsets are deliberately **excluded**:
+/// they are a pure function of `(n, policy)` (SplitMix64 seeded by `n`, see
+/// [`Uxs::for_n`]) and can be megabytes long, so hashing them would make
+/// state digests — which hash every robot, and therefore every robot's
+/// walker, on every model-checker step — quadratically expensive for zero
+/// extra discrimination. Consistent with `Eq`: equal `(n, policy)` implies
+/// equal offsets.
+impl std::hash::Hash for Uxs {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.n.hash(state);
+        self.policy.hash(state);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,7 +9,7 @@ use gather_graph::PortId;
 /// The walker owns its progress index so a robot can pause (e.g. while
 /// waiting out the other half of a 2T phase) and resume, or reset to replay
 /// the sequence from the beginning.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct UxsWalker {
     uxs: Uxs,
     index: usize,

@@ -14,6 +14,9 @@
 //! * [`core`] — the gathering algorithms (`Faster-Gathering`,
 //!   `Undispersed-Gathering`, `i-Hop-Meeting`, the UXS algorithm), the
 //!   baselines, and the scenario/registry/sweep public API;
+//! * [`check`] — the exhaustive model checker: proves gathering safety and
+//!   liveness on small instances over every scheduler interleaving, with
+//!   replayable minimal counterexamples (binary: `gather-check`);
 //! * [`service`] — the sweep daemon: a newline-delimited JSON protocol
 //!   over TCP, a sharded worker pool behind a shared result cache, and the
 //!   [`service::Client`] library (binaries: `gather-serve`,
@@ -66,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use gather_check as check;
 pub use gather_core as core;
 pub use gather_graph as graph;
 pub use gather_map as map;
@@ -75,6 +79,7 @@ pub use gather_uxs as uxs;
 
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
+    pub use gather_check::{run_check, CheckReport, CheckSpec, Counterexample, Verdict, Violation};
     pub use gather_core::artifact::{ArtifactCache, ArtifactStats};
     pub use gather_core::cache::{
         spec_key, CacheEntry, CachePolicy, DirStore, MemStore, ResultStore, ENGINE_VERSION,

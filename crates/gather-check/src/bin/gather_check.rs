@@ -134,7 +134,10 @@ fn execute(cmd: Cmd) -> Result<bool, String> {
                 clean &= handle_report(&report, i, cex_dir.as_deref())?;
             }
             if clean {
-                println!("matrix: all {} checks verified", matrix.checks.len());
+                println!(
+                    "matrix: all {} checks matched their pinned verdicts",
+                    matrix.checks.len()
+                );
             }
             Ok(clean)
         }
@@ -180,31 +183,55 @@ fn handle_report(
         spec.seed,
         spec.scheduler,
     );
+    // A spec may pin a non-Verified verdict (crash-fault entries whose
+    // detection provably breaks); any drift from the pinned verdict is a
+    // failure, including "unexpectedly verified".
+    let expected = spec.expect.unwrap_or(Verdict::Verified);
+    let matched = report.verdict == expected;
     match report.verdict {
         Verdict::Verified => {
+            let note = if matched {
+                "verified"
+            } else {
+                "VERIFIED (expected violated!)"
+            };
             println!(
-                "{head}: verified ({} states, {} transitions, depth {}, bound {})",
+                "{head}: {note} ({} states, {} transitions, depth {}, bound {})",
                 report.states, report.transitions, report.depth, report.round_bound
             );
-            Ok(true)
         }
         Verdict::Truncated => {
             eprintln!(
                 "{head}: TRUNCATED at {} states — nothing proven; raise max_states",
                 report.states
             );
-            Ok(false)
         }
         Verdict::Violated => {
             let cex = report
                 .counterexample
                 .as_ref()
                 .expect("violated reports carry a counterexample");
-            eprintln!(
-                "{head}: VIOLATED — {} (trace length {})",
+            let note = if matched {
+                "violated (as pinned)"
+            } else {
+                "VIOLATED"
+            };
+            let line = format!(
+                "{head}: {note} — {} (trace length {})",
                 cex.violation,
                 cex.activations.len()
             );
+            if matched {
+                // An expected violation is only clean if its counterexample
+                // actually replays to the recorded violation.
+                println!("{line}");
+                if let Err(e) = cex.verify() {
+                    eprintln!("{head}: pinned counterexample does not replay: {e}");
+                    return Ok(false);
+                }
+            } else {
+                eprintln!("{line}");
+            }
             if let Some(dir) = cex_dir {
                 std::fs::create_dir_all(dir)
                     .map_err(|e| format!("creating {}: {e}", dir.display()))?;
@@ -214,11 +241,13 @@ fn handle_report(
                 ));
                 std::fs::write(&file, cex.to_json_pretty())
                     .map_err(|e| format!("writing {}: {e}", file.display()))?;
-                eprintln!("{head}: counterexample written to {}", file.display());
+                if !matched {
+                    eprintln!("{head}: counterexample written to {}", file.display());
+                }
             }
-            Ok(false)
         }
     }
+    Ok(matched)
 }
 
 /// Builds the projected state diagram for a spec (same dispatch as checking,
@@ -233,6 +262,9 @@ fn diagram_for(spec: &CheckSpec) -> Result<String, String> {
         .placement
         .build(&graph, scenario.placement_seed())
         .map_err(|e| e.to_string())?;
+    if !spec.faults.is_empty() {
+        return Err("state diagrams of faulty specs are not supported; drop `faults`".to_string());
+    }
     let n = graph.n();
     let config: &GatherConfig = &spec.algorithm.config;
     let name = format!(

@@ -9,7 +9,7 @@
 use crate::canon::CanonState;
 use gather_graph::PortGraph;
 use gather_sim::robot::Robot;
-use gather_sim::{alive_mask, Activation, Scheduler, SimState, StepBuffers};
+use gather_sim::{alive_mask, Activation, EngineFaults, Scheduler, SimState, StepBuffers};
 use std::cell::RefCell;
 use std::hash::Hash;
 
@@ -44,6 +44,12 @@ pub struct GatherMachine<'g, R: Robot> {
     graph: &'g PortGraph,
     scheduler: Scheduler,
     initial: SimState<R>,
+    /// Resolved crash faults in force, if any. Byzantine plans are rejected
+    /// at construction: a [`gather_sim::ByzantineStrategy::ReplayLast`]
+    /// fault stores history in the shared step buffers, which would make
+    /// `transition` impure and the traversal unsound. Crash faults are a
+    /// pure function of `state.round`, which the canonical state covers.
+    faults: Option<EngineFaults>,
     /// Step buffers shared across `transition` calls (interior mutability:
     /// `Machine::transition` is `&self`). Reusing them amortizes the
     /// per-step allocations across the whole traversal.
@@ -60,6 +66,37 @@ impl<'g, R: Robot + Clone + Hash> GatherMachine<'g, R> {
         robots: Vec<(R, gather_graph::NodeId)>,
         scheduler: Scheduler,
     ) -> Self {
+        Self::build(graph, robots, scheduler, None)
+    }
+
+    /// [`GatherMachine::new`] under a resolved crash-fault table: crashed
+    /// robots freeze (but stay observable) from their crash round on, the
+    /// terminal condition is scoped to the *survivors*, and relaxed
+    /// schedulers stop enumerating activations of already-crashed robots.
+    ///
+    /// Panics if `faults` contains a Byzantine fault (see the `faults` field
+    /// for why those are unsound to model-check) — `run_check` rejects such
+    /// plans with a proper error before ever building a machine.
+    pub fn with_faults(
+        graph: &'g PortGraph,
+        robots: Vec<(R, gather_graph::NodeId)>,
+        scheduler: Scheduler,
+        faults: EngineFaults,
+    ) -> Self {
+        assert_eq!(
+            faults.byzantine_count(),
+            0,
+            "Byzantine faults make the step impure; the checker is crash-only"
+        );
+        Self::build(graph, robots, scheduler, Some(faults))
+    }
+
+    fn build(
+        graph: &'g PortGraph,
+        robots: Vec<(R, gather_graph::NodeId)>,
+        scheduler: Scheduler,
+        faults: Option<EngineFaults>,
+    ) -> Self {
         let initial = SimState::new(graph, robots);
         if scheduler != Scheduler::FullySync {
             assert!(
@@ -67,11 +104,18 @@ impl<'g, R: Robot + Clone + Hash> GatherMachine<'g, R> {
                 "relaxed schedulers support at most 64 robots"
             );
         }
+        if faults.is_some() {
+            assert!(
+                initial.k() <= 64,
+                "fault-aware checking supports at most 64 robots"
+            );
+        }
         let bufs = RefCell::new(StepBuffers::new(graph.n(), &initial));
         GatherMachine {
             graph,
             scheduler,
             initial,
+            faults,
             bufs,
         }
     }
@@ -101,19 +145,38 @@ impl<R: Robot + Clone + Hash> Machine for GatherMachine<'_, R> {
     }
 
     fn actions(&self, state: &SimState<R>) -> Vec<Activation> {
-        if state.all_terminated() {
+        let done = match &self.faults {
+            None => state.all_terminated(),
+            // Crashed robots never terminate; the run is over once every
+            // survivor has.
+            Some(f) => f.survivors_terminated(&state.terminated),
+        };
+        if done {
             return Vec::new();
         }
         match self.scheduler {
             // FullySync has exactly one legal activation and no 64-robot
             // limit (Activation::All needs no mask).
             Scheduler::FullySync => vec![Activation::All],
-            s => s.legal_activations(alive_mask(&state.terminated)),
+            s => {
+                let mut mask = alive_mask(&state.terminated);
+                if let Some(f) = &self.faults {
+                    // Activating a crashed robot is a no-op in the engine;
+                    // enumerating those subsets would only blow up the state
+                    // space without adding behaviours.
+                    mask &= !f.crashed_mask(state.round);
+                }
+                s.legal_activations(mask)
+            }
         }
     }
 
     fn transition(&self, state: &SimState<R>, action: Activation) -> SimState<R> {
-        gather_sim::transition_with(self.graph, state, action, &mut self.bufs.borrow_mut())
+        let bufs = &mut self.bufs.borrow_mut();
+        match &self.faults {
+            None => gather_sim::transition_with(self.graph, state, action, bufs),
+            Some(f) => gather_sim::transition_faulty_with(self.graph, state, action, f, bufs),
+        }
     }
 }
 
@@ -155,5 +218,81 @@ mod tests {
         let s0 = m.initial();
         // Two alive robots: {0,1}, {1}, {0}.
         assert_eq!(m.actions(&s0).len(), 3);
+    }
+
+    #[test]
+    fn crashed_robots_drop_out_of_the_activation_menu() {
+        use gather_sim::FaultPlan;
+        let (g, robots) = machine(Scheduler::SemiSync);
+        let faults = FaultPlan::new(3).crash(2, 1).resolve(&[1, 2]).unwrap();
+        let m = GatherMachine::with_faults(&g, robots, Scheduler::SemiSync, faults);
+        let s0 = m.initial();
+        // Round 0: nobody has crashed yet — same three subsets as fault-free.
+        assert_eq!(m.actions(&s0).len(), 3);
+        let s1 = m.transition(&s0, Activation::All);
+        assert_eq!(s1.round, 1);
+        // Round 1 on: robot index 1 (id 2) is crashed — only {0} remains.
+        assert_eq!(m.actions(&s1).len(), 1);
+        // Crash gating is pure: repeating the transition agrees.
+        let s1b = m.transition(&s0, Activation::All);
+        assert_eq!(m.canonicalize(&s1), m.canonicalize(&s1b));
+    }
+
+    #[test]
+    fn faulty_machine_is_terminal_once_survivors_terminate() {
+        use gather_sim::{Action, FaultPlan, Inbox, Observation, RobotId};
+
+        /// Sits still and declares success at a fixed round.
+        #[derive(Clone, Hash)]
+        struct Quitter {
+            id: RobotId,
+            at: u64,
+        }
+        impl Robot for Quitter {
+            type Msg = ();
+            fn id(&self) -> RobotId {
+                self.id
+            }
+            fn announce(&mut self, _obs: &Observation) -> Self::Msg {}
+            fn decide(&mut self, obs: &Observation, _inbox: Inbox<'_, ()>) -> Action {
+                if obs.round >= self.at {
+                    Action::Terminate
+                } else {
+                    Action::Stay
+                }
+            }
+        }
+
+        let g = generators::path(3).unwrap();
+        let robots = vec![
+            (Quitter { id: 1, at: 3 }, 0usize),
+            (Quitter { id: 2, at: 3 }, 2usize),
+        ];
+        let faults = FaultPlan::new(3).crash(2, 0).resolve(&[1, 2]).unwrap();
+        let m = GatherMachine::with_faults(&g, robots, Scheduler::FullySync, faults);
+        let mut s = m.initial();
+        // The crashed robot (index 1) never terminates; the machine must
+        // still reach a terminal state once the survivor does.
+        for _ in 0..10 {
+            let actions = m.actions(&s);
+            if actions.is_empty() {
+                break;
+            }
+            s = m.transition(&s, actions[0]);
+        }
+        assert!(m.actions(&s).is_empty(), "survivor-scoped terminal reached");
+        assert!(s.terminated[0] && !s.terminated[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash-only")]
+    fn byzantine_plans_are_rejected_at_machine_construction() {
+        use gather_sim::{ByzantineStrategy, FaultPlan};
+        let (g, robots) = machine(Scheduler::FullySync);
+        let faults = FaultPlan::new(3)
+            .byzantine(2, ByzantineStrategy::ReplayLast)
+            .resolve(&[1, 2])
+            .unwrap();
+        let _ = GatherMachine::with_faults(&g, robots, Scheduler::FullySync, faults);
     }
 }

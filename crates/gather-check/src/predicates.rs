@@ -78,6 +78,13 @@ pub struct PredicateCtx {
     component: Vec<usize>,
     start_component: Vec<usize>,
     bound: u64,
+    /// `crash_faulted[i]` iff robot index `i` carries a crash fault. Empty
+    /// for fault-free checks. Crash-faulted robots never terminate, so the
+    /// terminal condition and the liveness bound are scoped to the
+    /// *survivors*; the safety predicates stay global (a crashed robot is
+    /// still observable, so terminating away from it is still a wrong
+    /// detection).
+    crash_faulted: Vec<bool>,
 }
 
 impl PredicateCtx {
@@ -103,12 +110,36 @@ impl PredicateCtx {
             component,
             start_component,
             bound,
+            crash_faulted: Vec::new(),
         }
+    }
+
+    /// Scopes the terminal and liveness predicates to the survivors of
+    /// `faults`: crash-faulted robots are not required (or expected) to
+    /// terminate. Safety predicates are unaffected.
+    pub fn with_crash_faults(mut self, faults: &gather_sim::EngineFaults) -> Self {
+        self.crash_faulted = (0..self.start_component.len())
+            .map(|i| faults.is_crash_faulted(i))
+            .collect();
+        self
     }
 
     /// The liveness round bound in force.
     pub fn bound(&self) -> u64 {
         self.bound
+    }
+
+    /// Whether every robot the predicates require to terminate has: all of
+    /// them in a fault-free check, the survivors under crash faults.
+    fn required_terminated<R: gather_sim::Robot>(&self, state: &SimState<R>) -> bool {
+        if self.crash_faulted.is_empty() {
+            return state.all_terminated();
+        }
+        state
+            .terminated
+            .iter()
+            .enumerate()
+            .all(|(i, &t)| t || self.crash_faulted[i])
     }
 
     /// Classifies one state: a violation, a legal end state, or a state to
@@ -131,9 +162,10 @@ impl PredicateCtx {
                 });
             }
         }
-        if state.all_terminated() {
+        if self.required_terminated(state) {
             // gathered() holds here (checked above), so this is the legal
-            // "gathering with detection achieved" end state.
+            // "gathering with detection achieved" end state — under crash
+            // faults, the survivor-scoped one.
             return StateClass::Terminal;
         }
         if state.round > self.bound {
@@ -216,6 +248,37 @@ mod tests {
             StateClass::Violation(Violation::LivenessExceeded {
                 round: 101,
                 bound: 100
+            })
+        );
+    }
+
+    #[test]
+    fn crash_scoped_predicates_require_only_survivors_to_terminate() {
+        use gather_sim::FaultPlan;
+        let faults = FaultPlan::new(1).crash(2, 0).resolve(&[1, 2]).unwrap();
+
+        // Gathered, survivor terminated, crashed robot (index 1) not: the
+        // survivor-scoped terminal state.
+        let (g, mut s) = two_robot_state((2, 2));
+        s.terminated = vec![true, false];
+        let ctx = PredicateCtx::new(&g, &[0, 3], 100).with_crash_faults(&faults);
+        assert_eq!(ctx.classify(&s), StateClass::Terminal);
+
+        // The same state is *not* terminal for a fault-free check.
+        let plain = PredicateCtx::new(&g, &[0, 3], 100);
+        assert_eq!(plain.classify(&s), StateClass::Expand);
+
+        // Safety stays global: terminating away from the (observable)
+        // crashed robot is still a wrong detection.
+        let (g2, mut apart) = two_robot_state((0, 3));
+        apart.terminated = vec![true, false];
+        apart.round = 4;
+        let ctx2 = PredicateCtx::new(&g2, &[0, 3], 100).with_crash_faults(&faults);
+        assert_eq!(
+            ctx2.classify(&apart),
+            StateClass::Violation(Violation::EarlyTermination {
+                robot_index: 0,
+                round: 4
             })
         );
     }

@@ -23,7 +23,7 @@ use gather_core::{
 };
 use gather_graph::{GraphError, NodeId, PortGraph};
 use gather_sim::robot::Robot;
-use gather_sim::{Activation, Scheduler};
+use gather_sim::{Activation, EngineFaults, FaultError, FaultPlan, Scheduler};
 use gather_uxs::Uxs;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -59,6 +59,22 @@ pub struct CheckSpec {
     pub round_bound: Option<u64>,
     /// Visited-state cap override; `None` uses [`TraverseLimits::default`].
     pub max_states: Option<u64>,
+    /// Faults to inject while checking (missing field: fault-free). Only
+    /// *crash* plans are checkable — Byzantine strategies make the engine
+    /// step impure (see [`gather_sim::transition_faulty`]) and are rejected
+    /// with [`CheckError::Byzantine`]. Under crash faults the terminal and
+    /// liveness predicates are scoped to the survivors; the no-early-
+    /// termination safety predicate stays global, so a builtin whose
+    /// detection fires without the (frozen but observable) crashed robot
+    /// yields a regular, replayable counterexample.
+    pub faults: FaultPlan,
+    /// The verdict this spec is pinned to in a matrix (missing field:
+    /// [`Verdict::Verified`] is required). [`run_check`] ignores it; the
+    /// `gather-check --matrix` runner compares against it, so a crash-fault
+    /// entry whose detection *provably breaks* can be pinned as
+    /// `"expect": "Violated"` and still gate CI — drifting to any other
+    /// verdict (including silently verifying) fails the run.
+    pub expect: Option<Verdict>,
 }
 
 impl CheckSpec {
@@ -72,6 +88,8 @@ impl CheckSpec {
             scheduler: Scheduler::FullySync,
             round_bound: None,
             max_states: None,
+            faults: FaultPlan::default(),
+            expect: None,
         }
     }
 
@@ -87,10 +105,25 @@ impl CheckSpec {
         self
     }
 
+    /// Replaces the fault plan (crash-only; see the field docs).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Pins the verdict the matrix runner must observe.
+    pub fn expecting(mut self, verdict: Verdict) -> Self {
+        self.expect = Some(verdict);
+        self
+    }
+
     /// The equivalent simulation scenario (used for seed derivation, and
-    /// handy for replaying an instance through the plain simulator).
+    /// handy for replaying an instance through the plain simulator —
+    /// faults included).
     pub fn scenario(&self) -> ScenarioSpec {
-        ScenarioSpec::new(self.graph, self.placement, self.algorithm.clone()).with_seed(self.seed)
+        ScenarioSpec::new(self.graph, self.placement, self.algorithm.clone())
+            .with_seed(self.seed)
+            .with_faults(self.faults.clone())
     }
 
     /// Instantiates the graph (same derived seed as the scenario would use).
@@ -165,6 +198,13 @@ pub enum CheckError {
     Graph(GraphError),
     /// The placement spec was infeasible on the instantiated graph.
     Scenario(ScenarioError),
+    /// The fault plan named robots the placement does not have, or named one
+    /// twice.
+    Faults(FaultError),
+    /// The fault plan contains a Byzantine fault, which the checker cannot
+    /// soundly explore (the step stops being pure; see
+    /// [`gather_sim::transition_faulty`]).
+    Byzantine,
 }
 
 impl fmt::Display for CheckError {
@@ -177,6 +217,12 @@ impl fmt::Display for CheckError {
             ),
             CheckError::Graph(e) => write!(f, "graph instantiation failed: {e}"),
             CheckError::Scenario(e) => write!(f, "placement failed: {e}"),
+            CheckError::Faults(e) => write!(f, "invalid fault plan: {e}"),
+            CheckError::Byzantine => write!(
+                f,
+                "Byzantine faults are not checkable (the step stops being \
+                 pure); restrict the plan to crashes"
+            ),
         }
     }
 }
@@ -192,6 +238,12 @@ impl From<GraphError> for CheckError {
 impl From<ScenarioError> for CheckError {
     fn from(e: ScenarioError) -> Self {
         CheckError::Scenario(e)
+    }
+}
+
+impl From<FaultError> for CheckError {
+    fn from(e: FaultError) -> Self {
+        CheckError::Faults(e)
     }
 }
 
@@ -301,6 +353,7 @@ pub fn run_check(spec: &CheckSpec) -> Result<CheckReport, CheckError> {
     let graph = spec.graph.build(scenario.graph_seed())?;
     let placement = spec.placement.build(&graph, scenario.placement_seed())?;
     let config = &spec.algorithm.config;
+    let faults = resolve_check_faults(&spec.faults, &placement.ids())?;
     let bound = match spec.round_bound {
         Some(b) => b,
         None => suggested_round_bound(&spec.algorithm.name, graph.n(), config)
@@ -312,9 +365,31 @@ pub fn run_check(spec: &CheckSpec) -> Result<CheckReport, CheckError> {
         graph,
         placement,
         config,
-        |robots| check_generic(&graph, robots, spec.scheduler, bound, limits)
+        |robots| check_generic(
+            &graph,
+            robots,
+            spec.scheduler,
+            bound,
+            limits,
+            faults.as_ref()
+        )
     );
     Ok(report_from(spec, bound, outcome))
+}
+
+/// Resolves a spec's fault plan against the placed robot ids, enforcing the
+/// checker's crash-only restriction. `Ok(None)` for fault-free specs.
+pub(crate) fn resolve_check_faults(
+    plan: &FaultPlan,
+    ids: &[gather_sim::RobotId],
+) -> Result<Option<EngineFaults>, CheckError> {
+    if plan.is_empty() {
+        return Ok(None);
+    }
+    if plan.has_byzantine() {
+        return Err(CheckError::Byzantine);
+    }
+    Ok(Some(plan.resolve(ids)?))
 }
 
 /// Builds the machine for one concrete robot type and exhausts it.
@@ -324,10 +399,17 @@ fn check_generic<R: Robot + Clone + Hash>(
     scheduler: Scheduler,
     bound: u64,
     limits: TraverseLimits,
+    faults: Option<&EngineFaults>,
 ) -> TraverseOutcome<Activation, Violation> {
-    let machine = GatherMachine::new(graph, robots, scheduler);
+    let machine = match faults {
+        None => GatherMachine::new(graph, robots, scheduler),
+        Some(f) => GatherMachine::with_faults(graph, robots, scheduler, f.clone()),
+    };
     let initial = crate::machine::Machine::initial(&machine);
-    let ctx = PredicateCtx::new(graph, &initial.positions, bound);
+    let mut ctx = PredicateCtx::new(graph, &initial.positions, bound);
+    if let Some(f) = faults {
+        ctx = ctx.with_crash_faults(f);
+    }
     traverse(&machine, limits, |s| ctx.classify(s))
 }
 
@@ -453,6 +535,109 @@ mod tests {
         assert_eq!(s.max_states, None);
         let back: CheckSpec = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn crash_checks_run_to_a_definite_verdict_on_every_builtin() {
+        // One crash-faulty instance per builtin, n <= 6: the check must
+        // come back *definite* (verified or violated — never truncated),
+        // and a violation must carry a counterexample that replays. The
+        // builtins have no crash tolerance, so a frozen robot usually
+        // breaks detection — which is exactly the behaviour the fault
+        // layer exists to expose.
+        for algorithm in [
+            "faster_gathering",
+            "uxs_gathering",
+            "undispersed_gathering",
+            "expanding_baseline",
+        ] {
+            let s = spec(algorithm, Family::Cycle, 5, PlacementKind::MaxSpread, 3)
+                .with_faults(FaultPlan::new(9).crash(2, 1));
+            let report = run_check(&s).unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+            match report.verdict {
+                Verdict::Verified => assert!(report.counterexample.is_none(), "{algorithm}"),
+                Verdict::Violated => {
+                    let cex = report.counterexample.expect("violated => counterexample");
+                    cex.verify()
+                        .unwrap_or_else(|e| panic!("{algorithm}: counterexample replay: {e}"));
+                }
+                Verdict::Truncated => panic!("{algorithm}: truncated crash check"),
+            }
+        }
+    }
+
+    #[test]
+    fn crash_check_finds_the_detection_break() {
+        // Pin one concrete broken-detection witness: uxs_gathering on a
+        // 4-path with the middle-ish robot frozen from round 1 cannot keep
+        // its detection sound, and the violation replays deterministically.
+        let s = spec(
+            "uxs_gathering",
+            Family::Path,
+            4,
+            PlacementKind::MaxSpread,
+            2,
+        )
+        .with_faults(FaultPlan::new(3).crash(2, 1));
+        let report = run_check(&s).unwrap();
+        assert_eq!(report.verdict, Verdict::Violated);
+        let cex = report.counterexample.expect("violated => counterexample");
+        assert!(!cex.spec.faults.is_empty(), "faults travel with the trace");
+        cex.verify().expect("crash counterexample replays");
+    }
+
+    #[test]
+    fn byzantine_plans_are_rejected_with_a_proper_error() {
+        use gather_sim::ByzantineStrategy;
+        let s = spec(
+            "uxs_gathering",
+            Family::Path,
+            4,
+            PlacementKind::MaxSpread,
+            2,
+        )
+        .with_faults(FaultPlan::new(1).byzantine(2, ByzantineStrategy::Silent));
+        assert!(matches!(run_check(&s), Err(CheckError::Byzantine)));
+    }
+
+    #[test]
+    fn unresolvable_fault_plans_are_an_error() {
+        let s = spec(
+            "uxs_gathering",
+            Family::Path,
+            4,
+            PlacementKind::MaxSpread,
+            2,
+        )
+        .with_faults(FaultPlan::new(1).crash(99, 0));
+        assert!(matches!(run_check(&s), Err(CheckError::Faults(_))));
+    }
+
+    #[test]
+    fn faulty_spec_round_trips_and_fault_free_json_defaults_to_empty() {
+        let s = spec(
+            "uxs_gathering",
+            Family::Cycle,
+            5,
+            PlacementKind::MaxSpread,
+            3,
+        )
+        .with_faults(FaultPlan::new(9).crash(2, 1))
+        .expecting(Verdict::Violated);
+        let back: CheckSpec = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(s, back);
+        // Pre-fault spec JSON (no `faults`/`expect` keys) still parses.
+        let json = r#"{
+            "graph": {"family": "Cycle", "n": 5},
+            "placement": {"kind": "UndispersedRandom", "k": 3, "labels": "Sequential"},
+            "algorithm": {"name": "uxs_gathering",
+                          "config": {"uxs_policy": {"Polynomial": 3},
+                                     "map_bound": "Paper"}},
+            "seed": 11
+        }"#;
+        let old: CheckSpec = serde_json::from_str(json).unwrap();
+        assert!(old.faults.is_empty());
+        assert_eq!(old.expect, None);
     }
 
     #[test]

@@ -15,7 +15,9 @@ use crate::traverse::StateClass;
 use gather_core::{ExpandingRobot, FasterRobot, GatherConfig, UndispersedRobot, UxsGatherRobot};
 use gather_graph::{NodeId, PortGraph};
 use gather_sim::robot::Robot;
-use gather_sim::{transition_with, Activation, SimState, StepBuffers};
+use gather_sim::{
+    transition_faulty_with, transition_with, Activation, EngineFaults, SimState, StepBuffers,
+};
 use gather_uxs::Uxs;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -101,12 +103,19 @@ impl Counterexample {
             .build(&graph, scenario.placement_seed())
             .map_err(CheckError::from)?;
         let config = &self.spec.algorithm.config;
+        let faults = crate::spec::resolve_check_faults(&self.spec.faults, &placement.ids())?;
         dispatch_robots!(
             self.spec.algorithm.name.as_str(),
             graph,
             placement,
             config,
-            |robots| replay_generic(&graph, robots, &self.activations, self.round_bound)
+            |robots| replay_generic(
+                &graph,
+                robots,
+                &self.activations,
+                self.round_bound,
+                faults.as_ref()
+            )
         )
     }
 
@@ -130,15 +139,22 @@ fn replay_generic<R: Robot + Clone + Hash>(
     robots: Vec<(R, NodeId)>,
     activations: &[Activation],
     bound: u64,
+    faults: Option<&EngineFaults>,
 ) -> Result<Violation, ReplayError> {
     let mut state = SimState::new(graph, robots);
     let mut bufs = StepBuffers::new(graph.n(), &state);
-    let ctx = PredicateCtx::new(graph, &state.positions, bound);
+    let mut ctx = PredicateCtx::new(graph, &state.positions, bound);
+    if let Some(f) = faults {
+        ctx = ctx.with_crash_faults(f);
+    }
     if let StateClass::Violation(v) = ctx.classify(&state) {
         return Ok(v);
     }
     for &activation in activations {
-        state = transition_with(graph, &state, activation, &mut bufs);
+        state = match faults {
+            None => transition_with(graph, &state, activation, &mut bufs),
+            Some(f) => transition_faulty_with(graph, &state, activation, f, &mut bufs),
+        };
         if let StateClass::Violation(v) = ctx.classify(&state) {
             return Ok(v);
         }

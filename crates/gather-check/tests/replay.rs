@@ -13,12 +13,34 @@
 //! GATHER_REGEN_FIXTURES=1 cargo test -p gather-check --test replay
 //! ```
 
-use gather_check::{run_check, Counterexample, Verdict, Violation};
+use gather_check::{run_check, CheckSpec, Counterexample, Verdict, Violation};
+use gather_core::{AlgorithmSpec, GraphSpec, PlacementSpec};
+use gather_graph::generators::Family;
+use gather_sim::placement::PlacementKind;
+use gather_sim::FaultPlan;
 
 const FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/fixtures/broken_eager_counterexample.json"
 );
+
+const CRASH_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/crash_uxs_counterexample.json"
+);
+
+/// The instance behind `CRASH_FIXTURE`: a *sound* builtin whose detection
+/// breaks once one robot crash-freezes — the counterexample the fault layer
+/// exists to produce.
+fn crash_fixture_spec() -> CheckSpec {
+    CheckSpec::new(
+        GraphSpec::new(Family::Path, 4),
+        PlacementSpec::new(PlacementKind::MaxSpread, 2),
+        AlgorithmSpec::new("uxs_gathering"),
+    )
+    .with_seed(7)
+    .with_faults(FaultPlan::new(3).crash(2, 1))
+}
 
 fn regen_requested() -> bool {
     std::env::var_os("GATHER_REGEN_FIXTURES").is_some_and(|v| v == "1")
@@ -57,5 +79,36 @@ fn checker_reproduces_the_committed_fixture() {
         fresh, cex,
         "checker output drifted from the committed fixture; rerun with \
          GATHER_REGEN_FIXTURES=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn committed_crash_counterexample_loads_and_replays() {
+    if regen_requested() {
+        let report = run_check(&crash_fixture_spec()).expect("crash fixture spec instantiates");
+        assert_eq!(report.verdict, Verdict::Violated);
+        let cex = report.counterexample.expect("violated => counterexample");
+        std::fs::write(CRASH_FIXTURE, cex.to_json_pretty()).expect("fixture rewritten");
+        return;
+    }
+    let text = std::fs::read_to_string(CRASH_FIXTURE).expect("fixture exists");
+    let cex = Counterexample::from_json(&text).expect("fixture parses");
+    assert_eq!(cex.spec, crash_fixture_spec(), "fixture pins its instance");
+    assert!(
+        !cex.spec.faults.is_empty(),
+        "the fault plan travels inside the counterexample"
+    );
+    // The trace must still drive the faulty engine into the recorded
+    // violation.
+    cex.verify()
+        .expect("crash fixture replays to its recorded violation");
+    // And a fresh check of the same faulty instance reproduces it exactly.
+    let report = run_check(&cex.spec).expect("fixture spec instantiates");
+    assert_eq!(report.verdict, Verdict::Violated);
+    assert_eq!(
+        report.counterexample.expect("violated => counterexample"),
+        cex,
+        "checker output drifted from the committed crash fixture; rerun \
+         with GATHER_REGEN_FIXTURES=1 if the change is intentional"
     );
 }

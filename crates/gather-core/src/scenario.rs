@@ -31,7 +31,7 @@ use crate::registry::{AlgorithmRegistry, RegistryError};
 use gather_graph::generators::Family;
 use gather_graph::{GraphError, PortGraph};
 use gather_sim::placement::{self, Placement, PlacementKind};
-use gather_sim::{SimConfig, SimOutcome};
+use gather_sim::{FaultError, FaultPlan, SimConfig, SimOutcome};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -195,7 +195,7 @@ impl AlgorithmSpec {
 }
 
 /// Everything needed to run one experiment, as one serializable value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// The environment graph.
     pub graph: GraphSpec,
@@ -208,6 +208,47 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// Safety cap on simulated rounds.
     pub max_rounds: u64,
+    /// Crash/Byzantine faults injected into the run (empty = fault-free).
+    /// Fault robot labels refer to the placement's robot ids. The
+    /// hand-written serde below omits this field when empty, so fault-free
+    /// specs keep their exact pre-fault canonical JSON — and therefore their
+    /// [`spec_key`]s and cached results — unchanged.
+    pub faults: FaultPlan,
+}
+
+// Serde is hand-written (not derived) because the vendored derive emits
+// every field unconditionally and `spec_key` hashes the canonical JSON:
+// emitting `faults` for fault-free specs would silently re-key every
+// existing cached result.
+impl Serialize for ScenarioSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("graph".to_string(), self.graph.to_value()),
+            ("placement".to_string(), self.placement.to_value()),
+            ("algorithm".to_string(), self.algorithm.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("max_rounds".to_string(), self.max_rounds.to_value()),
+        ];
+        if !self.faults.is_empty() {
+            fields.push(("faults".to_string(), self.faults.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ScenarioSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = serde::expect_object(v, "ScenarioSpec")?;
+        Ok(ScenarioSpec {
+            graph: serde::from_field(obj, "graph")?,
+            placement: serde::from_field(obj, "placement")?,
+            algorithm: serde::from_field(obj, "algorithm")?,
+            seed: serde::from_field(obj, "seed")?,
+            max_rounds: serde::from_field(obj, "max_rounds")?,
+            // Absent in pre-fault specs: defaults to the empty plan.
+            faults: serde::from_field(obj, "faults")?,
+        })
+    }
 }
 
 /// SplitMix64 finalizer: decorrelates the derived sub-seeds.
@@ -227,12 +268,19 @@ impl ScenarioSpec {
             algorithm,
             seed: 0,
             max_rounds: DEFAULT_MAX_ROUNDS,
+            faults: FaultPlan::default(),
         }
     }
 
     /// Replaces the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Injects a fault plan (fault robot labels refer to placement ids).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -309,13 +357,20 @@ impl ScenarioSpec {
         graph: &PortGraph,
         start: &Placement,
     ) -> Result<ScenarioOutcome, ScenarioError> {
+        if !self.faults.is_empty() {
+            // Validate against the concrete robot labels so an unresolvable
+            // plan becomes an error row, not an engine panic in a worker.
+            self.faults
+                .resolve(&start.ids())
+                .map_err(ScenarioError::Faults)?;
+        }
         let outcome = registry
             .run(
                 &self.algorithm.name,
                 graph,
                 start,
                 &self.algorithm.config,
-                SimConfig::with_max_rounds(self.max_rounds),
+                SimConfig::with_max_rounds(self.max_rounds).with_faults(self.faults.clone()),
             )
             .map_err(ScenarioError::Registry)?;
         Ok(ScenarioOutcome {
@@ -403,6 +458,8 @@ pub enum ScenarioError {
     InvalidPlacement(String),
     /// The algorithm name is not registered.
     Registry(RegistryError),
+    /// The fault plan does not resolve against the placement's robot labels.
+    Faults(FaultError),
 }
 
 impl fmt::Display for ScenarioError {
@@ -411,6 +468,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Graph(e) => write!(f, "graph construction failed: {e}"),
             ScenarioError::InvalidPlacement(why) => write!(f, "invalid placement: {why}"),
             ScenarioError::Registry(e) => write!(f, "{e}"),
+            ScenarioError::Faults(e) => write!(f, "invalid fault plan: {e}"),
         }
     }
 }
@@ -575,6 +633,64 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ScenarioError::Registry(_)));
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn fault_free_specs_serialize_without_a_faults_field() {
+        let spec = demo_spec();
+        let json = spec.to_json();
+        assert!(
+            !json.contains("faults"),
+            "fault-free specs must keep the pre-fault wire format: {json}"
+        );
+        // And faulty specs round-trip with the plan intact.
+        let faulty = demo_spec().with_faults(FaultPlan::new(3).crash(1, 10));
+        let json = faulty.to_json();
+        assert!(json.contains("\"faults\""));
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(faulty, back);
+        assert_ne!(spec, faulty);
+    }
+
+    #[test]
+    fn crash_faulty_run_populates_degradation_and_differs_in_key() {
+        use gather_sim::ByzantineStrategy;
+        let spec = demo_spec().with_max_rounds(200_000);
+        // Sequential-labels placement: robot labels are 1..=3.
+        let faulty = spec.clone().with_faults(
+            FaultPlan::new(5)
+                .crash(2, 4)
+                .byzantine(3, ByzantineStrategy::Silent),
+        );
+        assert_ne!(
+            spec_key(&spec),
+            spec_key(&faulty),
+            "a fault plan must change the cache identity"
+        );
+        let result = faulty.run_default().unwrap();
+        let d = result
+            .outcome
+            .metrics
+            .degradation
+            .clone()
+            .expect("faulty run reports degradation");
+        assert_eq!((d.crash_faulted, d.byzantine), (1, 1));
+        // Deterministic replay: the same faulty spec reruns identically.
+        let again = faulty.run_default().unwrap();
+        assert_eq!(
+            result.outcome.final_positions,
+            again.outcome.final_positions
+        );
+        assert_eq!(result.outcome.rounds, again.outcome.rounds);
+        assert_eq!(again.outcome.metrics.degradation, Some(d));
+    }
+
+    #[test]
+    fn unresolvable_fault_plan_is_an_error_row_not_a_panic() {
+        let spec = demo_spec().with_faults(FaultPlan::new(0).crash(99, 1));
+        let err = spec.run_default().unwrap_err();
+        assert!(matches!(err, ScenarioError::Faults(_)), "{err}");
+        assert!(err.to_string().contains("not placed"), "{err}");
     }
 
     #[test]

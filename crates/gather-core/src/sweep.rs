@@ -22,6 +22,7 @@ use crate::scenario::{
 };
 use gather_sim::placement::PlacementKind;
 use gather_sim::runner;
+use gather_sim::{Degradation, FaultPlan};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -50,6 +51,7 @@ pub struct Sweep {
     placements: Vec<PlacementSpec>,
     algorithms: Vec<AlgorithmSpec>,
     seeds: Vec<u64>,
+    faults: Vec<FaultPlan>,
     max_rounds: u64,
     threads: usize,
     cache: Option<Arc<dyn ResultStore>>,
@@ -64,6 +66,7 @@ impl fmt::Debug for Sweep {
             .field("placements", &self.placements)
             .field("algorithms", &self.algorithms)
             .field("seeds", &self.seeds)
+            .field("faults", &self.faults)
             .field("max_rounds", &self.max_rounds)
             .field("threads", &self.threads)
             .field("cache", &self.cache.as_ref().map(|_| "<ResultStore>"))
@@ -94,6 +97,7 @@ impl Sweep {
             placements: Vec::new(),
             algorithms: Vec::new(),
             seeds: vec![0],
+            faults: Vec::new(),
             max_rounds: DEFAULT_MAX_ROUNDS,
             threads: runner::default_threads(),
             cache: None,
@@ -176,6 +180,20 @@ impl Sweep {
         self
     }
 
+    /// Adds one fault-plan axis point (fault robot labels refer to each
+    /// cell's placement ids). An empty axis — the default — behaves as the
+    /// single fault-free plan and expands to exactly the pre-fault cells.
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.faults.push(plan);
+        self
+    }
+
+    /// Adds many fault-plan axis points.
+    pub fn faults(mut self, plans: impl IntoIterator<Item = FaultPlan>) -> Self {
+        self.faults.extend(plans);
+        self
+    }
+
     /// Replaces the per-scenario round cap.
     pub fn max_rounds(mut self, max_rounds: u64) -> Self {
         self.max_rounds = max_rounds;
@@ -189,20 +207,37 @@ impl Sweep {
     }
 
     /// Expands the axes into concrete scenarios, in the deterministic report
-    /// order: graph → placement → algorithm → seed.
+    /// order: graph → placement → algorithm → seed → fault plan. With the
+    /// default empty fault axis the innermost loop has exactly one
+    /// (fault-free) iteration, so fault-less sweeps expand to the exact
+    /// pre-fault cell list.
     pub fn specs(&self) -> Vec<ScenarioSpec> {
+        let fault_free = [FaultPlan::default()];
+        let fault_axis: &[FaultPlan] = if self.faults.is_empty() {
+            &fault_free
+        } else {
+            &self.faults
+        };
         let mut out = Vec::with_capacity(
-            self.graphs.len() * self.placements.len() * self.algorithms.len() * self.seeds.len(),
+            self.graphs.len()
+                * self.placements.len()
+                * self.algorithms.len()
+                * self.seeds.len()
+                * fault_axis.len(),
         );
         for &graph in &self.graphs {
             for &placement in &self.placements {
                 for algorithm in &self.algorithms {
                     for &seed in &self.seeds {
-                        out.push(
-                            ScenarioSpec::new(graph, placement, algorithm.clone())
+                        for faults in fault_axis {
+                            let mut spec = ScenarioSpec::new(graph, placement, algorithm.clone())
                                 .with_seed(seed)
-                                .with_max_rounds(self.max_rounds),
-                        );
+                                .with_max_rounds(self.max_rounds);
+                            if !faults.is_empty() {
+                                spec = spec.with_faults(faults.clone());
+                            }
+                            out.push(spec);
+                        }
                     }
                 }
             }
@@ -301,6 +336,7 @@ impl Sweep {
             algorithms: self.algorithms.clone(),
             seeds: self.seeds.clone(),
             max_rounds: self.max_rounds,
+            faults: self.faults.clone(),
         }
     }
 }
@@ -315,7 +351,7 @@ impl Sweep {
 /// runs the grid, not to the grid itself. Convert with
 /// [`SweepSpec::into_sweep`] to execute locally, or expand with
 /// [`SweepSpec::specs`] (same deterministic cell order as [`Sweep::specs`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
     /// Graph axis points.
     pub graphs: Vec<GraphSpec>,
@@ -327,6 +363,49 @@ pub struct SweepSpec {
     pub seeds: Vec<u64>,
     /// Per-scenario round cap shared by every cell.
     pub max_rounds: u64,
+    /// Fault-plan axis points (an empty list — the default — behaves as the
+    /// single fault-free plan). The hand-written serde below omits the field
+    /// when empty, so pre-fault grid JSON and fault-less grids stay
+    /// byte-identical on the wire.
+    pub faults: Vec<FaultPlan>,
+}
+
+// Hand-written for the same reason as `ScenarioSpec`: the vendored derive
+// would emit `"faults":[]` on every fault-less grid, breaking the wire
+// format the service's byte-identity probes pin.
+impl Serialize for SweepSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("graphs".to_string(), self.graphs.to_value()),
+            ("placements".to_string(), self.placements.to_value()),
+            ("algorithms".to_string(), self.algorithms.to_value()),
+            ("seeds".to_string(), self.seeds.to_value()),
+            ("max_rounds".to_string(), self.max_rounds.to_value()),
+        ];
+        if !self.faults.is_empty() {
+            fields.push(("faults".to_string(), self.faults.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for SweepSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = serde::expect_object(v, "SweepSpec")?;
+        Ok(SweepSpec {
+            graphs: serde::from_field(obj, "graphs")?,
+            placements: serde::from_field(obj, "placements")?,
+            algorithms: serde::from_field(obj, "algorithms")?,
+            seeds: serde::from_field(obj, "seeds")?,
+            max_rounds: serde::from_field(obj, "max_rounds")?,
+            // A bare `Vec` has no missing-field default, so look the key up
+            // by hand: absent means the fault-free axis.
+            faults: match obj.iter().find(|(key, _)| key == "faults") {
+                Some((_, value)) => Deserialize::from_value(value)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl SweepSpec {
@@ -344,6 +423,7 @@ impl SweepSpec {
             .placements(self.placements)
             .algorithms(self.algorithms)
             .seeds(self.seeds)
+            .faults(self.faults)
             .max_rounds(self.max_rounds)
     }
 
@@ -362,6 +442,7 @@ impl SweepSpec {
             .saturating_mul(self.placements.len())
             .saturating_mul(self.algorithms.len())
             .saturating_mul(self.seeds.len().max(1))
+            .saturating_mul(self.faults.len().max(1))
     }
 
     /// Serializes to compact JSON.
@@ -388,7 +469,7 @@ impl From<SweepSpec> for Sweep {
 }
 
 /// One structured result row of a sweep.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepRow {
     /// Graph family name (stable table name).
     pub family: String,
@@ -416,6 +497,61 @@ pub struct SweepRow {
     pub detected_ok: bool,
     /// Scenario-level failure, if the run never happened.
     pub error: Option<String>,
+    /// Degradation metrics of the cell, present only when its spec carried a
+    /// non-empty fault plan (see [`Degradation`]).
+    pub degradation: Option<Degradation>,
+}
+
+// Hand-written serde: rows are byte-compared across executors and against
+// cached pre-fault results, so fault-free rows must omit `degradation`
+// instead of emitting `null` (which the vendored derive would).
+impl Serialize for SweepRow {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("family".to_string(), self.family.to_value()),
+            ("n".to_string(), self.n.to_value()),
+            ("k".to_string(), self.k.to_value()),
+            ("kind".to_string(), self.kind.to_value()),
+            ("algorithm".to_string(), self.algorithm.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("closest_pair".to_string(), self.closest_pair.to_value()),
+            ("rounds".to_string(), self.rounds.to_value()),
+            ("total_moves".to_string(), self.total_moves.to_value()),
+            ("messages".to_string(), self.messages.to_value()),
+            (
+                "peak_memory_bits".to_string(),
+                self.peak_memory_bits.to_value(),
+            ),
+            ("detected_ok".to_string(), self.detected_ok.to_value()),
+            ("error".to_string(), self.error.to_value()),
+        ];
+        if let Some(d) = &self.degradation {
+            fields.push(("degradation".to_string(), d.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for SweepRow {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = serde::expect_object(v, "SweepRow")?;
+        Ok(SweepRow {
+            family: serde::from_field(obj, "family")?,
+            n: serde::from_field(obj, "n")?,
+            k: serde::from_field(obj, "k")?,
+            kind: serde::from_field(obj, "kind")?,
+            algorithm: serde::from_field(obj, "algorithm")?,
+            seed: serde::from_field(obj, "seed")?,
+            closest_pair: serde::from_field(obj, "closest_pair")?,
+            rounds: serde::from_field(obj, "rounds")?,
+            total_moves: serde::from_field(obj, "total_moves")?,
+            messages: serde::from_field(obj, "messages")?,
+            peak_memory_bits: serde::from_field(obj, "peak_memory_bits")?,
+            detected_ok: serde::from_field(obj, "detected_ok")?,
+            error: serde::from_field(obj, "error")?,
+            degradation: serde::from_field(obj, "degradation")?,
+        })
+    }
 }
 
 impl SweepRow {
@@ -458,6 +594,7 @@ impl SweepRow {
             peak_memory_bits: result.outcome.metrics.max_memory_bits(),
             detected_ok: result.outcome.is_correct_gathering_with_detection(),
             error: None,
+            degradation: result.outcome.metrics.degradation.clone(),
         }
     }
 
@@ -478,6 +615,7 @@ impl SweepRow {
             peak_memory_bits: 0,
             detected_ok: false,
             error: Some(error.to_string()),
+            degradation: None,
         }
     }
 }
@@ -727,6 +865,91 @@ mod tests {
         let report = spec.into_sweep().run_default();
         assert_eq!(report.rows.len(), 1);
         assert!(report.all_detected_ok(), "{:?}", report.rows);
+    }
+
+    #[test]
+    fn fault_axis_multiplies_cells_and_keeps_fault_free_grids_stable() {
+        let plain = tiny_sweep();
+        let faulty = tiny_sweep().faults([FaultPlan::default(), FaultPlan::new(1).crash(2, 3)]);
+        assert_eq!(plain.to_spec().cells(), 8);
+        assert_eq!(faulty.to_spec().cells(), 16);
+        // The fault axis is innermost: consecutive specs share all other
+        // axis points, and the explicit fault-free plan expands to a spec
+        // equal to the plain sweep's.
+        let specs = faulty.specs();
+        assert_eq!(specs.len(), 16);
+        assert_eq!(specs[0], plain.specs()[0]);
+        assert!(specs[0].faults.is_empty());
+        assert_eq!(specs[1].faults, FaultPlan::new(1).crash(2, 3));
+        assert_eq!(specs[0].seed, specs[1].seed);
+        // Wire format: fault-less grids must not mention faults at all.
+        let json = plain.to_spec().to_json();
+        assert!(!json.contains("faults"), "{json}");
+        let back = SweepSpec::from_json(&json).unwrap();
+        assert_eq!(back, plain.to_spec());
+        let fjson = faulty.to_spec().to_json();
+        assert!(fjson.contains("\"faults\""));
+        assert_eq!(SweepSpec::from_json(&fjson).unwrap(), faulty.to_spec());
+    }
+
+    #[test]
+    fn crash_fault_sweep_populates_degradation_on_faulty_rows_only() {
+        let report = Sweep::new()
+            .graph(GraphSpec::new(Family::Cycle, 6))
+            .placement(PlacementSpec::new(PlacementKind::UndispersedRandom, 3))
+            .algorithms([
+                AlgorithmSpec::new("faster_gathering"),
+                AlgorithmSpec::new("uxs_gathering"),
+                AlgorithmSpec::new("undispersed_gathering"),
+                AlgorithmSpec::new("expanding_baseline"),
+            ])
+            .seeds([1])
+            .faults([FaultPlan::default(), FaultPlan::new(2).crash(3, 2)])
+            .max_rounds(50_000)
+            .threads(2)
+            .run_default();
+        assert_eq!(report.rows.len(), 8);
+        for (spec, row) in report.specs.iter().zip(&report.rows) {
+            assert!(row.error.is_none(), "{:?}", row.error);
+            if spec.faults.is_empty() {
+                assert_eq!(row.degradation, None);
+                assert!(row.detected_ok, "{row:?}");
+            } else {
+                let d = row.degradation.as_ref().expect("faulty cell degradation");
+                assert_eq!(d.crash_faulted, 1);
+            }
+        }
+        // Fault-free rows keep the pre-fault wire format.
+        let json = serde_json::to_string(&report.rows[0]).unwrap();
+        assert!(!json.contains("degradation"), "{json}");
+        let fjson = serde_json::to_string(&report.rows[1]).unwrap();
+        assert!(fjson.contains("degradation"), "{fjson}");
+        let back: SweepRow = serde_json::from_str(&fjson).unwrap();
+        assert_eq!(back, report.rows[1]);
+    }
+
+    #[test]
+    fn faulty_cells_cache_and_replay_byte_identically() {
+        use crate::cache::{CachePolicy, MemStore};
+        use std::sync::Arc;
+        let store = Arc::new(MemStore::new());
+        let sweep = Sweep::new()
+            .graph(GraphSpec::new(Family::Cycle, 6))
+            .placement(PlacementSpec::new(PlacementKind::UndispersedRandom, 3))
+            .algorithm(AlgorithmSpec::new("faster_gathering"))
+            .faults([FaultPlan::new(2).crash(3, 2)])
+            .max_rounds(50_000)
+            .cache(store.clone(), CachePolicy::ReadWrite);
+        let first = sweep.run_default();
+        assert_eq!(first.stats.simulated, 1);
+        let second = sweep.run_default();
+        assert_eq!(second.stats.cache_hits, 1, "{:?}", second.stats);
+        assert_eq!(first.rows, second.rows);
+        assert_eq!(
+            serde_json::to_string(&first.rows[0]).unwrap(),
+            serde_json::to_string(&second.rows[0]).unwrap()
+        );
+        assert!(second.rows[0].degradation.is_some());
     }
 
     #[test]

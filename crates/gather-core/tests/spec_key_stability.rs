@@ -12,6 +12,7 @@ use gather_core::scenario::{AlgorithmSpec, GraphSpec, LabelSpec, PlacementSpec, 
 use gather_core::GatherConfig;
 use gather_graph::generators::Family;
 use gather_sim::placement::PlacementKind;
+use gather_sim::FaultPlan;
 
 #[test]
 fn the_version_tags_are_pinned() {
@@ -52,4 +53,37 @@ fn spec_key_is_pinned_across_releases() {
         spec_key(&exotic),
         "v1e1-8ea407612061368710785dfd3881c96d7f5889b5ba042b207a090b8d3b948fcf"
     );
+}
+
+#[test]
+fn fault_free_specs_keep_their_pre_fault_canonical_form_and_keys() {
+    // The fault layer rode in on a missing-field default: a spec with no
+    // faults must serialize to the exact canonical JSON it had before the
+    // `faults` field existed, so every persisted cache entry written by a
+    // pre-fault build keeps being found. `faults` must not even appear.
+    let spec = ScenarioSpec::new(
+        GraphSpec::new(Family::Cycle, 8),
+        PlacementSpec::new(PlacementKind::UndispersedRandom, 3),
+        AlgorithmSpec::new("faster_gathering"),
+    )
+    .with_seed(7);
+    assert!(spec.faults.is_empty());
+    let json = spec.to_json();
+    assert!(!json.contains("faults"), "{json}");
+    // …and pre-fault JSON (no `faults` key) still deserializes, to the
+    // same spec and the same pinned key as above.
+    let reparsed = ScenarioSpec::from_json(&json).expect("pre-fault JSON parses");
+    assert_eq!(reparsed, spec);
+    assert_eq!(
+        spec_key(&reparsed),
+        "v1e1-7e2bb39be24a30e02084f276b9d92a2a39b1310215427fa897f627d03d0c9c4a"
+    );
+
+    // A faulty plan is part of the addressed content: same axes, different
+    // plan, different key — crash results can never shadow fault-free ones.
+    let faulty = spec.clone().with_faults(FaultPlan::new(5).crash(3, 2));
+    assert!(faulty.to_json().contains("\"faults\""));
+    assert_ne!(spec_key(&faulty), spec_key(&spec));
+    let other_plan = spec.clone().with_faults(FaultPlan::new(6).crash(3, 2));
+    assert_ne!(spec_key(&other_plan), spec_key(&faulty));
 }

@@ -5,13 +5,16 @@
 //!              [--cache-dir results/cache | --no-cache]
 //!              [--policy readwrite|readonly|off]
 //!              [--artifact-cap N]
+//!              [--idle-timeout-secs N]
 //!              [--port-file PATH]
 //! ```
 //!
 //! Binds, prints (and optionally writes to `--port-file`) the actual
 //! listening address — `--addr 127.0.0.1:0` picks an ephemeral port, which
 //! is how CI and tests avoid port collisions — then serves until a client
-//! sends `Shutdown`. The cache directory is shared with local sweeps: runs
+//! sends `Shutdown`. Connections idle past `--idle-timeout-secs`
+//! (default 300; `0` disables) are reaped so abandoned clients cannot pin
+//! handler threads and file descriptors forever. The cache directory is shared with local sweeps: runs
 //! cached by `cargo run --bin cache_probe` (or any `Sweep::cache` user
 //! pointed at the same directory) are served without simulating, and
 //! vice versa.
@@ -27,7 +30,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: gather-serve [--addr HOST:PORT] [--workers N] \
          [--cache-dir DIR | --no-cache] [--policy readwrite|readonly|off] \
-         [--artifact-cap N] [--port-file PATH]"
+         [--artifact-cap N] [--idle-timeout-secs N] [--port-file PATH]"
     );
     exit(2);
 }
@@ -38,6 +41,7 @@ fn main() {
     let mut cache_dir = Some("results/cache".to_string());
     let mut policy = CachePolicy::ReadWrite;
     let mut artifact_cap = ArtifactCache::DEFAULT_CAP;
+    let mut idle_timeout_secs: u64 = 300;
     let mut port_file: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -75,6 +79,12 @@ fn main() {
                     usage()
                 })
             }
+            "--idle-timeout-secs" => {
+                idle_timeout_secs = value("--idle-timeout-secs").parse().unwrap_or_else(|_| {
+                    eprintln!("gather-serve: --idle-timeout-secs expects an integer (0 disables)");
+                    usage()
+                })
+            }
             "--port-file" => port_file = Some(value("--port-file")),
             "--help" | "-h" => usage(),
             other => {
@@ -92,12 +102,15 @@ fn main() {
         (Some(dir), policy) => format!("cache {dir} ({policy:?})"),
     };
 
+    let idle_timeout =
+        (idle_timeout_secs > 0).then(|| std::time::Duration::from_secs(idle_timeout_secs));
     let server = match Server::bind(ServerConfig {
         addr: addr.clone(),
         workers,
         store,
         policy,
         artifact_cap,
+        idle_timeout,
     }) {
         Ok(server) => server,
         Err(e) => {

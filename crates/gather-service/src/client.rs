@@ -14,6 +14,89 @@ use gather_core::sweep::{SweepReport, SweepRow, SweepSpec, SweepStats};
 use std::fmt;
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// SplitMix64 finalizer: the workspace-standard way to derive independent
+/// pseudo-random values from a seed (here: deterministic backoff jitter).
+fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Robustness knobs for [`Client::connect_with_config`] and
+/// [`Client::run_sweep_with_retry`]: per-attempt timeouts plus a bounded
+/// exponential-backoff-with-jitter retry policy.
+///
+/// The jitter is *deterministic* — derived from `jitter_seed` and the
+/// attempt number with the same SplitMix64 finalizer the rest of the
+/// workspace uses — so a retry schedule is reproducible and unit-testable
+/// without sleeping (see [`ClientConfig::backoff_schedule`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Per-attempt TCP connect timeout (`None`: the OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout applied to the connection (`None`: block
+    /// forever). Reads that time out surface as [`ClientError::Io`] with
+    /// kind `WouldBlock`/`TimedOut` — set this generously above the longest
+    /// expected cell, since it also ticks while streaming rows.
+    pub read_timeout: Option<Duration>,
+    /// Total connect attempts (at least 1).
+    pub connect_attempts: u32,
+    /// Total submission attempts for [`Client::run_sweep_with_retry`] (at
+    /// least 1); each failed attempt reconnects from scratch.
+    pub submit_attempts: u32,
+    /// First retry delay; attempt `i` waits `base * 2^(i-1)` (plus jitter).
+    pub backoff_base: Duration,
+    /// Ceiling on the exponential part of any single delay.
+    pub backoff_cap: Duration,
+    /// Seed of the deterministic jitter (up to one `backoff_base` extra per
+    /// delay, de-synchronizing clients that fail in lockstep).
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: None,
+            connect_attempts: 5,
+            submit_attempts: 3,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            jitter_seed: 0x6a17_7e55,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// The delay before retry attempt `attempt` (1-based: the wait between
+    /// the `attempt`-th failure and the next try): `base * 2^(attempt-1)`,
+    /// capped at [`ClientConfig::backoff_cap`], plus deterministic jitter
+    /// in `[0, base]`. Pure — equal configs and attempts give equal delays.
+    pub fn backoff_delay(&self, attempt: u32) -> Duration {
+        let base = self.backoff_base.as_millis().min(u128::from(u64::MAX)) as u64;
+        let cap = self.backoff_cap.as_millis().min(u128::from(u64::MAX)) as u64;
+        let shift = attempt.saturating_sub(1).min(63);
+        let exp = base.saturating_mul(1u64.checked_shl(shift).unwrap_or(u64::MAX));
+        let jitter = if base == 0 {
+            0
+        } else {
+            mix(self.jitter_seed, u64::from(attempt)) % (base + 1)
+        };
+        Duration::from_millis(exp.min(cap).saturating_add(jitter))
+    }
+
+    /// Every delay a full round of `connect_attempts` would sleep, in order
+    /// (empty for a single-attempt config). Purely computed — tests assert
+    /// on this without ever sleeping.
+    pub fn backoff_schedule(&self) -> Vec<Duration> {
+        (1..self.connect_attempts.max(1))
+            .map(|attempt| self.backoff_delay(attempt))
+            .collect()
+    }
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -77,11 +160,127 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a daemon.
+    /// Connects to a daemon (no timeouts, no retries — the bare transport;
+    /// see [`Client::connect_with_config`] for the hardened path).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let writer = TcpStream::connect(addr)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client { reader, writer })
+    }
+
+    /// Connects with per-attempt timeouts and bounded
+    /// exponential-backoff-with-jitter retries, per `config`. The returned
+    /// connection carries `config.read_timeout`.
+    pub fn connect_with_config(
+        addr: impl ToSocketAddrs,
+        config: &ClientConfig,
+    ) -> io::Result<Client> {
+        Self::connect_with_sleeper(&addr, config, &mut std::thread::sleep)
+    }
+
+    /// [`Client::connect_with_config`] with an injectable sleeper, so tests
+    /// exercise the whole retry loop without real delays.
+    fn connect_with_sleeper(
+        addr: &impl ToSocketAddrs,
+        config: &ClientConfig,
+        sleep: &mut impl FnMut(Duration),
+    ) -> io::Result<Client> {
+        let attempts = config.connect_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                sleep(config.backoff_delay(attempt));
+            }
+            match Self::connect_once(addr, config) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one connect attempt ran"))
+    }
+
+    /// One connect attempt under `config`'s timeouts.
+    fn connect_once(addr: &impl ToSocketAddrs, config: &ClientConfig) -> io::Result<Client> {
+        let writer = match config.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(timeout) => {
+                let mut last_err = None;
+                let mut stream = None;
+                for socket_addr in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&socket_addr, timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                stream.ok_or_else(|| {
+                    last_err.unwrap_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            "address resolved to no socket addresses",
+                        )
+                    })
+                })?
+            }
+        };
+        writer.set_read_timeout(config.read_timeout)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Submits `sweep` with up to `config.submit_attempts` full
+    /// (reconnect + resubmit) attempts, backing off between them.
+    ///
+    /// Resubmission is *idempotent* by construction: a spec is a pure
+    /// function of its fields and rows are content-addressed by
+    /// [`gather_core::cache::spec_key`], so a retried grid re-serves
+    /// already-computed cells from the daemon's store (when one is
+    /// configured) and recomputes the rest to byte-identical rows — a
+    /// daemon restart between attempts changes nothing but the stats.
+    ///
+    /// Transport failures, torn frames and mid-stream disconnects retry;
+    /// a structured daemon answer ([`ClientError::Remote`], e.g. a
+    /// cancelled job or an over-limit grid) fails fast, since the daemon
+    /// just told us retrying verbatim cannot help.
+    pub fn run_sweep_with_retry(
+        addr: impl ToSocketAddrs,
+        config: &ClientConfig,
+        sweep: &SweepSpec,
+        workers: Option<usize>,
+    ) -> Result<SweepReport, ClientError> {
+        Self::run_sweep_with_retry_sleeper(&addr, config, sweep, workers, &mut std::thread::sleep)
+    }
+
+    /// [`Client::run_sweep_with_retry`] with an injectable sleeper (tests).
+    fn run_sweep_with_retry_sleeper(
+        addr: &impl ToSocketAddrs,
+        config: &ClientConfig,
+        sweep: &SweepSpec,
+        workers: Option<usize>,
+        sleep: &mut impl FnMut(Duration),
+    ) -> Result<SweepReport, ClientError> {
+        let attempts = config.submit_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                sleep(config.backoff_delay(attempt));
+            }
+            let mut client = match Self::connect_with_sleeper(addr, config, sleep) {
+                Ok(client) => client,
+                Err(e) => {
+                    last_err = Some(ClientError::Io(e));
+                    continue;
+                }
+            };
+            match client.run_sweep(sweep, workers) {
+                Ok(report) => return Ok(report),
+                Err(e @ ClientError::Remote { .. }) => return Err(e),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one submit attempt ran"))
     }
 
     fn send(&mut self, request: &Request) -> Result<(), ClientError> {
@@ -329,5 +528,100 @@ impl Drop for RowStream<'_> {
                 Err(_) => break,
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_bounded_and_needs_no_sleeping() {
+        let config = ClientConfig::default();
+        let schedule = config.backoff_schedule();
+        assert_eq!(schedule.len(), config.connect_attempts as usize - 1);
+        // Deterministic: same config, same schedule.
+        assert_eq!(schedule, config.backoff_schedule());
+        // Each delay is the capped exponential plus at most one base of
+        // jitter.
+        for (i, delay) in schedule.iter().enumerate() {
+            let attempt = i as u32 + 1;
+            let exp = config
+                .backoff_base
+                .saturating_mul(1 << attempt.saturating_sub(1))
+                .min(config.backoff_cap);
+            assert!(*delay >= exp, "attempt {attempt}: {delay:?} < {exp:?}");
+            assert!(
+                *delay <= exp + config.backoff_base,
+                "attempt {attempt}: jitter over one base: {delay:?}"
+            );
+        }
+        // A different jitter seed de-synchronizes the schedule.
+        let other = ClientConfig {
+            jitter_seed: config.jitter_seed + 1,
+            ..config.clone()
+        };
+        assert_ne!(schedule, other.backoff_schedule());
+    }
+
+    #[test]
+    fn backoff_exponential_part_caps_and_survives_extreme_attempts() {
+        let config = ClientConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(160),
+            ..ClientConfig::default()
+        };
+        // 10, 20, 40, 80, 160, 160, ... (+ jitter <= 10 each).
+        let d7 = config.backoff_delay(7);
+        assert!(d7 <= Duration::from_millis(170), "{d7:?}");
+        // No overflow panic on absurd attempt numbers.
+        let extreme = config.backoff_delay(u32::MAX);
+        assert!(extreme <= Duration::from_millis(170), "{extreme:?}");
+    }
+
+    #[test]
+    fn connect_retries_follow_the_schedule_without_real_sleeping() {
+        // A port with nobody listening: bind, learn the port, drop the
+        // listener. Connects are then refused immediately.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let config = ClientConfig {
+            connect_attempts: 4,
+            // Keep the injected sleeper the only waiting in this test.
+            connect_timeout: Some(Duration::from_millis(250)),
+            ..ClientConfig::default()
+        };
+        let mut slept = Vec::new();
+        let result = Client::connect_with_sleeper(&addr, &config, &mut |d| slept.push(d));
+        assert!(result.is_err(), "nobody is listening");
+        // One recorded (not actually slept) delay between each of the 4
+        // attempts, exactly the published schedule.
+        assert_eq!(slept, config.backoff_schedule());
+    }
+
+    #[test]
+    fn submit_retry_reports_the_last_transport_error() {
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let config = ClientConfig {
+            connect_attempts: 1,
+            submit_attempts: 3,
+            connect_timeout: Some(Duration::from_millis(250)),
+            ..ClientConfig::default()
+        };
+        let sweep = gather_core::sweep::Sweep::new().to_spec();
+        let mut sleeps = 0usize;
+        let result =
+            Client::run_sweep_with_retry_sleeper(&addr, &config, &sweep, None, &mut |_| {
+                sleeps += 1
+            });
+        assert!(matches!(result, Err(ClientError::Io(_))));
+        // Two inter-submit delays for three attempts (connects don't retry
+        // here: connect_attempts = 1).
+        assert_eq!(sleeps, 2);
     }
 }

@@ -81,7 +81,7 @@ pub mod protocol;
 pub mod scheduler;
 pub mod server;
 
-pub use client::{Client, ClientError, RowStream};
+pub use client::{Client, ClientConfig, ClientError, RowStream};
 pub use protocol::{Request, Response, MAX_FRAME_BYTES, PROTOCOL_VERSION};
 pub use scheduler::{JobEvent, Scheduler};
 pub use server::{Server, ServerConfig};

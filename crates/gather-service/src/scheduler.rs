@@ -522,6 +522,7 @@ fn panic_row(spec: &ScenarioSpec, why: &str) -> SweepRow {
         peak_memory_bits: 0,
         detected_ok: false,
         error: Some(format!("cell panicked: {why}")),
+        degradation: None,
     }
 }
 

@@ -29,6 +29,7 @@ use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 /// Everything a daemon needs to start.
 pub struct ServerConfig {
@@ -46,6 +47,13 @@ pub struct ServerConfig {
     /// Occupancy and hit/build counters are reported by the `Status`
     /// response, so the bound is observable from the wire.
     pub artifact_cap: usize,
+    /// Per-connection read timeout: a connection that sends no request for
+    /// this long is reaped (its handler thread and file descriptor are
+    /// released; any in-flight job of that connection is cancelled like any
+    /// other disconnect). `None` lets idle connections linger forever. The
+    /// clock also ticks while a slow client trickles a single frame, so
+    /// keep it well above one frame's worth of patience.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +64,7 @@ impl Default for ServerConfig {
             store: None,
             policy: CachePolicy::Off,
             artifact_cap: ArtifactCache::DEFAULT_CAP,
+            idle_timeout: Some(Duration::from_secs(300)),
         }
     }
 }
@@ -65,6 +74,7 @@ pub struct Server {
     listener: TcpListener,
     scheduler: Arc<Scheduler>,
     shutdown: Arc<AtomicBool>,
+    idle_timeout: Option<Duration>,
 }
 
 impl Server {
@@ -81,6 +91,7 @@ impl Server {
             listener,
             scheduler,
             shutdown: Arc::new(AtomicBool::new(false)),
+            idle_timeout: config.idle_timeout,
         })
     }
 
@@ -111,10 +122,11 @@ impl Server {
             };
             let scheduler = Arc::clone(&self.scheduler);
             let shutdown = Arc::clone(&self.shutdown);
+            let idle_timeout = self.idle_timeout;
             thread::Builder::new()
                 .name("gather-conn".to_string())
                 .spawn(move || {
-                    let _ = handle_connection(stream, &scheduler, &shutdown, addr);
+                    let _ = handle_connection(stream, &scheduler, &shutdown, addr, idle_timeout);
                 })
                 .expect("spawn connection thread");
         }
@@ -123,19 +135,34 @@ impl Server {
     }
 }
 
-/// Serves one connection until EOF, transport failure or daemon shutdown.
+/// Serves one connection until EOF, transport failure, idle timeout or
+/// daemon shutdown.
 fn handle_connection(
     stream: TcpStream,
     scheduler: &Scheduler,
     shutdown: &AtomicBool,
     daemon_addr: SocketAddr,
+    idle_timeout: Option<Duration>,
 ) -> io::Result<()> {
+    // The kernel-level read timeout is the reaper: a connection that sends
+    // nothing for `idle_timeout` wakes the blocked `read_frame` with
+    // `WouldBlock`/`TimedOut` below and the handler (thread + fd) exits.
+    stream.set_read_timeout(idle_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
         let request = match read_frame::<Request>(&mut reader) {
             Ok(Some(req)) => req,
             Ok(None) => return Ok(()), // clean EOF between frames
+            // The idle timer fired: reap the connection quietly.
+            Err(FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(());
+            }
             Err(FrameError::Io(e)) => return Err(e),
             // The line was consumed, so the stream is still in sync: answer
             // with a structured error and keep serving.

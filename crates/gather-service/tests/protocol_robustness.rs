@@ -173,6 +173,56 @@ fn shutdown_during_an_active_stream_cancels_it_instead_of_hanging() {
 }
 
 #[test]
+fn idle_connections_are_reaped_while_fresh_ones_keep_being_served() {
+    // A deliberately twitchy idle timeout so the test stays fast; the
+    // default is five minutes.
+    let server = Server::bind(ServerConfig {
+        workers: 2,
+        store: None,
+        policy: CachePolicy::Off,
+        idle_timeout: Some(std::time::Duration::from_millis(100)),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = std::thread::spawn(move || server.run());
+
+    // A prompt request on a new connection is served fine.
+    let stream = TcpStream::connect(addr).expect("connect raw");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    write_frame(&mut writer, &Request::Status { job: None }).expect("write status");
+    match read_frame::<Response>(&mut reader)
+        .expect("read")
+        .expect("frame")
+    {
+        Response::Progress { .. } => {}
+        other => panic!("expected Progress, got {other:?}"),
+    }
+
+    // Then the connection goes quiet past the timeout: the daemon reaps it
+    // (handler thread and fd released). From this side that shows up as a
+    // failed write (RST) or an EOF/error on the next read — anything but a
+    // served response.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    if write_frame(&mut writer, &Request::Status { job: None }).is_ok() {
+        let reaped = read_frame::<Response>(&mut reader);
+        assert!(
+            !matches!(reaped, Ok(Some(_))),
+            "an idle-reaped connection must not come back to life: {reaped:?}"
+        );
+    }
+
+    // Reaping one idler never touches the listener: fresh connections are
+    // served as if nothing happened.
+    let mut client = Client::connect(addr).expect("fresh connection after reap");
+    let (_, _, cancelled) = client.status(None).expect("daemon still answers");
+    assert!(!cancelled);
+
+    stop_daemon(addr, handle);
+}
+
+#[test]
 fn mid_stream_disconnect_cancels_the_job_and_daemon_survives() {
     let (addr, handle) = spawn_daemon();
 

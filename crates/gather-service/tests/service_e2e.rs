@@ -206,6 +206,84 @@ fn artifact_cache_is_shared_across_worker_counts_and_reported_by_status() {
     stop_daemon(addr, handle);
 }
 
+/// The same faulty grid — a fault-free plan, a crash plan and a Byzantine
+/// plan per cell axis — through all three executors: plain `Sweep::run`,
+/// the cache-backed run, and the daemon. Rows must be byte-identical on
+/// every path, with degradation metrics populated on exactly the faulty
+/// cells.
+#[test]
+fn fault_sweep_rows_are_identical_across_local_cached_and_daemon_paths() {
+    use gather_sim::{ByzantineStrategy, FaultPlan};
+    let sweep = Sweep::new()
+        .graph(GraphSpec::new(Family::Cycle, 6))
+        .placement(PlacementSpec::new(PlacementKind::UndispersedRandom, 3))
+        .algorithms([
+            AlgorithmSpec::new("faster_gathering"),
+            AlgorithmSpec::new("uxs_gathering"),
+            AlgorithmSpec::new("undispersed_gathering"),
+            AlgorithmSpec::new("expanding_baseline"),
+        ])
+        .seeds([1])
+        .faults([
+            FaultPlan::default(),
+            FaultPlan::new(5).crash(3, 2),
+            FaultPlan::new(9).byzantine(2, ByzantineStrategy::ReplayLast),
+        ])
+        .max_rounds(50_000)
+        .to_spec();
+
+    // Path 1: plain local run, no cache anywhere.
+    let local = sweep.clone().into_sweep().run_default();
+    let local_rows_json = serde_json::to_string(&local.rows).unwrap();
+
+    // Path 2: the cache-backed executor, twice — the replay must be 100%
+    // hits and still byte-identical.
+    let store = Arc::new(MemStore::new());
+    let cached_sweep = sweep
+        .clone()
+        .into_sweep()
+        .cache(store.clone(), CachePolicy::ReadWrite);
+    let cached = cached_sweep.run_default();
+    assert_eq!(
+        serde_json::to_string(&cached.rows).unwrap(),
+        local_rows_json
+    );
+    let replayed = cached_sweep.run_default();
+    assert_eq!(replayed.stats.cache_hits, replayed.stats.cells);
+    assert_eq!(
+        serde_json::to_string(&replayed.rows).unwrap(),
+        local_rows_json
+    );
+
+    // Path 3: the daemon, with its own independent store.
+    let (addr, handle) = spawn_daemon(ServerConfig {
+        workers: 3,
+        store: Some(Arc::new(MemStore::new())),
+        policy: CachePolicy::ReadWrite,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let remote = client.run_sweep(&sweep, None).expect("remote fault sweep");
+    assert_eq!(
+        serde_json::to_string(&remote.rows).unwrap(),
+        local_rows_json,
+        "daemon-streamed fault rows must match the local run byte-for-byte"
+    );
+    stop_daemon(addr, handle);
+
+    // Degradation metrics travel the wire on exactly the faulty cells.
+    assert_eq!(remote.rows.len(), 12);
+    for (spec, row) in remote.specs.iter().zip(&remote.rows) {
+        assert!(row.error.is_none(), "{:?}", row.error);
+        if spec.faults.is_empty() {
+            assert!(row.degradation.is_none(), "{row:?}");
+        } else {
+            let d = row.degradation.as_ref().expect("faulty cell degradation");
+            assert_eq!(d.crash_faulted + d.byzantine, 1, "{d:?}");
+        }
+    }
+}
+
 #[test]
 fn dir_store_cache_survives_a_daemon_restart() {
     let dir = temp_cache_dir("restart");

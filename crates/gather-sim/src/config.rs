@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::faults::FaultPlan;
 use crate::scheduler::Scheduler;
 use serde::{Deserialize, Serialize};
 
@@ -32,6 +33,13 @@ pub struct SimConfig {
     /// serialized configs deserializes as `FullySync` (see the hand-written
     /// `Deserialize` on [`Scheduler`]).
     pub scheduler: Scheduler,
+    /// Crash/Byzantine faults injected into the run. The default is the
+    /// empty (fault-free) plan; a missing field in older serialized configs
+    /// deserializes as fault-free (see the hand-written `Deserialize` on
+    /// [`FaultPlan`]). With crash faults present the run stops when all
+    /// *survivors* have terminated (crashed robots never terminate) and the
+    /// outcome carries [`crate::metrics::Degradation`] metrics.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -43,6 +51,7 @@ impl Default for SimConfig {
             stop_at_first_gathering: false,
             stop_at_first_contact: false,
             scheduler: Scheduler::default(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -79,6 +88,12 @@ impl SimConfig {
         self.scheduler = scheduler;
         self
     }
+
+    /// Injects the given fault plan into the run.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +123,17 @@ mod tests {
                 .until_first_contact()
                 .stop_at_first_contact
         );
+    }
+
+    #[test]
+    fn faults_default_empty_and_missing_field_deserializes_fault_free() {
+        assert!(SimConfig::default().faults.is_empty());
+        let c = SimConfig::with_max_rounds(5).with_faults(FaultPlan::new(1).crash(0, 2));
+        assert!(!c.faults.is_empty());
+        // Configs serialized before fault injection existed lack the key.
+        let json = r#"{"max_rounds":10,"record_trace":false,"stop_when_all_terminated":true,"stop_at_first_gathering":false,"stop_at_first_contact":false,"scheduler":"FullySync"}"#;
+        let old: SimConfig = serde_json::from_str(json).unwrap();
+        assert!(old.faults.is_empty());
+        assert_eq!(old.max_rounds, 10);
     }
 }

@@ -19,7 +19,8 @@
 //!   end.
 
 use crate::config::SimConfig;
-use crate::metrics::{Metrics, MetricsRecorder};
+use crate::faults::{ByzantineStrategy, EngineFaults};
+use crate::metrics::{Degradation, Metrics, MetricsRecorder};
 use crate::robot::{Action, Inbox, Observation, Robot, RobotId};
 use crate::scheduler::{alive_mask, Activation, Scheduler};
 use crate::trace::Trace;
@@ -194,6 +195,13 @@ pub struct StepBuffers<R: Robot> {
     arena_owner: Vec<u32>,
     observations: Vec<Observation>,
     actions: Vec<Action>,
+    // Per-robot previous announcement, kept only for robots with a
+    // `ByzantineStrategy::ReplayLast` fault (lazily sized on first use, so
+    // fault-free runs never touch it). This is deliberate *cross-round*
+    // buffer state: replay makes the step a function of the buffer history,
+    // which is why the model checker only accepts crash plans (see
+    // [`transition_faulty`]).
+    last_msgs: Vec<Option<<R as Robot>::Msg>>,
 }
 
 impl<R: Robot> StepBuffers<R> {
@@ -233,6 +241,7 @@ impl<R: Robot> StepBuffers<R> {
             },
             observations: vec![dummy_obs; k],
             actions: vec![Action::Stay; k],
+            last_msgs: Vec::new(),
         }
     }
 
@@ -306,16 +315,34 @@ impl<R: Robot> StepBuffers<R> {
         state: &mut SimState<R>,
         activation: Activation,
     ) -> bool {
-        self.finish_round_metered(graph, state, activation, None)
+        self.finish_round_metered(graph, state, activation, None, None)
     }
 
-    /// [`StepBuffers::finish_round`] with the engine's metrics recorder
-    /// attached (crate-internal: the recorder type is not public API).
+    /// [`StepBuffers::finish_round`] with a resolved fault table applied:
+    /// robots crashed by this round freeze (exactly like non-activated
+    /// robots — they occupy their bucket and are seen, but neither announce
+    /// nor act), and Byzantine robots have their outbound announcements
+    /// rewritten per their strategy. Same calling contract as
+    /// [`StepBuffers::finish_round`].
+    pub fn finish_round_faulty(
+        &mut self,
+        graph: &PortGraph,
+        state: &mut SimState<R>,
+        activation: Activation,
+        faults: &EngineFaults,
+    ) -> bool {
+        self.finish_round_metered(graph, state, activation, Some(faults), None)
+    }
+
+    /// [`StepBuffers::finish_round`] with optional faults and the engine's
+    /// metrics recorder attached (crate-internal: the recorder type is not
+    /// public API).
     pub(crate) fn finish_round_metered(
         &mut self,
         graph: &PortGraph,
         state: &mut SimState<R>,
         activation: Activation,
+        faults: Option<&EngineFaults>,
         mut metrics: Option<&mut MetricsRecorder>,
     ) -> bool {
         let k = state.k();
@@ -343,18 +370,27 @@ impl<R: Robot> StepBuffers<R> {
                     colocated,
                 };
                 self.observations[i] = obs;
-                if state.terminated[i] || !activation.is_active(i) {
+                let crashed = faults.is_some_and(|f| f.is_crashed(i, round));
+                if state.terminated[i] || crashed || !activation.is_active(i) {
                     self.arena_pos[i] = u32::MAX;
                 } else {
-                    self.arena_pos[i] = self.arena.len() as u32;
-                    let msg = if R::REUSES_MSG_STORAGE {
-                        self.arena_owner.push(i as u32);
-                        let prev = self.msg_slots[i].take();
-                        state.robots[i].announce_reuse(&obs, prev)
-                    } else {
-                        state.robots[i].announce(&obs)
-                    };
-                    self.arena.push((state.ids[i], msg));
+                    match faults.and_then(|f| f.strategy(i)) {
+                        None => {
+                            self.arena_pos[i] = self.arena.len() as u32;
+                            let msg = if R::REUSES_MSG_STORAGE {
+                                self.arena_owner.push(i as u32);
+                                let prev = self.msg_slots[i].take();
+                                state.robots[i].announce_reuse(&obs, prev)
+                            } else {
+                                state.robots[i].announce(&obs)
+                            };
+                            self.arena.push((state.ids[i], msg));
+                        }
+                        Some(strategy) => {
+                            let f = faults.expect("a strategy implies faults");
+                            self.announce_byzantine(state, i, &obs, strategy, f);
+                        }
+                    }
                 }
             }
             self.slot_msgs.push((msg_start, self.arena.len() as u32));
@@ -362,18 +398,32 @@ impl<R: Robot> StepBuffers<R> {
 
         // --- Phase B: decisions ---------------------------------------
         for i in 0..k {
-            if state.terminated[i] || !activation.is_active(i) {
+            let crashed = faults.is_some_and(|f| f.is_crashed(i, round));
+            if state.terminated[i] || crashed || !activation.is_active(i) {
                 self.actions[i] = Action::Stay;
+                // A scheduler activation spent on a crashed robot is wasted
+                // effort — a degradation signal worth counting.
+                if crashed && !state.terminated[i] && activation.is_active(i) {
+                    if let Some(m) = metrics.as_deref_mut() {
+                        m.wasted_activations += 1;
+                    }
+                }
                 continue;
             }
             // Inbox: this node's arena bucket (announcements of
             // co-located, activated, non-terminated robots, sorted by
-            // id), minus the robot's own entry.
+            // id), minus the robot's own entry. A `Silent` Byzantine robot
+            // has no own entry (`arena_pos` stays MAX) but still decides.
             let (ms, me) = self.slot_msgs[self.robot_slot[i] as usize];
             let entries = &self.arena[ms as usize..me as usize];
-            let skip = (self.arena_pos[i] - ms) as usize;
+            let skip = if self.arena_pos[i] == u32::MAX {
+                usize::MAX
+            } else {
+                (self.arena_pos[i] - ms) as usize
+            };
             if let Some(m) = metrics.as_deref_mut() {
-                m.messages_delivered += entries.len() as u64 - 1;
+                m.messages_delivered +=
+                    entries.len() as u64 - u64::from(self.arena_pos[i] != u32::MAX);
             }
             self.actions[i] =
                 state.robots[i].decide(&self.observations[i], Inbox::typed(entries, skip));
@@ -409,12 +459,95 @@ impl<R: Robot> StepBuffers<R> {
                     // lower-index robots this round are already visible.
                     if !state.positions.iter().all(|&p| p == state.positions[0]) {
                         false_detection = true;
+                        if let Some(m) = metrics.as_deref_mut() {
+                            m.false_detections += 1;
+                        }
                     }
                 }
             }
         }
         state.round = round + 1;
         false_detection
+    }
+
+    /// Publishes robot `i`'s announcement for this round under Byzantine
+    /// control. The robot's *real* `announce` always runs (its state machine
+    /// advances exactly as in an honest round — the adversary owns the
+    /// channel, not the robot's brain); what reaches the arena depends on
+    /// the strategy. Every arena push mirrors the honest path's
+    /// `arena_owner` bookkeeping so payload recycling stays aligned.
+    fn announce_byzantine(
+        &mut self,
+        state: &mut SimState<R>,
+        i: usize,
+        obs: &Observation,
+        strategy: ByzantineStrategy,
+        faults: &EngineFaults,
+    ) {
+        match strategy {
+            ByzantineStrategy::Silent => {
+                // Suppress the message: peers see the robot (it occupies
+                // its bucket) but never hear it.
+                self.arena_pos[i] = u32::MAX;
+                if R::REUSES_MSG_STORAGE {
+                    let prev = self.msg_slots[i].take();
+                    let msg = state.robots[i].announce_reuse(obs, prev);
+                    // No arena entry to drain back next round, so return
+                    // the payload to the robot's slot directly.
+                    self.msg_slots[i] = Some(msg);
+                } else {
+                    let _ = state.robots[i].announce(obs);
+                }
+            }
+            ByzantineStrategy::RandomMsg => {
+                // Announce from a seeded-garbage observation: peers get a
+                // well-formed message carrying adversarial content.
+                let fake = faults.scramble_observation(i, obs);
+                self.arena_pos[i] = self.arena.len() as u32;
+                let msg = if R::REUSES_MSG_STORAGE {
+                    self.arena_owner.push(i as u32);
+                    let prev = self.msg_slots[i].take();
+                    state.robots[i].announce_reuse(&fake, prev)
+                } else {
+                    state.robots[i].announce(&fake)
+                };
+                self.arena.push((state.ids[i], msg));
+            }
+            ByzantineStrategy::ReplayLast => {
+                // Publish last round's announcement; stash the current one
+                // for next round. The first announcement has no
+                // predecessor and goes out as-is.
+                self.arena_pos[i] = self.arena.len() as u32;
+                let msg = if R::REUSES_MSG_STORAGE {
+                    self.arena_owner.push(i as u32);
+                    let prev = self.msg_slots[i].take();
+                    state.robots[i].announce_reuse(obs, prev)
+                } else {
+                    state.robots[i].announce(obs)
+                };
+                if self.last_msgs.is_empty() {
+                    self.last_msgs.resize_with(state.k(), || None);
+                }
+                let replay = self.last_msgs[i].take().unwrap_or_else(|| msg.clone());
+                self.last_msgs[i] = Some(msg);
+                self.arena.push((state.ids[i], replay));
+            }
+            ByzantineStrategy::Impersonate => {
+                // Publish the real message under a seeded other robot's
+                // label, breaking the sender-identity (and id-sorted,
+                // no-duplicate inbox) assumptions peers may rely on.
+                let forged = faults.impersonated_id(i, obs.round, &state.ids);
+                self.arena_pos[i] = self.arena.len() as u32;
+                let msg = if R::REUSES_MSG_STORAGE {
+                    self.arena_owner.push(i as u32);
+                    let prev = self.msg_slots[i].take();
+                    state.robots[i].announce_reuse(obs, prev)
+                } else {
+                    state.robots[i].announce(obs)
+                };
+                self.arena.push((forged, msg));
+            }
+        }
     }
 }
 
@@ -454,6 +587,41 @@ pub fn transition_with<R: Robot + Clone>(
     next
 }
 
+/// [`transition`] under a resolved fault table (see
+/// [`StepBuffers::finish_round_faulty`]).
+///
+/// **Purity caveat:** crash faults keep the step pure — whether a robot is
+/// crashed is a function of `state.round`, which `SimState`'s `Hash` covers.
+/// A [`ByzantineStrategy::ReplayLast`] fault, however, stores the previous
+/// announcement *in the buffers*, making successive steps depend on buffer
+/// history that no `SimState` field reflects; exhaustive explorers must
+/// therefore restrict themselves to crash-only plans (the model checker
+/// rejects Byzantine plans for exactly this reason).
+pub fn transition_faulty<R: Robot + Clone>(
+    graph: &PortGraph,
+    state: &SimState<R>,
+    activation: Activation,
+    faults: &EngineFaults,
+) -> SimState<R> {
+    let mut bufs = StepBuffers::new(graph.n(), state);
+    transition_faulty_with(graph, state, activation, faults, &mut bufs)
+}
+
+/// [`transition_faulty`] with caller-provided buffers (the faulty analogue
+/// of [`transition_with`]; the same purity caveat applies).
+pub fn transition_faulty_with<R: Robot + Clone>(
+    graph: &PortGraph,
+    state: &SimState<R>,
+    activation: Activation,
+    faults: &EngineFaults,
+    bufs: &mut StepBuffers<R>,
+) -> SimState<R> {
+    let mut next = state.clone();
+    bufs.begin_round(&next);
+    bufs.finish_round_faulty(graph, &mut next, activation, faults);
+    next
+}
+
 /// Drives a set of robots implementing the same algorithm over a graph.
 pub struct Simulator<'g> {
     graph: &'g PortGraph,
@@ -488,6 +656,21 @@ impl<'g> Simulator<'g> {
         let mut state = SimState::new(self.graph, robots);
         let ids = state.ids.clone();
 
+        // Resolve the fault plan (if any) against the concrete robot set.
+        // Spec-level callers validate plans and report proper errors before
+        // reaching the engine; by this point an unresolvable plan is a
+        // caller bug, on par with duplicate ids or invalid start nodes.
+        let faults = if self.config.faults.is_empty() {
+            None
+        } else {
+            Some(
+                self.config
+                    .faults
+                    .resolve(&ids)
+                    .unwrap_or_else(|e| panic!("invalid fault plan: {e}")),
+            )
+        };
+
         let mut metrics = MetricsRecorder::new(k);
         let mut trace = if self.config.record_trace {
             Some(Trace::new(ids.clone()))
@@ -497,6 +680,7 @@ impl<'g> Simulator<'g> {
         let mut bufs: StepBuffers<R> = StepBuffers::new(self.graph.n(), &state);
 
         let mut first_gather_round: Option<u64> = None;
+        let mut first_survivor_gather_round: Option<u64> = None;
         let mut first_contact_round: Option<u64> = None;
         let mut termination_round: Option<u64> = None;
         let mut false_detection = false;
@@ -513,6 +697,11 @@ impl<'g> Simulator<'g> {
             if gathered_now && first_gather_round.is_none() {
                 first_gather_round = Some(state.round);
             }
+            if let Some(f) = &faults {
+                if first_survivor_gather_round.is_none() && f.survivors_gathered(&state.positions) {
+                    first_survivor_gather_round = Some(state.round);
+                }
+            }
             let contact_now = if first_contact_round.is_some() {
                 true
             } else if k == 1 || shape.max_bucket >= 2 {
@@ -524,7 +713,13 @@ impl<'g> Simulator<'g> {
             if let Some(t) = trace.as_mut() {
                 t.push(state.positions.clone());
             }
-            if state.all_terminated() {
+            // Crashed robots never terminate, so a faulty run stops when
+            // every *survivor* has (fault-free: all robots, as before).
+            let done_now = match &faults {
+                None => state.all_terminated(),
+                Some(f) => f.survivors_terminated(&state.terminated),
+            };
+            if done_now {
                 break;
             }
             if self.config.stop_at_first_gathering && gathered_now {
@@ -545,10 +740,20 @@ impl<'g> Simulator<'g> {
                 s => s.canonical_activation(alive_mask(&state.terminated), state.round),
             };
             let this_round = state.round;
-            if bufs.finish_round_metered(self.graph, &mut state, activation, Some(&mut metrics)) {
+            if bufs.finish_round_metered(
+                self.graph,
+                &mut state,
+                activation,
+                faults.as_ref(),
+                Some(&mut metrics),
+            ) {
                 false_detection = true;
             }
-            if state.all_terminated() && termination_round.is_none() {
+            let done_after = match &faults {
+                None => state.all_terminated(),
+                Some(f) => f.survivors_terminated(&state.terminated),
+            };
+            if done_after && termination_round.is_none() {
                 termination_round = Some(this_round);
             }
 
@@ -565,6 +770,20 @@ impl<'g> Simulator<'g> {
             metrics.record_memory(i, agent.memory_estimate_bits());
         }
         metrics.rounds = state.round;
+
+        let false_detections = metrics.false_detections;
+        let wasted_activations = metrics.wasted_activations;
+        let mut metrics_out = metrics.finish(&ids);
+        if let Some(f) = &faults {
+            metrics_out.degradation = Some(Degradation {
+                crash_faulted: f.crash_count(),
+                byzantine: f.byzantine_count(),
+                rounds_to_gather_survivors: first_survivor_gather_round,
+                survivors_terminated: f.survivors_terminated(&state.terminated),
+                false_detections,
+                wasted_activations,
+            });
+        }
 
         let gathered = state.gathered();
         let all_terminated = state.all_terminated();
@@ -587,7 +806,7 @@ impl<'g> Simulator<'g> {
             termination_round,
             false_detection,
             timed_out,
-            metrics: metrics.finish(&ids),
+            metrics: metrics_out,
             final_positions,
             trace,
         }
@@ -1077,6 +1296,248 @@ mod tests {
             !next.robots[1].heard_larger,
             "inactive robots must not announce"
         );
+    }
+
+    /// Either walks out of port 0 forever (`terminate_at: None`) or sits
+    /// still and terminates at a fixed round — lets one `run` mix both
+    /// behaviours for the crash tests.
+    struct FaultProbe {
+        id: RobotId,
+        terminate_at: Option<u64>,
+        done: bool,
+    }
+
+    impl Robot for FaultProbe {
+        type Msg = ();
+        fn id(&self) -> RobotId {
+            self.id
+        }
+        fn announce(&mut self, _obs: &Observation) -> Self::Msg {}
+        fn decide(&mut self, obs: &Observation, _inbox: Inbox<'_, ()>) -> Action {
+            match self.terminate_at {
+                Some(t) if obs.round >= t => {
+                    self.done = true;
+                    Action::Terminate
+                }
+                Some(_) => Action::Stay,
+                None => Action::Move(0),
+            }
+        }
+        fn has_terminated(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn crash_fault_freezes_robot_and_run_stops_on_survivors() {
+        use crate::faults::FaultPlan;
+        let g = generators::cycle(5).unwrap();
+        let cfg = SimConfig::with_max_rounds(100).with_faults(FaultPlan::new(0).crash(1, 3));
+        let out = Simulator::new(&g, cfg).run(vec![
+            (
+                FaultProbe {
+                    id: 1,
+                    terminate_at: None,
+                    done: false,
+                },
+                0,
+            ),
+            (
+                FaultProbe {
+                    id: 2,
+                    terminate_at: Some(5),
+                    done: false,
+                },
+                2,
+            ),
+        ]);
+        // The walker freezes from round 3: exactly 3 moves, then nothing.
+        assert_eq!(out.metrics.total_moves, 3);
+        // The run stops when the *survivor* (the sitter) terminates — the
+        // crashed walker never does.
+        assert!(!out.all_terminated);
+        assert!(!out.timed_out);
+        assert_eq!(out.rounds, 6);
+        assert_eq!(out.termination_round, Some(5));
+        let d = out.metrics.degradation.expect("faulty run has degradation");
+        assert_eq!(d.crash_faulted, 1);
+        assert_eq!(d.byzantine, 0);
+        assert!(d.survivors_terminated);
+        // The lone survivor is trivially gathered from round 0.
+        assert_eq!(d.rounds_to_gather_survivors, Some(0));
+        // FullySync activates the crashed walker in rounds 3, 4 and 5.
+        assert_eq!(d.wasted_activations, 3);
+    }
+
+    #[test]
+    fn fault_free_runs_carry_no_degradation() {
+        let g = generators::cycle(5).unwrap();
+        let out = Simulator::new(&g, SimConfig::with_max_rounds(5))
+            .run(vec![(PortZeroWalker { id: 1 }, 0)]);
+        assert_eq!(out.metrics.degradation, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn unresolvable_fault_plan_panics_in_the_engine() {
+        use crate::faults::FaultPlan;
+        let g = generators::path(3).unwrap();
+        let cfg = SimConfig::with_max_rounds(5).with_faults(FaultPlan::new(0).crash(99, 1));
+        let _ = Simulator::new(&g, cfg).run(vec![(PortZeroWalker { id: 1 }, 0)]);
+    }
+
+    #[test]
+    fn silent_byzantine_is_seen_but_not_heard() {
+        use crate::faults::{ByzantineStrategy, FaultPlan};
+        let g = generators::path(3).unwrap();
+        let plan = FaultPlan::new(7).byzantine(9, ByzantineStrategy::Silent);
+        let cfg = SimConfig::with_max_rounds(3).with_faults(plan);
+        let out = Simulator::new(&g, cfg).run(vec![
+            (
+                Chatter {
+                    id: 1,
+                    heard_larger: false,
+                },
+                1,
+            ),
+            (
+                Chatter {
+                    id: 9,
+                    heard_larger: false,
+                },
+                1,
+            ),
+        ]);
+        // Fault-free, two co-located chatters deliver 2 messages per round
+        // (see `messages_are_delivered_only_to_co_located_robots`). With 9
+        // silenced only the 1 → 9 direction remains.
+        assert_eq!(out.metrics.messages_delivered, 3);
+        let d = out.metrics.degradation.expect("faulty run has degradation");
+        assert_eq!((d.crash_faulted, d.byzantine), (0, 1));
+        assert_eq!(d.wasted_activations, 0, "Byzantine robots act every round");
+    }
+
+    /// Announces the current round number and records everything it hears.
+    #[derive(Clone, Hash)]
+    struct RoundEcho {
+        id: RobotId,
+        heard: Vec<u64>,
+        senders: Vec<RobotId>,
+    }
+
+    impl Robot for RoundEcho {
+        type Msg = u64;
+        fn id(&self) -> RobotId {
+            self.id
+        }
+        fn announce(&mut self, obs: &Observation) -> u64 {
+            obs.round
+        }
+        fn decide(&mut self, _obs: &Observation, inbox: Inbox<'_, u64>) -> Action {
+            for (sender, &v) in inbox.iter() {
+                self.heard.push(v);
+                self.senders.push(sender);
+            }
+            Action::Stay
+        }
+    }
+
+    fn echo_pair() -> SimState<RoundEcho> {
+        let mk = |id| RoundEcho {
+            id,
+            heard: vec![],
+            senders: vec![],
+        };
+        let g = generators::path(3).unwrap();
+        SimState::new(&g, vec![(mk(4), 1), (mk(8), 1)])
+    }
+
+    #[test]
+    fn replay_last_delivers_stale_announcements() {
+        use crate::faults::{ByzantineStrategy, FaultPlan};
+        let g = generators::path(3).unwrap();
+        let mut state = echo_pair();
+        let faults = FaultPlan::new(1)
+            .byzantine(4, ByzantineStrategy::ReplayLast)
+            .resolve(&state.ids)
+            .unwrap();
+        let mut bufs = StepBuffers::new(g.n(), &state);
+        for _ in 0..3 {
+            state = transition_faulty_with(&g, &state, Activation::All, &faults, &mut bufs);
+        }
+        // Robot 4 announces rounds 0, 1, 2 but the adversary replays the
+        // previous one: 8 hears 0 (nothing older exists), then 0, then 1.
+        assert_eq!(state.robots[1].heard, vec![0, 0, 1]);
+        // The honest direction is untouched.
+        assert_eq!(state.robots[0].heard, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn impersonate_forges_sender_labels() {
+        use crate::faults::{ByzantineStrategy, FaultPlan};
+        let g = generators::path(3).unwrap();
+        let state = echo_pair();
+        let faults = FaultPlan::new(1)
+            .byzantine(4, ByzantineStrategy::Impersonate)
+            .resolve(&state.ids)
+            .unwrap();
+        let next = transition_faulty(&g, &state, Activation::All, &faults);
+        // With k = 2 the only label to forge is the peer's own: robot 8
+        // receives a message apparently sent by itself.
+        assert_eq!(next.robots[1].senders, vec![8]);
+        assert_eq!(next.robots[0].senders, vec![8], "honest direction intact");
+    }
+
+    #[test]
+    fn random_msg_byzantine_still_delivers_well_formed_messages() {
+        use crate::faults::{ByzantineStrategy, FaultPlan};
+        let g = generators::path(3).unwrap();
+        let state = echo_pair();
+        let faults = FaultPlan::new(3)
+            .byzantine(4, ByzantineStrategy::RandomMsg)
+            .resolve(&state.ids)
+            .unwrap();
+        let next = transition_faulty(&g, &state, Activation::All, &faults);
+        // RoundEcho's announcement depends only on truthful observation
+        // fields, so the message content is unchanged — but delivery still
+        // happens and the run stays deterministic.
+        assert_eq!(next.robots[1].heard, vec![0]);
+        let again = transition_faulty(&g, &state, Activation::All, &faults);
+        assert_eq!(next.robots[1].heard, again.robots[1].heard);
+    }
+
+    #[test]
+    fn crash_transition_is_pure_and_matches_run() {
+        use crate::faults::FaultPlan;
+        let g = generators::random_connected(10, 0.35, 3).unwrap();
+        let mk = || {
+            vec![
+                (CloneWalker { id: 2 }, 0),
+                (CloneWalker { id: 7 }, 4),
+                (CloneWalker { id: 5 }, 8),
+            ]
+        };
+        let plan = FaultPlan::new(0).crash(7, 5);
+        let rounds = 23;
+        let cfg = SimConfig::with_max_rounds(rounds).with_faults(plan.clone());
+        let out = Simulator::new(&g, cfg).run(mk());
+
+        let mut state = SimState::new(&g, mk());
+        let faults = plan.resolve(&state.ids).unwrap();
+        let mut bufs = StepBuffers::new(g.n(), &state);
+        for _ in 0..rounds {
+            state = transition_faulty_with(&g, &state, Activation::All, &faults, &mut bufs);
+        }
+        assert_eq!(state.round, out.rounds);
+        for (i, id) in state.ids.iter().enumerate() {
+            assert_eq!(state.positions[i], out.final_positions[id]);
+        }
+        // Crash-only steps are pure: throwaway buffers agree.
+        let mut state2 = SimState::new(&g, mk());
+        for _ in 0..rounds {
+            state2 = transition_faulty(&g, &state2, Activation::All, &faults);
+        }
+        assert_eq!(state2.positions, state.positions);
     }
 
     #[test]

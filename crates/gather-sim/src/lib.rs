@@ -22,6 +22,9 @@
 //! * [`scheduler`] — activation schedulers ([`scheduler::Scheduler`]):
 //!   the paper's fully synchronous rounds plus relaxed (semi-synchronous
 //!   and sequential) adversaries for model checking;
+//! * [`faults`] — crash/Byzantine fault plans ([`faults::FaultPlan`])
+//!   injected into the round step, with survivor-scoped degradation
+//!   accounting;
 //! * [`metrics`] — rounds, moves, messages and memory accounting;
 //! * [`placement`] — initial placement generators (dispersed, undispersed,
 //!   adversarial spread, exact-distance pairs, …) and label assignment;
@@ -34,6 +37,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod placement;
 pub mod robot;
@@ -43,9 +47,11 @@ pub mod trace;
 
 pub use config::SimConfig;
 pub use engine::{
-    transition, transition_with, RoundShape, SimOutcome, SimState, Simulator, StepBuffers,
+    transition, transition_faulty, transition_faulty_with, transition_with, RoundShape, SimOutcome,
+    SimState, Simulator, StepBuffers,
 };
-pub use metrics::Metrics;
+pub use faults::{ByzantineStrategy, EngineFaults, FaultError, FaultPlan, RobotFault};
+pub use metrics::{Degradation, Metrics};
 pub use placement::{Placement, PlacementKind};
 pub use robot::{Action, DynMsg, DynRobot, Inbox, InboxIter, Observation, Robot, RobotId};
 pub use scheduler::{alive_mask, Activation, Scheduler};

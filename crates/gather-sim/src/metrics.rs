@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 /// The model's primary cost is the number of rounds; the paper also discusses
 /// the total number of edge traversals ("cost") and per-robot memory, so all
 /// three are tracked.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Rounds actually executed.
     pub rounds: u64,
@@ -23,6 +23,79 @@ pub struct Metrics {
     /// Peak reported memory per robot in bits (see
     /// [`crate::robot::Robot::memory_estimate_bits`]).
     pub peak_memory_bits: BTreeMap<RobotId, usize>,
+    /// Degradation metrics, present only for runs with a non-empty
+    /// [`crate::faults::FaultPlan`]. Fault-free runs keep `None`, and the
+    /// hand-written serde below omits the field, so fault-free outcomes
+    /// serialize byte-identically to the pre-fault format (cached results
+    /// stay valid and cache keys stay stable).
+    pub degradation: Option<Degradation>,
+}
+
+/// How gracefully a run degraded under injected faults, scoped to the
+/// *survivors* (robots without a crash fault). Only meaningful — and only
+/// serialized — for faulty runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// Number of robots assigned a crash fault by the plan.
+    pub crash_faulted: u64,
+    /// Number of robots assigned a Byzantine fault by the plan.
+    pub byzantine: u64,
+    /// First round at which every survivor was co-located, if that ever
+    /// happened within the round cap.
+    pub rounds_to_gather_survivors: Option<u64>,
+    /// Whether every survivor had terminated when the run stopped.
+    pub survivors_terminated: bool,
+    /// Number of robots that declared gathering (terminated) while the
+    /// robots were *not* all on one node — the count of detection failures
+    /// the faults provoked.
+    pub false_detections: u64,
+    /// Activations spent on already-crashed robots: rounds in which the
+    /// scheduler activated a robot that could no longer act. A proxy for
+    /// scheduling effort wasted on dead robots.
+    pub wasted_activations: u64,
+}
+
+// Serde is hand-written (not derived) because the vendored derive emits
+// every field unconditionally — including `degradation: null` — and
+// fault-free `Metrics` are embedded in cached `SimOutcome` JSON that must
+// stay byte-identical to the pre-fault format.
+impl Serialize for Metrics {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("rounds".to_string(), self.rounds.to_value()),
+            ("total_moves".to_string(), self.total_moves.to_value()),
+            (
+                "messages_delivered".to_string(),
+                self.messages_delivered.to_value(),
+            ),
+            (
+                "moves_per_robot".to_string(),
+                self.moves_per_robot.to_value(),
+            ),
+            (
+                "peak_memory_bits".to_string(),
+                self.peak_memory_bits.to_value(),
+            ),
+        ];
+        if let Some(d) = &self.degradation {
+            fields.push(("degradation".to_string(), d.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for Metrics {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = serde::expect_object(v, "Metrics")?;
+        Ok(Metrics {
+            rounds: serde::from_field(obj, "rounds")?,
+            total_moves: serde::from_field(obj, "total_moves")?,
+            messages_delivered: serde::from_field(obj, "messages_delivered")?,
+            moves_per_robot: serde::from_field(obj, "moves_per_robot")?,
+            peak_memory_bits: serde::from_field(obj, "peak_memory_bits")?,
+            degradation: serde::from_field(obj, "degradation")?,
+        })
+    }
 }
 
 impl Metrics {
@@ -37,6 +110,7 @@ impl Metrics {
             messages_delivered: rec.messages_delivered,
             moves_per_robot: ids.iter().copied().zip(rec.moves).collect(),
             peak_memory_bits: ids.iter().copied().zip(rec.peak_memory).collect(),
+            degradation: None,
         }
     }
 
@@ -61,6 +135,14 @@ pub(crate) struct MetricsRecorder {
     pub(crate) rounds: u64,
     pub(crate) total_moves: u64,
     pub(crate) messages_delivered: u64,
+    /// Terminations declared while the robots were not all co-located
+    /// (detection failures). Feeds [`Degradation::false_detections`]; the
+    /// fault-free outcome's boolean `false_detection` flag is derived
+    /// independently and unchanged.
+    pub(crate) false_detections: u64,
+    /// Activations of already-crashed robots. Feeds
+    /// [`Degradation::wasted_activations`].
+    pub(crate) wasted_activations: u64,
     moves: Vec<u64>,
     peak_memory: Vec<usize>,
 }
@@ -72,6 +154,8 @@ impl MetricsRecorder {
             rounds: 0,
             total_moves: 0,
             messages_delivered: 0,
+            false_detections: 0,
+            wasted_activations: 0,
             moves: vec![0; k],
             peak_memory: vec![0; k],
         }
@@ -151,5 +235,32 @@ mod tests {
         let s = serde_json::to_string(&m).unwrap();
         let back: Metrics = serde_json::from_str(&s).unwrap();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn fault_free_metrics_omit_the_degradation_field() {
+        let m = MetricsRecorder::new(1).finish(&[1]);
+        let s = serde_json::to_string(&m).unwrap();
+        assert!(
+            !s.contains("degradation"),
+            "fault-free metrics must keep the pre-fault wire format: {s}"
+        );
+        // Pre-fault JSON (no `degradation` key) deserializes to None.
+        let old: Metrics = serde_json::from_str(&s).unwrap();
+        assert_eq!(old.degradation, None);
+
+        let mut faulty = m.clone();
+        faulty.degradation = Some(Degradation {
+            crash_faulted: 1,
+            byzantine: 0,
+            rounds_to_gather_survivors: Some(4),
+            survivors_terminated: true,
+            false_detections: 0,
+            wasted_activations: 12,
+        });
+        let s2 = serde_json::to_string(&faulty).unwrap();
+        assert!(s2.contains("degradation"));
+        let back: Metrics = serde_json::from_str(&s2).unwrap();
+        assert_eq!(faulty, back);
     }
 }

@@ -1,0 +1,584 @@
+//! # gather-coord
+//!
+//! The distributed sweep coordinator: one [`gather_core::sweep::SweepSpec`]
+//! in, a fleet of `gather-serve` daemons out, one merged
+//! [`gather_core::sweep::SweepReport`] back — **byte-identical rows** to a
+//! local [`gather_core::sweep::Sweep::run`] no matter how the grid was
+//! split, which daemons died mid-run, or who stole whose work.
+//!
+//! ## How it works
+//!
+//! 1. **Probe.** Every configured daemon is liveness-probed through
+//!    [`gather_service::pool::ClientPool`] (a daemon-level `Status` →
+//!    `Progress` round-trip). Dead addresses are excluded up front; a
+//!    fleet with no live daemon is [`CoordError::NoDaemons`].
+//! 2. **Split.** The grid's cells — in the same deterministic order
+//!    [`gather_core::sweep::SweepSpec::cells`] defines — are range-split
+//!    evenly into one [`plan::Plan`] shard per live daemon.
+//! 3. **Stream.** One worker thread per daemon dispatches its shard in
+//!    chunk-sized [`gather_core::sweep::CellRange`] bites over protocol-v2
+//!    ranged submissions ([`gather_service::Client::submit_sweep_range`]),
+//!    forwarding rows into a **bounded** merge queue — a slow merger
+//!    backpressures the whole fleet instead of buffering unboundedly.
+//! 4. **Fail over.** A chunk that dies mid-stream (transport error,
+//!    daemon-side cancellation, torn frame) returns its *unfinished* cells
+//!    to the plan as orphans, and the worker re-probes and re-dials its
+//!    daemon under the pool's [`gather_service::ClientConfig`]
+//!    backoff policy. A daemon that stays dead has its whole shard
+//!    abandoned to the survivors. Re-dispatch is **idempotent**: rows are
+//!    pure functions of their specs and content-addressed by
+//!    [`gather_core::cache::spec_key`], so when the fleet shares one
+//!    store, a re-submitted finished cell is a cache hit, not a recompute.
+//! 5. **Steal.** A worker that drains its shard (and the orphan list)
+//!    steals the upper half of the largest remaining shard, so the sweep's
+//!    tail is bounded by the fleet, not its slowest member.
+//! 6. **Merge.** The coordinator validates every row's global index
+//!    (in-range, no duplicates — a misbehaving daemon fails the run loudly
+//!    rather than corrupting it), then reassembles the report in grid
+//!    order with fleet-aggregated [`gather_core::sweep::SweepStats`].
+//!
+//! The `gather-coord` binary wraps [`run_sweep`] for the command line; see
+//! `docs/ARCHITECTURE.md` for where the coordinator sits in the crate
+//! stack and `docs/PROTOCOL.md` for the wire contract it relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plan;
+
+use gather_core::artifact::ArtifactStats;
+use gather_core::sweep::{CellRange, SweepReport, SweepRow, SweepSpec, SweepStats};
+use gather_service::client::Client;
+use gather_service::pool::ClientPool;
+use plan::Plan;
+use serde::Serialize;
+use std::fmt;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Mutex;
+use std::time::Instant;
+
+pub use gather_service::client::ClientConfig;
+pub use gather_service::pool::ClientPool as FleetPool;
+
+/// Everything [`run_sweep`] needs to drive a fleet.
+#[derive(Debug, Clone)]
+pub struct CoordConfig {
+    /// Daemon addresses (`host:port`), one fleet slot each.
+    pub addrs: Vec<String>,
+    /// Dial/retry/backoff policy for every connection the coordinator
+    /// makes — the probe, the shard streams, and every fail-over re-dial.
+    pub client: ClientConfig,
+    /// Per-daemon worker cap forwarded with each submission (`None`: let
+    /// each daemon use its full pool).
+    pub workers: Option<usize>,
+    /// Cells per dispatched chunk (`None`: about four chunks per shard,
+    /// via [`plan::Plan::default_chunk`]). Smaller chunks lose less work
+    /// per daemon death and steal more finely; larger chunks amortize
+    /// more per-submission overhead.
+    pub chunk: Option<usize>,
+    /// Bound of the row merge queue, in rows. When the merger falls
+    /// behind, workers block on the full queue — backpressure — instead
+    /// of buffering the fleet's output unboundedly.
+    pub queue: usize,
+}
+
+impl Default for CoordConfig {
+    fn default() -> Self {
+        CoordConfig {
+            addrs: Vec::new(),
+            client: ClientConfig::default(),
+            workers: None,
+            chunk: None,
+            queue: 256,
+        }
+    }
+}
+
+/// Why a coordinated sweep failed.
+#[derive(Debug)]
+pub enum CoordError {
+    /// No configured daemon answered the liveness probe.
+    NoDaemons,
+    /// Every daemon died before the grid finished: `missing` cells never
+    /// produced a row. The per-daemon reports carry each one's last error.
+    Incomplete {
+        /// Cells whose rows never arrived.
+        missing: usize,
+        /// What happened to each fleet slot, for diagnosis.
+        daemons: Vec<DaemonReport>,
+    },
+    /// A daemon broke the merge contract (out-of-range or duplicate row
+    /// index) — the run aborts rather than risk a corrupt report.
+    Merge(String),
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::NoDaemons => write!(f, "no live daemons in the fleet"),
+            CoordError::Incomplete { missing, daemons } => {
+                write!(
+                    f,
+                    "sweep incomplete: {missing} cells lost after all daemons failed ("
+                )?;
+                for (i, d) in daemons.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{}: {}", d.addr, d.last_error.as_deref().unwrap_or("ok"))?;
+                }
+                write!(f, ")")
+            }
+            CoordError::Merge(why) => write!(f, "merge contract violated: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+/// What one fleet slot contributed to a coordinated sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct DaemonReport {
+    /// The daemon's address.
+    pub addr: String,
+    /// Chunks this daemon completed.
+    pub chunks: usize,
+    /// Rows this daemon streamed back.
+    pub rows: usize,
+    /// How many of those rows were served from the daemon's result cache.
+    pub cache_hits: usize,
+    /// `true` when the daemon was declared dead (probe + re-dial budget
+    /// exhausted) and its remaining work went to the survivors.
+    pub died: bool,
+    /// The daemon's last failure, if any (also set for survivors that
+    /// recovered from a mid-chunk error).
+    pub last_error: Option<String>,
+    /// The daemon's instance-cache counters after the run (`None` for
+    /// dead daemons or instance-sharing-disabled daemons).
+    pub artifacts: Option<ArtifactStats>,
+}
+
+/// A merged coordinated sweep: the report plus per-daemon accounting.
+#[derive(Debug, Clone, Serialize)]
+pub struct CoordOutcome {
+    /// The merged report — rows byte-identical to a local run's.
+    pub report: SweepReport,
+    /// One entry per *live-probed* fleet slot, in address order.
+    pub daemons: Vec<DaemonReport>,
+}
+
+/// What a worker pushes into the merge queue.
+enum Event {
+    /// One finished cell, with its global grid index.
+    Row {
+        /// Global cell index.
+        index: usize,
+        /// The row.
+        row: SweepRow,
+    },
+    /// One chunk's daemon-side stats (for fleet aggregation).
+    Chunk(SweepStats),
+}
+
+/// How one chunk dispatch ended, worker-side.
+enum ChunkEnd {
+    /// All rows arrived and were forwarded; here are the daemon's stats.
+    Done(SweepStats),
+    /// The daemon failed mid-chunk: these sub-ranges never produced rows.
+    Failed {
+        missing: Vec<CellRange>,
+        why: String,
+    },
+    /// The merger hung up (merge error): abort quietly, nothing to save.
+    Cancelled,
+}
+
+/// Coordinates `spec` across the fleet in `config` and returns the merged
+/// outcome. See the crate docs for the full contract; the headline is that
+/// `outcome.report.rows` is byte-identical (as JSON) to what
+/// [`gather_core::sweep::Sweep::run`] would produce locally, and that any
+/// strict subset of the fleet may die mid-run without losing cells.
+pub fn run_sweep(spec: &SweepSpec, config: &CoordConfig) -> Result<CoordOutcome, CoordError> {
+    let started = Instant::now();
+    let pool = ClientPool::new(config.addrs.clone(), config.client.clone());
+    let live: Vec<usize> = pool
+        .probe_all()
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, alive)| alive.then_some(i))
+        .collect();
+    if live.is_empty() {
+        return Err(CoordError::NoDaemons);
+    }
+
+    let total = spec.cells();
+    let chunk = config
+        .chunk
+        .unwrap_or_else(|| Plan::default_chunk(total, live.len()))
+        .max(1);
+    let plan = Mutex::new(Plan::new(total, live.len(), chunk));
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Event>(config.queue.max(1));
+    let max_failures = config.client.submit_attempts.max(1);
+
+    let mut daemons: Vec<Option<DaemonReport>> = (0..live.len()).map(|_| None).collect();
+    let mut merged: Vec<Option<SweepRow>> = vec![None; total];
+    let mut merge_error: Option<String> = None;
+    let mut agg = SweepStats {
+        cells: total,
+        cache_hits: 0,
+        simulated: 0,
+        errors: 0,
+        elapsed_ms: 0.0,
+        artifacts: None,
+    };
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(live.len());
+        for (slot, &pool_idx) in live.iter().enumerate() {
+            let tx = tx.clone();
+            let pool = &pool;
+            let plan = &plan;
+            handles.push(scope.spawn(move || {
+                worker_loop(slot, pool_idx, pool, plan, spec, config, max_failures, tx)
+            }));
+        }
+        // The workers hold the only senders now; `recv` ends when the
+        // last one exits.
+        drop(tx);
+        merge(rx, &mut merged, &mut agg, &mut merge_error);
+        for handle in handles {
+            let (slot, report) = handle.join().expect("coordinator worker panicked");
+            daemons[slot] = Some(report);
+        }
+    });
+
+    let daemons: Vec<DaemonReport> = daemons
+        .into_iter()
+        .map(|d| d.expect("every worker reports"))
+        .collect();
+    if let Some(why) = merge_error {
+        return Err(CoordError::Merge(why));
+    }
+    let missing = merged.iter().filter(|r| r.is_none()).count();
+    if missing > 0 {
+        return Err(CoordError::Incomplete { missing, daemons });
+    }
+    let rows: Vec<SweepRow> = merged.into_iter().map(|r| r.expect("checked")).collect();
+    agg.elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+    agg.artifacts = sum_artifacts(&daemons);
+    Ok(CoordOutcome {
+        report: SweepReport::from_rows(spec.specs(), rows, agg),
+        daemons,
+    })
+}
+
+/// Fleet-wide instance-cache totals: the per-daemon counters summed over
+/// every surviving daemon that reported any. `None` when none did.
+fn sum_artifacts(daemons: &[DaemonReport]) -> Option<ArtifactStats> {
+    let mut total: Option<ArtifactStats> = None;
+    for stats in daemons.iter().filter_map(|d| d.artifacts.as_ref()) {
+        let t = total.get_or_insert_with(ArtifactStats::default);
+        t.graph_entries += stats.graph_entries;
+        t.graph_hits += stats.graph_hits;
+        t.graph_builds += stats.graph_builds;
+        t.placement_entries += stats.placement_entries;
+        t.placement_hits += stats.placement_hits;
+        t.placement_builds += stats.placement_builds;
+    }
+    total
+}
+
+/// The merger: drains the queue until every worker has hung up, placing
+/// rows by global index and validating the merge contract. On a violation
+/// it records the reason and *stops receiving* — the dropped receiver
+/// fails every worker's next send, which is the cancellation signal.
+fn merge(
+    rx: Receiver<Event>,
+    merged: &mut [Option<SweepRow>],
+    agg: &mut SweepStats,
+    merge_error: &mut Option<String>,
+) {
+    while let Ok(event) = rx.recv() {
+        match event {
+            Event::Row { index, row } => {
+                let Some(slot) = merged.get_mut(index) else {
+                    *merge_error = Some(format!(
+                        "row index {index} out of range for a {}-cell grid",
+                        agg.cells
+                    ));
+                    return;
+                };
+                if slot.replace(row).is_some() {
+                    *merge_error = Some(format!("duplicate row for cell {index}"));
+                    return;
+                }
+            }
+            Event::Chunk(stats) => {
+                agg.cache_hits += stats.cache_hits;
+                agg.simulated += stats.simulated;
+                agg.errors += stats.errors;
+            }
+        }
+    }
+}
+
+/// One fleet slot's dispatch loop: bite chunks off the shared plan,
+/// stream them, fail over on daemon death. Returns `(slot, report)`.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    slot: usize,
+    pool_idx: usize,
+    pool: &ClientPool,
+    plan: &Mutex<Plan>,
+    spec: &SweepSpec,
+    config: &CoordConfig,
+    max_failures: u32,
+    tx: SyncSender<Event>,
+) -> (usize, DaemonReport) {
+    let mut report = DaemonReport {
+        addr: pool.addr(pool_idx).to_string(),
+        chunks: 0,
+        rows: 0,
+        cache_hits: 0,
+        died: false,
+        last_error: None,
+        artifacts: None,
+    };
+    let mut client: Option<Client> = None;
+    let mut failures = 0u32;
+    loop {
+        let next = {
+            let mut plan = plan.lock().expect("plan lock poisoned");
+            plan.next_chunk(slot)
+        };
+        let Some(range) = next else {
+            break; // plan drained: nothing left anywhere
+        };
+        // (Re-)establish the connection: the pool's probe both checks
+        // liveness and re-dials under the configured backoff policy.
+        if client.is_none() {
+            client = pool
+                .probe(pool_idx)
+                .then(|| pool.take(pool_idx).ok())
+                .flatten();
+        }
+        let Some(conn) = client.as_mut() else {
+            // The daemon is unreachable: return this bite and everything
+            // the slot still owns to the survivors, and bow out.
+            let mut plan = plan.lock().expect("plan lock poisoned");
+            plan.push_orphan(range);
+            plan.abandon(slot);
+            report.died = true;
+            report
+                .last_error
+                .get_or_insert_with(|| "daemon unreachable".to_string());
+            break;
+        };
+        match run_chunk(conn, spec, config.workers, range, &tx) {
+            ChunkEnd::Done(stats) => {
+                failures = 0;
+                report.chunks += 1;
+                report.rows += range.len();
+                report.cache_hits += stats.cache_hits;
+                if tx.send(Event::Chunk(stats)).is_err() {
+                    break; // merger hung up: cancelled
+                }
+            }
+            ChunkEnd::Cancelled => break,
+            ChunkEnd::Failed { missing, why } => {
+                {
+                    let mut plan = plan.lock().expect("plan lock poisoned");
+                    for orphan in missing {
+                        plan.push_orphan(orphan);
+                    }
+                }
+                report.last_error = Some(why);
+                client = None; // the connection died with the chunk
+                failures += 1;
+                if failures >= max_failures {
+                    let mut plan = plan.lock().expect("plan lock poisoned");
+                    plan.abandon(slot);
+                    report.died = true;
+                    break;
+                }
+            }
+        }
+    }
+    // A surviving daemon reports its instance-cache counters and parks
+    // its connection for whoever coordinates next.
+    if !report.died {
+        if let Some(mut conn) = client.take() {
+            if let Ok(artifacts) = conn.daemon_artifacts() {
+                report.artifacts = artifacts;
+                pool.put(pool_idx, conn);
+            }
+        }
+    }
+    (slot, report)
+}
+
+/// Streams one chunk: submit the range, forward rows (validating they
+/// belong to the chunk), classify the ending.
+fn run_chunk(
+    client: &mut Client,
+    spec: &SweepSpec,
+    workers: Option<usize>,
+    range: CellRange,
+    tx: &SyncSender<Event>,
+) -> ChunkEnd {
+    let mut received = vec![false; range.len()];
+    let mut stream = match client.submit_sweep_range(spec, workers, range) {
+        Ok(stream) => stream,
+        Err(e) => {
+            return ChunkEnd::Failed {
+                missing: vec![range],
+                why: e.to_string(),
+            }
+        }
+    };
+    if stream.cells != range.len() {
+        // Version/spec skew: the daemon sees a different grid. Treat as a
+        // daemon failure — re-dispatching elsewhere may still succeed,
+        // and if every daemon disagrees the run ends Incomplete with the
+        // reason on record.
+        let cells = stream.cells;
+        stream.abandon();
+        return ChunkEnd::Failed {
+            missing: vec![range],
+            why: format!(
+                "daemon expanded {} cells for a {}-cell range",
+                cells,
+                range.len()
+            ),
+        };
+    }
+    loop {
+        match stream.next_row() {
+            Ok(Some((index, row))) => {
+                if !range.contains(index) || received[index - range.start] {
+                    let missing = missing_runs(range, &received);
+                    let why = format!("daemon returned bad row index {index} for chunk {range}");
+                    // No drain: a daemon violating the contract may never
+                    // finish; the connection is discarded instead.
+                    stream.abandon();
+                    return ChunkEnd::Failed { missing, why };
+                }
+                received[index - range.start] = true;
+                // Backpressure lives here: a full merge queue blocks this
+                // worker (and, transitively, its daemon's stream).
+                if tx.send(Event::Row { index, row }).is_err() {
+                    stream.abandon();
+                    return ChunkEnd::Cancelled;
+                }
+            }
+            Ok(None) => {
+                return match stream.stats() {
+                    Some(stats) if received.iter().all(|&r| r) => ChunkEnd::Done(stats),
+                    _ => ChunkEnd::Failed {
+                        missing: missing_runs(range, &received),
+                        why: "daemon finished the chunk without all rows".to_string(),
+                    },
+                };
+            }
+            Err(e) => {
+                return ChunkEnd::Failed {
+                    missing: missing_runs(range, &received),
+                    why: e.to_string(),
+                };
+            }
+        }
+    }
+}
+
+/// The maximal contiguous sub-ranges of `range` whose rows never arrived.
+fn missing_runs(range: CellRange, received: &[bool]) -> Vec<CellRange> {
+    let mut runs = Vec::new();
+    let mut start: Option<usize> = None;
+    for (offset, &got) in received.iter().enumerate() {
+        match (got, start) {
+            (false, None) => start = Some(range.start + offset),
+            (true, Some(s)) => {
+                runs.push(CellRange::new(s, range.start + offset));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        runs.push(CellRange::new(s, range.end));
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_runs_finds_the_holes() {
+        let range = CellRange::new(10, 16);
+        let received = [true, false, false, true, false, true];
+        assert_eq!(
+            missing_runs(range, &received),
+            vec![CellRange::new(11, 13), CellRange::new(14, 15)]
+        );
+        assert_eq!(missing_runs(range, &[true; 6]), Vec::<CellRange>::new());
+        assert_eq!(
+            missing_runs(range, &[false; 6]),
+            vec![CellRange::new(10, 16)]
+        );
+    }
+
+    #[test]
+    fn artifact_totals_sum_across_surviving_daemons() {
+        let mk = |hits: u64| DaemonReport {
+            addr: "a".to_string(),
+            chunks: 0,
+            rows: 0,
+            cache_hits: 0,
+            died: false,
+            last_error: None,
+            artifacts: Some(ArtifactStats {
+                graph_entries: 1,
+                graph_hits: hits,
+                graph_builds: 2,
+                placement_entries: 3,
+                placement_hits: hits * 10,
+                placement_builds: 4,
+            }),
+        };
+        let dead = DaemonReport {
+            artifacts: None,
+            died: true,
+            ..mk(0)
+        };
+        let total = sum_artifacts(&[mk(5), dead, mk(7)]).unwrap();
+        assert_eq!(total.graph_hits, 12);
+        assert_eq!(total.placement_hits, 120);
+        assert_eq!(total.graph_entries, 2);
+        assert!(sum_artifacts(&[]).is_none());
+    }
+
+    #[test]
+    fn no_daemons_is_an_error_not_a_hang() {
+        // An address nobody listens on: bind, learn the port, drop.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let config = CoordConfig {
+            addrs: vec![addr],
+            client: ClientConfig {
+                connect_attempts: 1,
+                connect_timeout: Some(std::time::Duration::from_millis(250)),
+                ..ClientConfig::default()
+            },
+            ..CoordConfig::default()
+        };
+        let spec = gather_core::sweep::Sweep::new().to_spec();
+        match run_sweep(&spec, &config) {
+            Err(CoordError::NoDaemons) => {}
+            other => panic!("expected NoDaemons, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The shard plan: pure bookkeeping of which grid cells are still
+//! undispatched, shared (behind a mutex) by every per-daemon worker.
+//!
+//! The plan is deliberately free of I/O so its fail-over logic — orphan
+//! re-dispatch and work stealing — is exhaustively unit-testable. It
+//! tracks three things:
+//!
+//! * **shards** — one contiguous [`CellRange`] of the grid per daemon
+//!   slot, range-split evenly at construction in the grid's deterministic
+//!   cell order. A worker consumes its own shard front-to-back in
+//!   chunk-sized bites.
+//! * **orphans** — ranges whose dispatch failed (a daemon died mid-chunk,
+//!   or a whole shard was abandoned when its daemon stayed dead). Any
+//!   worker picks these up before stealing.
+//! * **stealing** — when a worker's shard and the orphan list are both
+//!   empty, it takes the *upper half* of the largest remaining shard for
+//!   itself, so one slow or overloaded daemon cannot stall the sweep's
+//!   tail.
+//!
+//! Every cell of the grid is covered by exactly one of: a shard's
+//! remaining range, an orphan, or a chunk currently checked out by a
+//! worker. Workers that fail a chunk push its unfinished cells back as
+//! orphans, which restores the invariant — nothing is ever lost, and
+//! nothing is ever dispatched twice *except* by explicit re-dispatch of
+//! cells whose rows never arrived (idempotent by the workspace's
+//! content-addressed cache).
+
+use gather_core::sweep::CellRange;
+
+/// One daemon slot's contiguous slice of the grid, consumed front-to-back.
+#[derive(Debug, Clone, Copy)]
+struct Shard {
+    /// Next undispatched cell of this shard.
+    cursor: usize,
+    /// One past the shard's last cell (may shrink when victimized by a
+    /// steal).
+    end: usize,
+}
+
+impl Shard {
+    fn remaining(&self) -> usize {
+        self.end.saturating_sub(self.cursor)
+    }
+}
+
+/// The mutable dispatch state of one coordinated sweep.
+#[derive(Debug)]
+pub struct Plan {
+    shards: Vec<Shard>,
+    orphans: Vec<CellRange>,
+    chunk: usize,
+}
+
+impl Plan {
+    /// Splits `total` cells evenly (remainder spread over the first
+    /// shards) across `slots` daemon slots, dispatching in bites of at
+    /// most `chunk` cells. A zero `chunk` is promoted to 1; zero `slots`
+    /// yields a plan whose whole grid is one orphan, claimable by nobody —
+    /// callers are expected to require a non-empty fleet first.
+    pub fn new(total: usize, slots: usize, chunk: usize) -> Plan {
+        let chunk = chunk.max(1);
+        if slots == 0 {
+            let orphans = if total > 0 {
+                vec![CellRange::new(0, total)]
+            } else {
+                Vec::new()
+            };
+            return Plan {
+                shards: Vec::new(),
+                orphans,
+                chunk,
+            };
+        }
+        let base = total / slots;
+        let extra = total % slots;
+        let mut shards = Vec::with_capacity(slots);
+        let mut start = 0usize;
+        for i in 0..slots {
+            let len = base + usize::from(i < extra);
+            shards.push(Shard {
+                cursor: start,
+                end: start + len,
+            });
+            start += len;
+        }
+        Plan {
+            shards,
+            orphans: Vec::new(),
+            chunk,
+        }
+    }
+
+    /// A sensible default chunk size for `total` cells over `slots`
+    /// daemons: about four chunks per shard, so stealing has something to
+    /// take and a mid-chunk death loses little work — but never below 1.
+    pub fn default_chunk(total: usize, slots: usize) -> usize {
+        (total / (slots.max(1) * 4)).max(1)
+    }
+
+    /// The next range slot `slot` should dispatch, or `None` when the
+    /// whole plan is drained. Priority: the slot's own shard, then
+    /// orphans, then stealing the upper half of the largest remaining
+    /// shard.
+    pub fn next_chunk(&mut self, slot: usize) -> Option<CellRange> {
+        if let Some(range) = self.bite_shard(slot) {
+            return Some(range);
+        }
+        if let Some(range) = self.bite_orphan() {
+            return Some(range);
+        }
+        self.steal(slot)
+    }
+
+    /// Takes up to one chunk off the front of `slot`'s shard.
+    fn bite_shard(&mut self, slot: usize) -> Option<CellRange> {
+        let shard = self.shards.get_mut(slot)?;
+        if shard.remaining() == 0 {
+            return None;
+        }
+        let end = (shard.cursor + self.chunk).min(shard.end);
+        let range = CellRange::new(shard.cursor, end);
+        shard.cursor = end;
+        Some(range)
+    }
+
+    /// Takes up to one chunk off the last orphan (pushing any remainder
+    /// back), preferring newest-first so a freshly failed chunk is
+    /// re-dispatched promptly.
+    fn bite_orphan(&mut self) -> Option<CellRange> {
+        let orphan = self.orphans.pop()?;
+        if orphan.len() > self.chunk {
+            self.orphans
+                .push(CellRange::new(orphan.start + self.chunk, orphan.end));
+            Some(CellRange::new(orphan.start, orphan.start + self.chunk))
+        } else {
+            Some(orphan)
+        }
+    }
+
+    /// Steals the upper half of the largest remaining shard (never
+    /// `slot`'s own — it is empty by the time stealing is tried) and
+    /// re-homes it as `slot`'s shard, returning the first bite. Shards
+    /// with fewer than two chunks of work left are not worth splitting.
+    fn steal(&mut self, slot: usize) -> Option<CellRange> {
+        let victim = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| *i != slot && s.remaining() > self.chunk)
+            .max_by_key(|(_, s)| s.remaining())
+            .map(|(i, _)| i)?;
+        let v = &mut self.shards[victim];
+        let mid = v.cursor + v.remaining() / 2;
+        let stolen = Shard {
+            cursor: mid,
+            end: v.end,
+        };
+        v.end = mid;
+        if let Some(own) = self.shards.get_mut(slot) {
+            *own = stolen;
+            self.bite_shard(slot)
+        } else {
+            // A slot the plan does not know (defensive): hand the stolen
+            // range out directly as one chunk-sized bite, orphaning the
+            // rest so it is not lost.
+            let end = (stolen.cursor + self.chunk).min(stolen.end);
+            if end < stolen.end {
+                self.orphans.push(CellRange::new(end, stolen.end));
+            }
+            Some(CellRange::new(stolen.cursor, end))
+        }
+    }
+
+    /// Returns a failed dispatch's unfinished cells to the plan. Callers
+    /// pass the precise sub-ranges whose rows never arrived; already
+    /// merged cells must not be re-dispatched (the merge would reject the
+    /// duplicates).
+    pub fn push_orphan(&mut self, range: CellRange) {
+        if !range.is_empty() {
+            self.orphans.push(range);
+        }
+    }
+
+    /// Abandons `slot`'s entire remaining shard to the orphan list — the
+    /// slot's daemon is dead and survivors must absorb its work.
+    pub fn abandon(&mut self, slot: usize) {
+        if let Some(shard) = self.shards.get_mut(slot) {
+            if shard.remaining() > 0 {
+                let range = CellRange::new(shard.cursor, shard.end);
+                shard.cursor = shard.end;
+                self.orphans.push(range);
+            }
+        }
+    }
+
+    /// Cells not yet handed out: shard remainders plus orphans. Chunks
+    /// currently checked out by workers are *not* counted — a zero here
+    /// means "nothing left to dispatch", not "every row has arrived".
+    pub fn undispatched(&self) -> usize {
+        self.shards.iter().map(Shard::remaining).sum::<usize>()
+            + self.orphans.iter().map(CellRange::len).sum::<usize>()
+    }
+
+    /// The chunk size bites are cut to.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Marks every cell of `range` as dispatched, panicking on a
+    /// duplicate dispatch.
+    fn claim(seen: &mut [bool], range: CellRange) {
+        for (offset, flag) in seen[range.start..range.end].iter_mut().enumerate() {
+            assert!(!*flag, "cell {} dispatched twice", range.start + offset);
+            *flag = true;
+        }
+    }
+
+    /// Drains the whole plan through `next_chunk` for a fixed slot
+    /// rotation and asserts the union of bites is exactly `[0, total)`
+    /// with no overlaps.
+    fn drain_and_check_partition(mut plan: Plan, slots: usize, total: usize) {
+        let mut seen = vec![false; total];
+        let mut slot = 0usize;
+        while let Some(range) = plan.next_chunk(slot % slots.max(1)) {
+            claim(&mut seen, range);
+            slot += 1;
+        }
+        assert!(seen.iter().all(|&s| s), "cells left undispatched");
+        assert_eq!(plan.undispatched(), 0);
+    }
+
+    #[test]
+    fn even_split_partitions_the_grid_exactly() {
+        for (total, slots, chunk) in [(12, 3, 2), (13, 3, 2), (7, 4, 3), (1, 3, 5), (20, 1, 4)] {
+            drain_and_check_partition(Plan::new(total, slots, chunk), slots, total);
+        }
+    }
+
+    #[test]
+    fn an_abandoned_shard_is_absorbed_by_survivors() {
+        let mut plan = Plan::new(12, 3, 2);
+        // Slot 1's daemon dies before dispatching anything.
+        plan.abandon(1);
+        let mut seen = [false; 12];
+        // Only slots 0 and 2 ever ask for work.
+        let mut turn = 0usize;
+        while let Some(range) = plan.next_chunk(if turn.is_multiple_of(2) { 0 } else { 2 }) {
+            claim(&mut seen, range);
+            turn += 1;
+        }
+        assert!(seen.iter().all(|&s| s), "dead daemon's cells were lost");
+    }
+
+    #[test]
+    fn failed_chunks_reenter_via_orphans() {
+        let mut plan = Plan::new(8, 2, 4);
+        let first = plan.next_chunk(0).unwrap();
+        assert_eq!(first, CellRange::new(0, 4));
+        // The chunk fails after its first two cells' rows arrived: only
+        // the unfinished sub-range goes back.
+        plan.push_orphan(CellRange::new(2, 4));
+        plan.push_orphan(CellRange::new(2, 2)); // empty: ignored
+                                                // Slot 1 drains its own shard, then picks up the orphan.
+        assert_eq!(plan.next_chunk(1), Some(CellRange::new(4, 8)));
+        assert_eq!(plan.next_chunk(1), Some(CellRange::new(2, 4)));
+        assert_eq!(plan.next_chunk(1), None);
+        assert_eq!(plan.next_chunk(0), None);
+    }
+
+    #[test]
+    fn a_drained_slot_steals_the_upper_half_of_the_largest_shard() {
+        // 12 cells over 2 slots: slot 0 owns [0, 6), slot 1 owns [6, 12).
+        let mut plan = Plan::new(12, 2, 2);
+        assert_eq!(plan.next_chunk(0), Some(CellRange::new(0, 2)));
+        assert_eq!(plan.next_chunk(0), Some(CellRange::new(2, 4)));
+        assert_eq!(plan.next_chunk(0), Some(CellRange::new(4, 6)));
+        // Slot 0 is drained and there are no orphans; slot 1 still holds
+        // all of [6, 12) (remaining 6 > chunk 2), so slot 0 steals its
+        // upper half [9, 12) and bites the front of the stolen range.
+        assert_eq!(plan.next_chunk(0), Some(CellRange::new(9, 11)));
+        // Slot 1's shard shrank to [6, 9).
+        assert_eq!(plan.next_chunk(1), Some(CellRange::new(6, 8)));
+        assert_eq!(plan.next_chunk(1), Some(CellRange::new(8, 9)));
+        assert_eq!(plan.next_chunk(0), Some(CellRange::new(11, 12)));
+        // Nothing left for either slot, and nothing was lost.
+        assert_eq!(plan.next_chunk(0), None);
+        assert_eq!(plan.next_chunk(1), None);
+        assert_eq!(plan.undispatched(), 0);
+    }
+
+    #[test]
+    fn stealing_moves_work_but_never_duplicates_it() {
+        // One stalled shard, three thieves hammering next_chunk. Slot 3
+        // never asks for work: thieves must strip its shard down to at
+        // most one chunk (the unstealable tail a *live* worker would
+        // finish itself, and a *dead* one surrenders via `abandon`).
+        let total = 40;
+        let mut plan = Plan::new(total, 4, 3);
+        let mut seen = vec![false; total];
+        // Each thief loops until *its own* next_chunk runs dry, like real
+        // workers do; interleave them round-robin.
+        let drain = |plan: &mut Plan, seen: &mut Vec<bool>| {
+            let mut live = [true, true, true, false];
+            while live[..3].iter().any(|&l| l) {
+                for (slot, alive) in live.iter_mut().enumerate().take(3) {
+                    if !*alive {
+                        continue;
+                    }
+                    match plan.next_chunk(slot) {
+                        Some(range) => claim(seen, range),
+                        None => *alive = false,
+                    }
+                }
+            }
+        };
+        drain(&mut plan, &mut seen);
+        let left = plan.undispatched();
+        assert!(
+            left <= plan.chunk(),
+            "thieves left {left} cells, more than one chunk"
+        );
+        // The stalled daemon is finally declared dead: its tail is
+        // orphaned and the thieves finish the grid.
+        plan.abandon(3);
+        drain(&mut plan, &mut seen);
+        assert!(seen.iter().all(|&s| s), "cells were lost");
+        assert_eq!(plan.undispatched(), 0);
+    }
+
+    #[test]
+    fn zero_slots_and_zero_totals_stay_sane() {
+        let mut empty_fleet = Plan::new(5, 0, 2);
+        assert_eq!(empty_fleet.undispatched(), 5);
+        assert_eq!(empty_fleet.next_chunk(0), Some(CellRange::new(0, 2)));
+        let mut empty_grid = Plan::new(0, 3, 2);
+        assert_eq!(empty_grid.undispatched(), 0);
+        assert_eq!(empty_grid.next_chunk(0), None);
+        assert_eq!(Plan::default_chunk(0, 0), 1);
+        assert_eq!(Plan::default_chunk(100, 2), 12);
+        assert!(Plan::new(4, 2, 0).chunk() >= 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Coordinator fail-over against *scripted* daemons: deterministic
+//! deaths after exactly k rows, duplicate-row misbehavior, and
+//! whole-fleet loss — no timing, no flakiness.
+//!
+//! The fake daemon speaks just enough protocol v2 to be probed and to
+//! accept a ranged submission, then fails in a controlled way. A real
+//! daemon rides along as the survivor, which is what lets the tests
+//! assert the headline guarantee: the merged rows are byte-identical to
+//! a local run even when a fleet member dies mid-chunk.
+
+use gather_coord::{run_sweep, ClientConfig, CoordConfig, CoordError};
+use gather_core::scenario::{AlgorithmSpec, GraphSpec, PlacementSpec};
+use gather_core::sweep::{Sweep, SweepRow, SweepSpec};
+use gather_graph::generators::Family;
+use gather_service::client::Client;
+use gather_service::protocol::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+use gather_service::server::{Server, ServerConfig};
+use gather_sim::placement::PlacementKind;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn demo_sweep() -> SweepSpec {
+    Sweep::new()
+        .graphs([
+            GraphSpec::new(Family::Cycle, 8),
+            GraphSpec::new(Family::Grid, 9),
+            GraphSpec::new(Family::PreferentialAttachment { m: 2 }, 10),
+        ])
+        .placement(PlacementSpec::new(PlacementKind::UndispersedRandom, 3))
+        .algorithms([
+            AlgorithmSpec::new("faster_gathering"),
+            AlgorithmSpec::new("uxs_gathering"),
+        ])
+        .seeds([1, 2])
+        .to_spec()
+}
+
+fn spawn_daemon(config: ServerConfig) -> (SocketAddr, JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn stop_daemon(addr: SocketAddr, handle: JoinHandle<std::io::Result<()>>) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    client.shutdown().expect("daemon acknowledges shutdown");
+    handle
+        .join()
+        .expect("daemon thread joins")
+        .expect("daemon exits cleanly");
+}
+
+/// A fast-failing coordinator config over `addrs`: one dial attempt, two
+/// submit attempts, tiny chunks so fail-over paths actually trigger.
+fn coord_config(addrs: Vec<String>) -> CoordConfig {
+    CoordConfig {
+        addrs,
+        client: ClientConfig {
+            connect_attempts: 1,
+            submit_attempts: 2,
+            connect_timeout: Some(Duration::from_millis(500)),
+            read_timeout: Some(Duration::from_secs(30)),
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            ..ClientConfig::default()
+        },
+        chunk: Some(3),
+        ..CoordConfig::default()
+    }
+}
+
+/// How a scripted daemon sabotages each ranged submission it accepts.
+#[derive(Clone, Copy)]
+enum Sabotage {
+    /// Stream the first `k` real rows of the chunk, then close the socket.
+    DieAfterRows(usize),
+    /// Stream the chunk's first row twice (a duplicate index), then close.
+    DuplicateFirstRow,
+}
+
+/// A scripted daemon: serves `connections` sequential connections, each
+/// answering `Status` probes honestly and sabotaging every submission
+/// per `mode`; rows come from the pre-computed local ground truth so a
+/// partially-streamed chunk is still byte-correct. The listener drops
+/// when the quota is spent — later dials are refused, which is how the
+/// coordinator's probe finally declares it dead.
+fn scripted_daemon(
+    rows: Vec<SweepRow>,
+    mode: Sabotage,
+    connections: usize,
+) -> (SocketAddr, JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind scripted daemon");
+    let addr = listener.local_addr().expect("scripted daemon address");
+    let handle = std::thread::spawn(move || {
+        for _ in 0..connections {
+            let Ok((stream, _)) = listener.accept() else {
+                return;
+            };
+            let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+            let mut writer = stream;
+            // Ok(None) and read errors both mean the peer hung up: move
+            // on to the next connection.
+            while let Ok(Some(request)) = read_frame::<Request>(&mut reader) {
+                match request {
+                    Request::Status { .. } => {
+                        write_frame(
+                            &mut writer,
+                            &Response::Progress {
+                                job: 0,
+                                done: 0,
+                                total: 0,
+                                cancelled: false,
+                                artifacts: None,
+                            },
+                        )
+                        .expect("probe answer");
+                    }
+                    Request::SubmitSweep { range, .. } => {
+                        let range = range.expect("the coordinator always sends ranges");
+                        write_frame(
+                            &mut writer,
+                            &Response::Accepted {
+                                job: 1,
+                                cells: range.len(),
+                                protocol: PROTOCOL_VERSION,
+                            },
+                        )
+                        .expect("accept frame");
+                        let row = |index: usize| Response::Row {
+                            job: 1,
+                            index,
+                            row: rows[index].clone(),
+                        };
+                        match mode {
+                            Sabotage::DieAfterRows(k) => {
+                                for index in range.start..(range.start + k).min(range.end) {
+                                    write_frame(&mut writer, &row(index)).expect("row frame");
+                                }
+                            }
+                            Sabotage::DuplicateFirstRow => {
+                                write_frame(&mut writer, &row(range.start)).expect("row frame");
+                                write_frame(&mut writer, &row(range.start))
+                                    .expect("duplicate row frame");
+                            }
+                        }
+                        break; // die mid-stream: close this connection
+                    }
+                    _ => break,
+                }
+            }
+        }
+    });
+    (addr, handle)
+}
+
+/// A daemon that dies after streaming exactly 2 rows of its first chunk
+/// must have its unfinished cells re-dispatched to the survivor — the
+/// merged report completes, byte-identical to a local run, with no hang.
+#[test]
+fn death_after_k_rows_redispatches_the_rest_to_the_survivor() {
+    let sweep = demo_sweep();
+    let local = sweep.clone().into_sweep().run_default();
+    let local_rows_json = serde_json::to_string(&local.rows).unwrap();
+
+    // The scripted daemon serves exactly one connection (the pool's probe
+    // plus the first submission), streams 2 rows, dies; subsequent dials
+    // are refused, so the fail-over declares it dead.
+    let (fake_addr, fake) = scripted_daemon(local.rows.clone(), Sabotage::DieAfterRows(2), 1);
+    let (real_addr, real) = spawn_daemon(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+
+    let config = coord_config(vec![fake_addr.to_string(), real_addr.to_string()]);
+    let outcome = run_sweep(&sweep, &config).expect("survivor absorbs the dead daemon's cells");
+
+    assert_eq!(
+        serde_json::to_string(&outcome.report.rows).unwrap(),
+        local_rows_json,
+        "merged rows must be byte-identical to the local run despite the mid-chunk death"
+    );
+    assert!(outcome.daemons[0].died, "{:?}", outcome.daemons[0]);
+    assert!(
+        outcome.daemons[0].last_error.is_some(),
+        "{:?}",
+        outcome.daemons[0]
+    );
+    assert!(!outcome.daemons[1].died, "{:?}", outcome.daemons[1]);
+    assert!(
+        outcome.daemons[1].rows >= 6,
+        "the survivor must have absorbed orphans beyond its own shard: {:?}",
+        outcome.daemons[1]
+    );
+    assert_eq!(outcome.report.stats.cells, local.rows.len());
+
+    fake.join().expect("scripted daemon joins");
+    stop_daemon(real_addr, real);
+}
+
+/// A daemon that streams a duplicate row index inside its own chunk is
+/// caught by the worker-side merge contract, declared dead after its
+/// retry budget, and its cells complete on the survivor.
+#[test]
+fn duplicate_rows_are_rejected_and_the_chunk_replays_elsewhere() {
+    let sweep = demo_sweep();
+    let local = sweep.clone().into_sweep().run_default();
+    let local_rows_json = serde_json::to_string(&local.rows).unwrap();
+
+    // Two connections: the probe+first-submission one, then the re-probe+
+    // retry one (submit_attempts = 2) — after which the daemon is dead.
+    let (fake_addr, fake) = scripted_daemon(local.rows.clone(), Sabotage::DuplicateFirstRow, 2);
+    let (real_addr, real) = spawn_daemon(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+
+    let config = coord_config(vec![fake_addr.to_string(), real_addr.to_string()]);
+    let outcome = run_sweep(&sweep, &config).expect("duplicate rows must not sink the sweep");
+
+    assert_eq!(
+        serde_json::to_string(&outcome.report.rows).unwrap(),
+        local_rows_json
+    );
+    assert!(outcome.daemons[0].died, "{:?}", outcome.daemons[0]);
+    let why = outcome.daemons[0].last_error.clone().expect("last error");
+    assert!(
+        why.contains("bad row index"),
+        "the rejection reason names the contract violation: {why}"
+    );
+    assert!(!outcome.daemons[1].died);
+
+    fake.join().expect("scripted daemon joins");
+    stop_daemon(real_addr, real);
+}
+
+/// When *every* daemon dies the run ends in a structured `Incomplete`
+/// error that counts the lost cells — never a hang, never a partial
+/// report passed off as complete.
+#[test]
+fn losing_the_whole_fleet_is_a_structured_incomplete_error() {
+    let sweep = demo_sweep();
+    let local = sweep.clone().into_sweep().run_default();
+    let total = local.rows.len();
+
+    // A single-daemon fleet whose daemon dies after 2 rows of every
+    // chunk, across both submit attempts: 4 rows arrive, the rest are
+    // lost with nobody to fail over to.
+    let (fake_addr, fake) = scripted_daemon(local.rows.clone(), Sabotage::DieAfterRows(2), 2);
+    let config = coord_config(vec![fake_addr.to_string()]);
+    match run_sweep(&sweep, &config) {
+        Err(CoordError::Incomplete { missing, daemons }) => {
+            assert_eq!(missing, total - 4, "two chunks x two streamed rows");
+            assert_eq!(daemons.len(), 1);
+            assert!(daemons[0].died);
+            let rendered = CoordError::Incomplete { missing, daemons }.to_string();
+            assert!(rendered.contains("cells lost"), "{rendered}");
+        }
+        other => panic!("expected Incomplete, got {other:?}"),
+    }
+    fake.join().expect("scripted daemon joins");
+}

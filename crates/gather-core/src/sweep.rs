@@ -408,6 +408,51 @@ impl Deserialize for SweepSpec {
     }
 }
 
+/// A contiguous, half-open range `[start, end)` of cell indices in a grid's
+/// deterministic expansion order ([`SweepSpec::specs`]).
+///
+/// This is the unit of *sub-sweep carving*: a coordinator splits one grid
+/// into per-daemon ranges, each daemon expands only its range via
+/// [`SweepSpec::specs_range`], and the merged rows — keyed by their global
+/// cell index — are byte-identical to a single local [`Sweep::run`] because
+/// every executor derives the same cell from the same index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellRange {
+    /// First cell index covered (inclusive).
+    pub start: usize,
+    /// First cell index *not* covered (exclusive). `end < start` behaves as
+    /// the empty range.
+    pub end: usize,
+}
+
+impl CellRange {
+    /// The range `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        CellRange { start, end }
+    }
+
+    /// Number of cells covered (zero when `end <= start`).
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the range covers no cells.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// True when `index` falls inside the range.
+    pub fn contains(&self, index: usize) -> bool {
+        self.start <= index && index < self.end
+    }
+}
+
+impl fmt::Display for CellRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
 impl SweepSpec {
     /// An empty grid with seed axis `[0]` and the default round cap.
     pub fn new() -> Self {
@@ -443,6 +488,60 @@ impl SweepSpec {
             .saturating_mul(self.algorithms.len())
             .saturating_mul(self.seeds.len().max(1))
             .saturating_mul(self.faults.len().max(1))
+    }
+
+    /// The scenario at position `index` of the deterministic expansion
+    /// order, derived by mixed-radix index arithmetic instead of
+    /// materializing the grid — `spec.cell_at(i) == spec.specs()[i]` for
+    /// every in-range `i`. Returns `None` past [`SweepSpec::cells`].
+    ///
+    /// The axis order is graph → placement → algorithm → seed → fault plan
+    /// (fault plan varies fastest), exactly as [`Sweep::specs`] nests its
+    /// loops; an empty seed axis behaves as the single seed 0 and an empty
+    /// fault axis as the single fault-free plan, mirroring the expansion.
+    pub fn cell_at(&self, index: usize) -> Option<ScenarioSpec> {
+        if index >= self.cells() {
+            return None;
+        }
+        let fault_len = self.faults.len().max(1);
+        let seed_len = self.seeds.len().max(1);
+        let mut rest = index;
+        let fault_i = rest % fault_len;
+        rest /= fault_len;
+        let seed_i = rest % seed_len;
+        rest /= seed_len;
+        let algo_i = rest % self.algorithms.len();
+        rest /= self.algorithms.len();
+        let place_i = rest % self.placements.len();
+        let graph_i = rest / self.placements.len();
+        let seed = self.seeds.get(seed_i).copied().unwrap_or(0);
+        let mut spec = ScenarioSpec::new(
+            self.graphs[graph_i],
+            self.placements[place_i],
+            self.algorithms[algo_i].clone(),
+        )
+        .with_seed(seed)
+        .with_max_rounds(self.max_rounds);
+        if let Some(faults) = self.faults.get(fault_i) {
+            if !faults.is_empty() {
+                spec = spec.with_faults(faults.clone());
+            }
+        }
+        Some(spec)
+    }
+
+    /// Expands only the cells of `range` (clamped to the grid), in global
+    /// expansion order — the sub-sweep a sharded executor runs. Carving is
+    /// exact: concatenating the carvings of any partition of `[0, cells())`
+    /// reproduces [`SweepSpec::specs`] element for element, which is what
+    /// makes a multi-daemon sweep's merged rows byte-identical to a local
+    /// run.
+    pub fn specs_range(&self, range: CellRange) -> Vec<ScenarioSpec> {
+        let end = range.end.min(self.cells());
+        let start = range.start.min(end);
+        (start..end)
+            .map(|i| self.cell_at(i).expect("index is in range"))
+            .collect()
     }
 
     /// Serializes to compact JSON.
@@ -950,6 +1049,81 @@ mod tests {
             serde_json::to_string(&second.rows[0]).unwrap()
         );
         assert!(second.rows[0].degradation.is_some());
+    }
+
+    #[test]
+    fn cell_at_matches_the_materialized_expansion() {
+        let spec = tiny_sweep()
+            .faults([FaultPlan::default(), FaultPlan::new(1).crash(2, 3)])
+            .to_spec();
+        let all = spec.specs();
+        assert_eq!(all.len(), spec.cells());
+        for (i, expected) in all.iter().enumerate() {
+            assert_eq!(spec.cell_at(i).as_ref(), Some(expected), "cell {i}");
+        }
+        assert_eq!(spec.cell_at(all.len()), None);
+        assert_eq!(spec.cell_at(usize::MAX), None);
+    }
+
+    #[test]
+    fn carved_ranges_partition_the_grid_exactly() {
+        let spec = tiny_sweep().to_spec();
+        let all = spec.specs();
+        // Every chunking of [0, cells) concatenates back to specs().
+        for chunk in [1, 2, 3, 5, all.len(), all.len() + 7] {
+            let mut glued = Vec::new();
+            let mut start = 0;
+            while start < all.len() {
+                let end = (start + chunk).min(all.len());
+                glued.extend(spec.specs_range(CellRange::new(start, end)));
+                start = end;
+            }
+            assert_eq!(glued, all, "chunk size {chunk}");
+        }
+        // Out-of-range and inverted ranges clamp to empty instead of
+        // panicking — hostile coordinators cannot crash a daemon with them.
+        assert!(spec
+            .specs_range(CellRange::new(all.len(), all.len() + 9))
+            .is_empty());
+        assert!(spec.specs_range(CellRange::new(5, 2)).is_empty());
+        assert_eq!(
+            spec.specs_range(CellRange::new(2, usize::MAX)),
+            all[2..].to_vec()
+        );
+    }
+
+    #[test]
+    fn carving_handles_empty_seed_and_fault_axes_like_the_expansion() {
+        // A hand-built spec with an empty seed axis: `specs()` (via
+        // `into_sweep`) substitutes the single seed 0, and carving must
+        // agree.
+        let spec = SweepSpec {
+            graphs: vec![GraphSpec::new(Family::Cycle, 6)],
+            placements: vec![PlacementSpec::new(PlacementKind::UndispersedRandom, 3)],
+            algorithms: vec![AlgorithmSpec::new("faster_gathering")],
+            seeds: Vec::new(),
+            max_rounds: 777,
+            faults: Vec::new(),
+        };
+        assert_eq!(spec.cells(), 1);
+        let all = spec.specs();
+        assert_eq!(spec.specs_range(CellRange::new(0, 1)), all);
+        assert_eq!(all[0].seed, 0);
+        assert_eq!(all[0].max_rounds, 777);
+    }
+
+    #[test]
+    fn cell_range_len_contains_and_display() {
+        let r = CellRange::new(3, 7);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert!(r.contains(3) && r.contains(6));
+        assert!(!r.contains(7) && !r.contains(2));
+        assert_eq!(r.to_string(), "[3, 7)");
+        assert!(CellRange::new(5, 5).is_empty());
+        assert_eq!(CellRange::new(9, 2).len(), 0, "inverted ranges are empty");
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<CellRange>(&json).unwrap(), r);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! the grid actually ran.
 
 use crate::protocol::{read_frame, write_frame, FrameError, Request, Response, PROTOCOL_VERSION};
-use gather_core::sweep::{SweepReport, SweepRow, SweepSpec, SweepStats};
+use gather_core::sweep::{CellRange, SweepReport, SweepRow, SweepSpec, SweepStats};
 use std::fmt;
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -290,9 +290,14 @@ impl Client {
     fn recv(&mut self) -> Result<Response, ClientError> {
         match read_frame::<Response>(&mut self.reader)? {
             Some(response) => Ok(response),
-            None => Err(ClientError::Protocol(
-                "daemon closed the connection mid-conversation".to_string(),
-            )),
+            // A clean close mid-conversation is a *transport* failure (the
+            // daemon is gone), not a protocol violation: retry loops and
+            // coordinators must classify it as daemon death, retryable
+            // against a restarted or surviving daemon.
+            None => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection mid-conversation",
+            ))),
         }
     }
 
@@ -308,6 +313,29 @@ impl Client {
         self.send(&Request::SubmitSweep {
             sweep: sweep.clone(),
             workers,
+            range: None,
+        })?;
+        self.expect_accepted()
+    }
+
+    /// Submits one contiguous slice of `sweep`'s cells — a *sub-sweep* —
+    /// and returns its live row stream. The daemon expands only
+    /// `[range.start, range.end)` of the grid's deterministic cell order
+    /// (clamped to the grid), and the streamed rows carry **global** cell
+    /// indices, so shards submitted to different daemons merge back into
+    /// one report without index translation. This is the coordinator's
+    /// building block (`gather-coord`); plain clients usually want
+    /// [`Client::run_sweep`].
+    pub fn submit_sweep_range(
+        &mut self,
+        sweep: &SweepSpec,
+        workers: Option<usize>,
+        range: CellRange,
+    ) -> Result<RowStream<'_>, ClientError> {
+        self.send(&Request::SubmitSweep {
+            sweep: sweep.clone(),
+            workers,
+            range: Some(range),
         })?;
         self.expect_accepted()
     }
@@ -500,6 +528,17 @@ impl RowStream<'_> {
     /// The job's execution stats; `Some` once the stream ended with `Done`.
     pub fn stats(&self) -> Option<SweepStats> {
         self.stats
+    }
+
+    /// Consumes the stream *without* draining the remaining frames,
+    /// leaving the connection mid-stream — **not frame-aligned**. The
+    /// caller must discard the underlying [`Client`] instead of reusing
+    /// it. This is for callers that have already decided the daemon is
+    /// dead or untrustworthy (the coordinator's fail-over path): the
+    /// default `Drop` drain would block on a daemon that keeps the
+    /// connection open but never finishes the job.
+    pub fn abandon(mut self) {
+        self.finished = true;
     }
 }
 

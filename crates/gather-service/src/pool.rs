@@ -1,0 +1,248 @@
+//! A small pool of daemon connections with a liveness probe — the
+//! coordinator's view of its fleet.
+//!
+//! [`ClientPool`] holds one *slot* per configured daemon address. A slot
+//! either caches an open [`Client`] or is empty; [`ClientPool::take`]
+//! hands out the cached connection (dialing a fresh one, with the pool's
+//! [`ClientConfig`] retry/backoff policy, when the slot is empty) and
+//! [`ClientPool::put`] returns it for reuse. This keeps one long-lived
+//! connection per daemon across many shard submissions instead of a dial
+//! per chunk, while still re-dialing transparently after a daemon restart.
+//!
+//! Liveness is probed **in-band**: [`ClientPool::probe`] performs a
+//! daemon-level `Status { job: None }` → `Progress` round-trip on the
+//! pooled connection — the cheapest request the protocol has, answered
+//! without touching the worker pool — so "alive" means *the daemon is
+//! serving requests*, not merely *the port accepts TCP*. A failed probe
+//! discards the cached connection, so the next [`ClientPool::take`]
+//! starts from a clean dial.
+//!
+//! The pool is [`Sync`]: slots sit behind one mutex, but the lock is held
+//! only to move connections in and out — never across network I/O by
+//! `take`/`put` (`probe` holds it for one round-trip, which is the point:
+//! probes and checkouts of the same slot must not interleave).
+
+use crate::client::{Client, ClientConfig, ClientError};
+use std::io;
+use std::sync::Mutex;
+
+/// A fixed-size pool of daemon connections, one slot per address.
+pub struct ClientPool {
+    addrs: Vec<String>,
+    config: ClientConfig,
+    slots: Mutex<Vec<Option<Client>>>,
+}
+
+impl ClientPool {
+    /// A pool over `addrs`, dialing with `config` (its connect/backoff
+    /// policy applies to every dial the pool performs).
+    pub fn new(addrs: Vec<String>, config: ClientConfig) -> ClientPool {
+        let slots = Mutex::new((0..addrs.len()).map(|_| None).collect());
+        ClientPool {
+            addrs,
+            config,
+            slots,
+        }
+    }
+
+    /// Number of slots (configured daemon addresses).
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// `true` when the pool was built over no addresses at all.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// The address behind slot `index`.
+    ///
+    /// # Panics
+    /// Panics when `index` is out of range, like slice indexing.
+    pub fn addr(&self, index: usize) -> &str {
+        &self.addrs[index]
+    }
+
+    /// The dial policy this pool was built with.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Checks out slot `index`'s connection: the cached one when present,
+    /// otherwise a fresh dial under the pool's config. The caller owns the
+    /// connection until [`ClientPool::put`] returns it (or drops it on
+    /// failure — the slot simply stays empty).
+    ///
+    /// # Panics
+    /// Panics when `index` is out of range.
+    pub fn take(&self, index: usize) -> Result<Client, ClientError> {
+        assert!(index < self.addrs.len(), "pool slot {index} out of range");
+        let cached = {
+            let mut slots = self.slots.lock().expect("pool lock poisoned");
+            slots[index].take()
+        };
+        match cached {
+            Some(client) => Ok(client),
+            None => Client::connect_with_config(self.addrs[index].as_str(), &self.config)
+                .map_err(ClientError::Io),
+        }
+    }
+
+    /// Returns a connection to slot `index` for reuse. Only hand back
+    /// connections that are frame-aligned (no abandoned stream in flight);
+    /// on any transport error, drop the client instead.
+    ///
+    /// # Panics
+    /// Panics when `index` is out of range.
+    pub fn put(&self, index: usize, client: Client) {
+        let mut slots = self.slots.lock().expect("pool lock poisoned");
+        slots[index] = Some(client);
+    }
+
+    /// Empties slot `index`, closing any cached connection, so the next
+    /// [`ClientPool::take`] dials fresh. Useful after a daemon is known to
+    /// have restarted.
+    pub fn evict(&self, index: usize) {
+        if index >= self.addrs.len() {
+            return;
+        }
+        let mut slots = self.slots.lock().expect("pool lock poisoned");
+        slots[index] = None;
+    }
+
+    /// Probes slot `index` for liveness with a daemon-level
+    /// `Status { job: None }` request, answered by a `Progress` frame
+    /// straight from the scheduler's counters. Returns `true` when the
+    /// round-trip succeeds; on failure the (possibly stale) cached
+    /// connection is discarded and `false` comes back. Out-of-range
+    /// indices are simply dead.
+    pub fn probe(&self, index: usize) -> bool {
+        if index >= self.addrs.len() {
+            return false;
+        }
+        let mut slots = self.slots.lock().expect("pool lock poisoned");
+        let mut client = match slots[index].take() {
+            Some(client) => client,
+            None => match Client::connect_with_config(self.addrs[index].as_str(), &self.config) {
+                Ok(client) => client,
+                Err(_) => return false,
+            },
+        };
+        match client.status(None) {
+            Ok(_) => {
+                slots[index] = Some(client);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Probes every slot; `result[i]` is slot `i`'s liveness.
+    pub fn probe_all(&self) -> Vec<bool> {
+        (0..self.addrs.len()).map(|i| self.probe(i)).collect()
+    }
+}
+
+impl std::fmt::Debug for ClientPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let open: usize = {
+            let slots = self.slots.lock().expect("pool lock poisoned");
+            slots.iter().filter(|s| s.is_some()).count()
+        };
+        f.debug_struct("ClientPool")
+            .field("addrs", &self.addrs)
+            .field("open", &open)
+            .finish()
+    }
+}
+
+/// Convenience: a pool error when no daemon in the fleet is reachable.
+pub fn no_live_daemons() -> ClientError {
+    ClientError::Io(io::Error::new(
+        io::ErrorKind::NotConnected,
+        "no live daemons in the pool",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use std::time::Duration;
+
+    fn quick_config() -> ClientConfig {
+        ClientConfig {
+            connect_attempts: 1,
+            connect_timeout: Some(Duration::from_millis(250)),
+            read_timeout: Some(Duration::from_secs(5)),
+            ..ClientConfig::default()
+        }
+    }
+
+    #[test]
+    fn probe_round_trips_against_a_live_daemon_and_caches_the_connection() {
+        let server = Server::bind(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let daemon = std::thread::spawn(move || server.run());
+
+        let pool = ClientPool::new(vec![addr], quick_config());
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.is_empty());
+        assert!(pool.probe(0), "a serving daemon must probe live");
+        // The probe parked its connection; take() reuses it and put()
+        // returns it.
+        let client = pool.take(0).unwrap();
+        pool.put(0, client);
+        assert_eq!(pool.probe_all(), vec![true]);
+
+        let mut client = pool.take(0).unwrap();
+        client.shutdown().unwrap();
+        daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn probe_fails_on_a_dead_port_and_discards_the_stale_connection() {
+        // Bind, learn the port, drop the listener: connects are refused.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let pool = ClientPool::new(vec![addr], quick_config());
+        assert!(!pool.probe(0));
+        assert!(pool.take(0).is_err(), "dial must fail too");
+        // Out-of-range probes are dead, not panics.
+        assert!(!pool.probe(7));
+        pool.evict(7); // out of range: no-op
+        assert!(matches!(no_live_daemons(), ClientError::Io(_)));
+    }
+
+    #[test]
+    fn a_killed_daemon_turns_its_slot_dead_until_evict_plus_restart() {
+        let server = Server::bind(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let daemon = std::thread::spawn(move || server.run());
+
+        let pool = ClientPool::new(vec![addr], quick_config());
+        assert!(pool.probe(0));
+
+        // Kill the daemon out from under the pooled connection.
+        let mut killer = pool.take(0).unwrap();
+        killer.shutdown().unwrap();
+        drop(killer);
+        daemon.join().unwrap().unwrap();
+
+        // The slot is empty (the killer connection was never put back);
+        // probing dials the dead port and reports dead.
+        assert!(!pool.probe(0));
+        pool.evict(0);
+        assert!(!pool.probe(0));
+    }
+}

@@ -8,13 +8,13 @@
 //! serde's externally-tagged enum layout, so a request line reads like
 //!
 //! ```text
-//! {"SubmitSweep":{"sweep":{...},"workers":null}}
+//! {"SubmitSweep":{"sweep":{...},"workers":null,"range":null}}
 //! ```
 //!
 //! and the response stream for a 2-cell sweep like
 //!
 //! ```text
-//! {"Accepted":{"job":1,"cells":2,"protocol":1}}
+//! {"Accepted":{"job":1,"cells":2,"protocol":2}}
 //! {"Row":{"job":1,"index":1,"row":{...}}}
 //! {"Row":{"job":1,"index":0,"row":{...}}}
 //! {"Done":{"job":1,"stats":{"cells":2,"cache_hits":0,...}}}
@@ -25,11 +25,19 @@
 //! clients reassemble the deterministic report order regardless of how the
 //! grid was sharded across workers.
 //!
+//! The full normative specification — every frame with JSON examples, the
+//! framing rules, version negotiation, and the coordinator's re-dispatch
+//! contract — lives in `docs/PROTOCOL.md` at the repository root; this
+//! module is its executable counterpart and the two are kept in lockstep.
+//!
 //! ## Versioning
 //!
 //! [`PROTOCOL_VERSION`] is echoed in every [`Response::Accepted`]; clients
 //! reject a mismatch instead of misinterpreting frames. Bump the constant
-//! whenever a frame's meaning or layout changes.
+//! whenever a frame's meaning or layout changes (v2: ranged submissions —
+//! [`Request::SubmitSweep`] gained `range`, and [`Response::Row`] indices
+//! are *global* grid positions, identical to the v1 meaning for full-grid
+//! submissions).
 //!
 //! ## Robustness
 //!
@@ -41,13 +49,18 @@
 
 use gather_core::artifact::ArtifactStats;
 use gather_core::scenario::ScenarioSpec;
-use gather_core::sweep::{SweepRow, SweepSpec, SweepStats};
+use gather_core::sweep::{CellRange, SweepRow, SweepSpec, SweepStats};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
 /// Version of the frame layout; echoed in every [`Response::Accepted`].
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2 added sub-sweep carving: `SubmitSweep.range` selects a contiguous
+/// slice of the grid's cells, and `Row.index` is the cell's *global*
+/// position in the full expansion (unchanged for full-grid submissions,
+/// where the two notions coincide).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Hard cap on one frame's length in bytes (newline excluded). Oversized
 /// frames are rejected without buffering them, so a hostile or broken peer
@@ -66,8 +79,9 @@ pub const MAX_CELLS_PER_SUBMIT: usize = 100_000;
 /// Client → daemon messages.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
-    /// Submit a whole sweep grid. The daemon shards the expanded cells over
-    /// its worker pool and streams one [`Response::Row`] per cell.
+    /// Submit a sweep grid — all of it, or (with `range`) one contiguous
+    /// slice of its cells. The daemon shards the expanded cells over its
+    /// worker pool and streams one [`Response::Row`] per cell.
     SubmitSweep {
         /// The grid to run.
         sweep: SweepSpec,
@@ -75,6 +89,16 @@ pub enum Request {
         /// concurrently (`None`: the whole pool). Sharding is deterministic
         /// in content: any worker count produces the same row set.
         workers: Option<usize>,
+        /// The cell slice to run (`None`: the whole grid). A sub-sweep: the
+        /// daemon expands only `[range.start, range.end)` of the grid's
+        /// deterministic cell order via
+        /// [`gather_core::sweep::SweepSpec::specs_range`], and its `Row`
+        /// frames carry *global* indices so a coordinator can merge shards
+        /// from many daemons without translation. Ranges are clamped to the
+        /// grid; an inverted range is the empty job. Serialized as `null`
+        /// when `None`, and tolerated as absent, so v1-era captures still
+        /// parse.
+        range: Option<CellRange>,
     },
     /// Submit a single scenario — a one-cell sweep.
     SubmitScenario {
@@ -306,6 +330,12 @@ mod tests {
             Request::SubmitSweep {
                 sweep: demo_sweep(),
                 workers: Some(4),
+                range: None,
+            },
+            Request::SubmitSweep {
+                sweep: demo_sweep(),
+                workers: None,
+                range: Some(CellRange::new(1, 2)),
             },
             Request::Status { job: Some(7) },
             Request::Status { job: None },
@@ -383,6 +413,26 @@ mod tests {
             let got: Response = read_frame(&mut reader).unwrap().unwrap();
             assert_eq!(&got, resp);
         }
+    }
+
+    #[test]
+    fn v1_submit_frames_without_a_range_key_still_parse() {
+        // A capture from before ranged submissions existed: no "range" key
+        // at all. The Option field must default to None, not fail.
+        let line = format!(
+            "{{\"SubmitSweep\":{{\"sweep\":{},\"workers\":3}}}}\n",
+            demo_sweep().to_json()
+        );
+        let mut reader = BufReader::new(line.as_bytes());
+        let got: Request = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(
+            got,
+            Request::SubmitSweep {
+                sweep: demo_sweep(),
+                workers: Some(3),
+                range: None,
+            }
+        );
     }
 
     #[test]

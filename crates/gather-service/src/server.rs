@@ -23,6 +23,7 @@ use crate::scheduler::{JobEvent, Scheduler};
 use gather_core::artifact::ArtifactCache;
 use gather_core::cache::{CachePolicy, ResultStore};
 use gather_core::scenario::ScenarioSpec;
+use gather_core::sweep::CellRange;
 use gather_sim::runner;
 use std::io::{self, BufReader};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
@@ -178,11 +179,23 @@ fn handle_connection(
             }
         };
         match request {
-            Request::SubmitSweep { sweep, workers } => {
+            Request::SubmitSweep {
+                sweep,
+                workers,
+                range,
+            } => {
                 // Count cells *before* expanding: a tiny frame can describe
                 // an enormous cartesian grid, and materializing it would
-                // defeat the frame-size cap's memory guarantee.
-                let cells = sweep.cells();
+                // defeat the frame-size cap's memory guarantee. A ranged
+                // submission is counted by its clamped slice, so a
+                // coordinator can carve a grid whose *total* exceeds the
+                // per-submission limit into legal shards.
+                let total = sweep.cells();
+                let range = match range {
+                    Some(r) => CellRange::new(r.start.min(total), r.end.min(total)),
+                    None => CellRange::new(0, total),
+                };
+                let cells = range.len();
                 if cells > MAX_CELLS_PER_SUBMIT {
                     write_frame(
                         &mut writer,
@@ -196,11 +209,17 @@ fn handle_connection(
                         },
                     )?;
                 } else {
-                    stream_job(&mut writer, scheduler, sweep.specs(), workers)?;
+                    stream_job(
+                        &mut writer,
+                        scheduler,
+                        sweep.specs_range(range),
+                        workers,
+                        range.start,
+                    )?;
                 }
             }
             Request::SubmitScenario { scenario } => {
-                stream_job(&mut writer, scheduler, vec![scenario], None)?;
+                stream_job(&mut writer, scheduler, vec![scenario], None, 0)?;
             }
             Request::Status { job: Some(id) } => {
                 let response = match scheduler.progress(id) {
@@ -277,14 +296,17 @@ fn handle_connection(
     }
 }
 
-/// Submits `specs` and forwards its event stream as frames. On a write
-/// failure (client went away mid-stream) the job is cancelled so workers
-/// stop spending time on it.
+/// Submits `specs` and forwards its event stream as frames. `offset` is
+/// the global grid index of the first spec (nonzero for ranged
+/// submissions): the scheduler numbers cells job-locally, while `Row`
+/// frames carry global indices. On a write failure (client went away
+/// mid-stream) the job is cancelled so workers stop spending time on it.
 fn stream_job(
     writer: &mut TcpStream,
     scheduler: &Scheduler,
     specs: Vec<ScenarioSpec>,
     workers: Option<usize>,
+    offset: usize,
 ) -> io::Result<()> {
     let cells = specs.len();
     let (job, events) = scheduler.submit(specs, workers);
@@ -303,7 +325,7 @@ fn stream_job(
                 writer,
                 &Response::Row {
                     job: job.id,
-                    index,
+                    index: offset + index,
                     row,
                 },
             )

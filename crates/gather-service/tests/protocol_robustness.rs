@@ -246,6 +246,7 @@ fn mid_stream_disconnect_cancels_the_job_and_daemon_survives() {
             &Request::SubmitSweep {
                 sweep: sweep.clone(),
                 workers: Some(1),
+                range: None,
             },
         )
         .expect("submit");

@@ -20,7 +20,12 @@
 //! * [`service`] — the sweep daemon: a newline-delimited JSON protocol
 //!   over TCP, a sharded worker pool behind a shared result cache, and the
 //!   [`service::Client`] library (binaries: `gather-serve`,
-//!   `gather-submit`).
+//!   `gather-submit`);
+//! * [`coord`] — the distributed sweep coordinator: range-splits one grid
+//!   across a fleet of daemons, streams shards back with backpressure,
+//!   re-dispatches a dead daemon's cells to survivors and steals work from
+//!   slow shards (binary: `gather-coord`). See `docs/ARCHITECTURE.md` for
+//!   the full crate map and `docs/PROTOCOL.md` for the wire contract.
 //!
 //! ## Quickstart
 //!
@@ -70,6 +75,7 @@
 #![warn(missing_docs)]
 
 pub use gather_check as check;
+pub use gather_coord as coord;
 pub use gather_core as core;
 pub use gather_graph as graph;
 pub use gather_map as map;
@@ -80,6 +86,7 @@ pub use gather_uxs as uxs;
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
     pub use gather_check::{run_check, CheckReport, CheckSpec, Counterexample, Verdict, Violation};
+    pub use gather_coord::{run_sweep, CoordConfig, CoordError, CoordOutcome, DaemonReport};
     pub use gather_core::artifact::{ArtifactCache, ArtifactStats};
     pub use gather_core::cache::{
         spec_key, CacheEntry, CachePolicy, DirStore, MemStore, ResultStore, ENGINE_VERSION,
@@ -90,7 +97,7 @@ pub mod prelude {
         AlgorithmSpec, GraphSpec, LabelSpec, PlacementSpec, ScenarioError, ScenarioOutcome,
         ScenarioSpec,
     };
-    pub use gather_core::sweep::{Sweep, SweepReport, SweepRow, SweepSpec, SweepStats};
+    pub use gather_core::sweep::{CellRange, Sweep, SweepReport, SweepRow, SweepSpec, SweepStats};
     pub use gather_core::{
         analysis, Algorithm, FasterRobot, GatherConfig, HopMeetingRobot, UndispersedRobot,
         UxsGatherRobot,
@@ -98,7 +105,8 @@ pub mod prelude {
     pub use gather_graph::generators::Family;
     pub use gather_graph::{algo, dot, generators, GraphBuilder, PortGraph};
     pub use gather_service::{
-        Client, ClientError, Request, Response, RowStream, Server, ServerConfig, PROTOCOL_VERSION,
+        Client, ClientError, ClientPool, Request, Response, RowStream, Server, ServerConfig,
+        PROTOCOL_VERSION,
     };
     pub use gather_sim::{
         placement, Action, DynMsg, DynRobot, Inbox, Observation, Placement, PlacementKind, Robot,
@@ -150,6 +158,47 @@ mod tests {
 
         client.shutdown().unwrap();
         daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn the_coordinator_is_reachable_through_the_prelude() {
+        use std::sync::Arc;
+        let fleet: Vec<_> = (0..2)
+            .map(|_| {
+                let server = Server::bind(ServerConfig {
+                    workers: 2,
+                    store: Some(Arc::new(MemStore::new())),
+                    policy: CachePolicy::ReadWrite,
+                    ..ServerConfig::default()
+                })
+                .unwrap();
+                let addr = server.local_addr().unwrap();
+                let daemon = std::thread::spawn(move || server.run());
+                (addr, daemon)
+            })
+            .collect();
+
+        let sweep = Sweep::new()
+            .graph(GraphSpec::new(Family::Cycle, 5))
+            .placement(PlacementSpec::new(PlacementKind::AllOnOneNode, 2))
+            .algorithm(AlgorithmSpec::new(Algorithm::Undispersed.name()))
+            .seeds([1, 2])
+            .to_spec();
+        let local = sweep.clone().into_sweep().run_default();
+
+        let config = CoordConfig {
+            addrs: fleet.iter().map(|(a, _)| a.to_string()).collect(),
+            ..CoordConfig::default()
+        };
+        let outcome = run_sweep(&sweep, &config).unwrap();
+        assert_eq!(outcome.report.rows, local.rows);
+        assert_eq!(outcome.daemons.len(), 2);
+
+        for (addr, daemon) in fleet {
+            let mut client = Client::connect(addr).unwrap();
+            client.shutdown().unwrap();
+            daemon.join().unwrap().unwrap();
+        }
     }
 
     #[test]

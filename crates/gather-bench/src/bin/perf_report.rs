@@ -33,6 +33,7 @@ use gather_core::sweep::Sweep;
 use gather_core::{registry, GatherConfig};
 use gather_graph::generators::{self, Family};
 use gather_graph::PortGraph;
+use gather_obs::MetricSample;
 use gather_sim::placement::{self, Placement, PlacementKind};
 use gather_sim::SimConfig;
 use serde::{Deserialize, Serialize};
@@ -72,6 +73,17 @@ struct SweepThroughput {
     speedup_vs_baseline: Option<f64>,
 }
 
+/// Engine and artifact-cache telemetry captured from the process-global
+/// [`gather_obs`] registry after the timed runs: every `engine_*` and
+/// `artifact_*` sample, including the rounds/sec and build-time
+/// histograms' quantiles. `None` in reports predating the registry (the
+/// regression gate ignores it — telemetry records *what ran*, the timed
+/// numbers above record *how fast*).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EngineTelemetry {
+    samples: Vec<MetricSample>,
+}
+
 /// The full report written to `results/BENCH_engine.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct EngineBench {
@@ -79,6 +91,7 @@ struct EngineBench {
     timing_iterations: u32,
     scenarios: Vec<ScenarioRow>,
     sweep: SweepThroughput,
+    telemetry: Option<EngineTelemetry>,
 }
 
 /// One side (instance cache on or off) of the sweep-throughput benchmark.
@@ -542,11 +555,32 @@ fn main() {
         }
     }
 
+    // Capture the engine's and artifact cache's own counters — cumulative
+    // over every run above — so the trajectory records the workload's
+    // shape (rounds, messages, cache hits, histogram quantiles) next to
+    // its timings.
+    let telemetry = {
+        let samples: Vec<MetricSample> = gather_obs::Registry::global()
+            .snapshot()
+            .samples
+            .into_iter()
+            .filter(|s| s.name.starts_with("engine_") || s.name.starts_with("artifact_"))
+            .collect();
+        if let Some(rps) = samples.iter().find(|s| s.name == "engine_rounds_per_sec") {
+            eprintln!(
+                "engine telemetry: rounds/sec histogram p50={} p90={} p99={} over {} runs",
+                rps.p50, rps.p90, rps.p99, rps.count
+            );
+        }
+        (!samples.is_empty()).then_some(EngineTelemetry { samples })
+    };
+
     let bench = EngineBench {
         quick,
         timing_iterations: iters,
         scenarios,
         sweep,
+        telemetry,
     };
     std::fs::create_dir_all(&dir).ok();
     let path = dir.join("BENCH_engine.json");

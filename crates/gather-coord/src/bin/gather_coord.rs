@@ -5,6 +5,7 @@
 //! gather-coord SWEEP.json --daemon HOST:PORT [--daemon HOST:PORT ...]
 //!              [--workers N] [--chunk N] [--out ROWS.json]
 //!              [--expect-all-hits] [--max-dead N]
+//!              [--progress SECS] [--metrics-addr HOST:PORT]
 //! ```
 //!
 //! The grid is range-split across the live daemons, streamed back with
@@ -16,7 +17,12 @@
 //! any number of deaths is tolerated as long as the grid completes).
 //!
 //! The per-slot summary (chunks, rows, cache hits, deaths) prints to
-//! stderr, one line per daemon, plus a fleet stats line.
+//! stderr, one line per daemon, plus a fleet stats line. A long sweep is
+//! otherwise silent; `--progress SECS` prints a periodic stderr line with
+//! merged cells vs total, merge-queue depth, re-dispatch/steal counts and
+//! per-daemon row rates. `--metrics-addr` serves the coordinator's own
+//! metrics registry (plus per-daemon counters) as Prometheus text over
+//! plain TCP, exactly like `gather-serve --metrics-addr`.
 
 use gather_coord::{run_sweep, ClientConfig, CoordConfig, CoordError};
 use gather_core::sweep::SweepSpec;
@@ -27,7 +33,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: gather-coord SWEEP.json --daemon HOST:PORT [--daemon HOST:PORT ...]\n\
          \x20      [--workers N] [--chunk N] [--out ROWS.json] [--expect-all-hits]\n\
-         \x20      [--max-dead N]"
+         \x20      [--max-dead N] [--progress SECS] [--metrics-addr HOST:PORT]"
     );
     exit(2);
 }
@@ -47,6 +53,8 @@ fn main() {
     let mut out: Option<String> = None;
     let mut expect_all_hits = false;
     let mut max_dead: Option<usize> = None;
+    let mut progress: Option<u64> = None;
+    let mut metrics_addr: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,6 +71,8 @@ fn main() {
             "--out" => out = Some(value("--out")),
             "--expect-all-hits" => expect_all_hits = true,
             "--max-dead" => max_dead = Some(parse_num("--max-dead", &value("--max-dead"))),
+            "--progress" => progress = Some(parse_num("--progress", &value("--progress")) as u64),
+            "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")),
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {
                 eprintln!("gather-coord: unknown argument `{other}`");
@@ -113,8 +123,19 @@ fn main() {
         },
         workers,
         chunk,
+        progress: progress.map(|secs| Duration::from_secs(secs.max(1))),
         ..CoordConfig::default()
     };
+
+    if let Some(addr) = &metrics_addr {
+        match gather_obs::endpoint::serve(addr, gather_obs::Registry::global()) {
+            Ok(bound) => eprintln!("gather-coord: telemetry on http://{bound}/metrics"),
+            Err(e) => {
+                eprintln!("gather-coord: cannot bind metrics endpoint {addr}: {e}");
+                exit(1);
+            }
+        }
+    }
 
     let outcome = match run_sweep(&sweep, &config) {
         Ok(outcome) => outcome,

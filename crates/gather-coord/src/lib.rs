@@ -48,17 +48,59 @@ pub mod plan;
 
 use gather_core::artifact::ArtifactStats;
 use gather_core::sweep::{CellRange, SweepReport, SweepRow, SweepSpec, SweepStats};
+use gather_obs::{trace, Counter, Gauge, MetricsSnapshot, Registry};
 use gather_service::client::Client;
 use gather_service::pool::ClientPool;
 use plan::Plan;
 use serde::Serialize;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 pub use gather_service::client::ClientConfig;
 pub use gather_service::pool::ClientPool as FleetPool;
+
+/// Process-global coordinator metrics ([`gather_obs::Registry::global`]).
+/// Counters are cumulative across every coordinated sweep in this process;
+/// [`run_sweep`] baselines them at start when it needs per-run deltas (the
+/// `--progress` reporter).
+struct CoordObs {
+    /// Cells returned to the plan for re-dispatch (failed chunks plus
+    /// abandoned shards).
+    redispatch: Arc<Counter>,
+    /// Work-steal events (one per shard split).
+    steals: Arc<Counter>,
+    /// Rows placed into the merged grid.
+    rows_merged: Arc<Counter>,
+    /// Chunks that completed daemon-side.
+    chunks: Arc<Counter>,
+    /// Events currently buffered in the bounded merge queue. Reconciles to
+    /// zero after a clean run; a merge-contract abort may strand a few.
+    merge_queue_depth: Arc<Gauge>,
+}
+
+fn coord_obs() -> &'static CoordObs {
+    static OBS: OnceLock<CoordObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = Registry::global();
+        CoordObs {
+            redispatch: r.counter("coord_redispatch_total"),
+            steals: r.counter("coord_steals_total"),
+            rows_merged: r.counter("coord_rows_merged_total"),
+            chunks: r.counter("coord_chunks_total"),
+            merge_queue_depth: r.gauge("coord_merge_queue_depth"),
+        }
+    })
+}
+
+/// The labeled per-daemon row counter (`coord_rows_total{daemon="..."}`),
+/// one series per fleet address — the `--progress` reporter diffs these
+/// for per-daemon rates.
+fn daemon_rows_counter(addr: &str) -> Arc<Counter> {
+    Registry::global().counter(&format!("coord_rows_total{{daemon=\"{addr}\"}}"))
+}
 
 /// Everything [`run_sweep`] needs to drive a fleet.
 #[derive(Debug, Clone)]
@@ -80,6 +122,12 @@ pub struct CoordConfig {
     /// behind, workers block on the full queue — backpressure — instead
     /// of buffering the fleet's output unboundedly.
     pub queue: usize,
+    /// Emit a progress line on stderr about this often (`None`: stay
+    /// silent). Each line reports merged cells vs the grid total, the
+    /// merge-queue depth, cumulative re-dispatch/steal counts and
+    /// per-daemon row rates — so a long sweep is observable without
+    /// attaching to the telemetry endpoint.
+    pub progress: Option<Duration>,
 }
 
 impl Default for CoordConfig {
@@ -90,6 +138,7 @@ impl Default for CoordConfig {
             workers: None,
             chunk: None,
             queue: 256,
+            progress: None,
         }
     }
 }
@@ -156,6 +205,11 @@ pub struct DaemonReport {
     /// The daemon's instance-cache counters after the run (`None` for
     /// dead daemons or instance-sharing-disabled daemons).
     pub artifacts: Option<ArtifactStats>,
+    /// The daemon's full metrics registry, pulled in-band over the
+    /// `Metrics` protocol frame after the run. `None` for dead daemons
+    /// and for daemons predating the frame (they answer a structured
+    /// error, which is tolerated rather than failing the sweep).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// A merged coordinated sweep: the report plus per-daemon accounting.
@@ -232,7 +286,13 @@ pub fn run_sweep(spec: &SweepSpec, config: &CoordConfig) -> Result<CoordOutcome,
         artifacts: None,
     };
 
+    let stop_reporter = AtomicBool::new(false);
     std::thread::scope(|scope| {
+        if let Some(interval) = config.progress {
+            let addrs: Vec<String> = live.iter().map(|&i| pool.addr(i).to_string()).collect();
+            let stop = &stop_reporter;
+            scope.spawn(move || progress_loop(interval, total, stop, &addrs));
+        }
         let mut handles = Vec::with_capacity(live.len());
         for (slot, &pool_idx) in live.iter().enumerate() {
             let tx = tx.clone();
@@ -250,6 +310,7 @@ pub fn run_sweep(spec: &SweepSpec, config: &CoordConfig) -> Result<CoordOutcome,
             let (slot, report) = handle.join().expect("coordinator worker panicked");
             daemons[slot] = Some(report);
         }
+        stop_reporter.store(true, Ordering::Relaxed);
     });
 
     let daemons: Vec<DaemonReport> = daemons
@@ -288,6 +349,54 @@ fn sum_artifacts(daemons: &[DaemonReport]) -> Option<ArtifactStats> {
     total
 }
 
+/// The `--progress` reporter: every `interval`, one stderr line with the
+/// run's merged-cell count against `total`, the merge-queue depth, the
+/// cumulative re-dispatch/steal counts, and a per-daemon row rate over the
+/// last interval. All numbers come from the process-global registry —
+/// baselined at entry, so earlier sweeps in this process don't leak in.
+/// Polls `stop` between short sleeps so the scope never waits a full
+/// interval for it to exit.
+fn progress_loop(interval: Duration, total: usize, stop: &AtomicBool, addrs: &[String]) {
+    let obs = coord_obs();
+    let rows_base = obs.rows_merged.get();
+    let redispatch_base = obs.redispatch.get();
+    let steals_base = obs.steals.get();
+    let per_daemon: Vec<(String, Arc<Counter>)> = addrs
+        .iter()
+        .map(|a| (a.clone(), daemon_rows_counter(a)))
+        .collect();
+    let mut last_rows: Vec<u64> = per_daemon.iter().map(|(_, c)| c.get()).collect();
+    let mut last_tick = Instant::now();
+    loop {
+        let slept_from = Instant::now();
+        while slept_from.elapsed() < interval {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25).min(interval));
+        }
+        let dt = last_tick.elapsed().as_secs_f64().max(1e-9);
+        last_tick = Instant::now();
+        let mut rates = String::new();
+        for (i, (addr, counter)) in per_daemon.iter().enumerate() {
+            let now = counter.get();
+            let rate = (now - last_rows[i]) as f64 / dt;
+            last_rows[i] = now;
+            if i > 0 {
+                rates.push_str(", ");
+            }
+            rates.push_str(&format!("{addr} {rate:.1}/s"));
+        }
+        let done = (obs.rows_merged.get() - rows_base).min(total as u64);
+        eprintln!(
+            "gather-coord: {done}/{total} cells, queue {}, redispatched {}, stolen {} [{rates}]",
+            obs.merge_queue_depth.get(),
+            obs.redispatch.get() - redispatch_base,
+            obs.steals.get() - steals_base,
+        );
+    }
+}
+
 /// The merger: drains the queue until every worker has hung up, placing
 /// rows by global index and validating the merge contract. On a violation
 /// it records the reason and *stops receiving* — the dropped receiver
@@ -298,7 +407,9 @@ fn merge(
     agg: &mut SweepStats,
     merge_error: &mut Option<String>,
 ) {
+    let obs = coord_obs();
     while let Ok(event) = rx.recv() {
+        obs.merge_queue_depth.dec();
         match event {
             Event::Row { index, row } => {
                 let Some(slot) = merged.get_mut(index) else {
@@ -312,6 +423,7 @@ fn merge(
                     *merge_error = Some(format!("duplicate row for cell {index}"));
                     return;
                 }
+                obs.rows_merged.inc();
             }
             Event::Chunk(stats) => {
                 agg.cache_hits += stats.cache_hits;
@@ -343,13 +455,23 @@ fn worker_loop(
         died: false,
         last_error: None,
         artifacts: None,
+        metrics: None,
     };
+    let obs = coord_obs();
+    let rows_counter = daemon_rows_counter(&report.addr);
     let mut client: Option<Client> = None;
     let mut failures = 0u32;
     loop {
         let next = {
             let mut plan = plan.lock().expect("plan lock poisoned");
-            plan.next_chunk(slot)
+            let steals_before = plan.steals();
+            let range = plan.next_chunk(slot);
+            let stolen = plan.steals() - steals_before;
+            if stolen > 0 {
+                obs.steals.add(stolen as u64);
+                trace::event("coord_steal", format_args!("thief={}", report.addr));
+            }
+            range
         };
         let Some(range) = next else {
             break; // plan drained: nothing left anywhere
@@ -365,9 +487,16 @@ fn worker_loop(
         let Some(conn) = client.as_mut() else {
             // The daemon is unreachable: return this bite and everything
             // the slot still owns to the survivors, and bow out.
-            let mut plan = plan.lock().expect("plan lock poisoned");
-            plan.push_orphan(range);
-            plan.abandon(slot);
+            let abandoned = {
+                let mut plan = plan.lock().expect("plan lock poisoned");
+                plan.push_orphan(range);
+                plan.abandon(slot)
+            };
+            obs.redispatch.add((range.len() + abandoned) as u64);
+            trace::event(
+                "coord_daemon_died",
+                format_args!("addr={} unreachable", report.addr),
+            );
             report.died = true;
             report
                 .last_error
@@ -380,12 +509,22 @@ fn worker_loop(
                 report.chunks += 1;
                 report.rows += range.len();
                 report.cache_hits += stats.cache_hits;
+                obs.chunks.inc();
+                rows_counter.add(range.len() as u64);
+                obs.merge_queue_depth.inc();
                 if tx.send(Event::Chunk(stats)).is_err() {
+                    obs.merge_queue_depth.dec();
                     break; // merger hung up: cancelled
                 }
             }
             ChunkEnd::Cancelled => break,
             ChunkEnd::Failed { missing, why } => {
+                let lost: usize = missing.iter().map(CellRange::len).sum();
+                obs.redispatch.add(lost as u64);
+                trace::event(
+                    "coord_chunk_failed",
+                    format_args!("addr={} cells={lost} why={why}", report.addr),
+                );
                 {
                     let mut plan = plan.lock().expect("plan lock poisoned");
                     for orphan in missing {
@@ -396,20 +535,30 @@ fn worker_loop(
                 client = None; // the connection died with the chunk
                 failures += 1;
                 if failures >= max_failures {
-                    let mut plan = plan.lock().expect("plan lock poisoned");
-                    plan.abandon(slot);
+                    let abandoned = {
+                        let mut plan = plan.lock().expect("plan lock poisoned");
+                        plan.abandon(slot)
+                    };
+                    obs.redispatch.add(abandoned as u64);
+                    trace::event(
+                        "coord_daemon_died",
+                        format_args!("addr={} failures={failures}", report.addr),
+                    );
                     report.died = true;
                     break;
                 }
             }
         }
     }
-    // A surviving daemon reports its instance-cache counters and parks
-    // its connection for whoever coordinates next.
+    // A surviving daemon reports its instance-cache counters and its full
+    // metrics registry (pulled in-band; tolerated to fail on daemons
+    // predating the Metrics frame), then parks its connection for whoever
+    // coordinates next.
     if !report.died {
         if let Some(mut conn) = client.take() {
             if let Ok(artifacts) = conn.daemon_artifacts() {
                 report.artifacts = artifacts;
+                report.metrics = conn.metrics().ok();
                 pool.put(pool_idx, conn);
             }
         }
@@ -466,7 +615,9 @@ fn run_chunk(
                 received[index - range.start] = true;
                 // Backpressure lives here: a full merge queue blocks this
                 // worker (and, transitively, its daemon's stream).
+                coord_obs().merge_queue_depth.inc();
                 if tx.send(Event::Row { index, row }).is_err() {
+                    coord_obs().merge_queue_depth.dec();
                     stream.abandon();
                     return ChunkEnd::Cancelled;
                 }
@@ -538,6 +689,7 @@ mod tests {
             cache_hits: 0,
             died: false,
             last_error: None,
+            metrics: None,
             artifacts: Some(ArtifactStats {
                 graph_entries: 1,
                 graph_hits: hits,

@@ -49,6 +49,7 @@ pub struct Plan {
     shards: Vec<Shard>,
     orphans: Vec<CellRange>,
     chunk: usize,
+    steals: usize,
 }
 
 impl Plan {
@@ -69,6 +70,7 @@ impl Plan {
                 shards: Vec::new(),
                 orphans,
                 chunk,
+                steals: 0,
             };
         }
         let base = total / slots;
@@ -87,6 +89,7 @@ impl Plan {
             shards,
             orphans: Vec::new(),
             chunk,
+            steals: 0,
         }
     }
 
@@ -156,6 +159,7 @@ impl Plan {
             end: v.end,
         };
         v.end = mid;
+        self.steals += 1;
         if let Some(own) = self.shards.get_mut(slot) {
             *own = stolen;
             self.bite_shard(slot)
@@ -182,15 +186,25 @@ impl Plan {
     }
 
     /// Abandons `slot`'s entire remaining shard to the orphan list — the
-    /// slot's daemon is dead and survivors must absorb its work.
-    pub fn abandon(&mut self, slot: usize) {
+    /// slot's daemon is dead and survivors must absorb its work. Returns
+    /// how many cells were orphaned (0 for drained or unknown slots), so
+    /// callers can account the re-dispatch.
+    pub fn abandon(&mut self, slot: usize) -> usize {
         if let Some(shard) = self.shards.get_mut(slot) {
-            if shard.remaining() > 0 {
+            let remaining = shard.remaining();
+            if remaining > 0 {
                 let range = CellRange::new(shard.cursor, shard.end);
                 shard.cursor = shard.end;
                 self.orphans.push(range);
+                return remaining;
             }
         }
+        0
+    }
+
+    /// How many times any slot stole from another's shard, cumulatively.
+    pub fn steals(&self) -> usize {
+        self.steals
     }
 
     /// Cells not yet handed out: shard remainders plus orphans. Chunks
@@ -244,8 +258,9 @@ mod tests {
     #[test]
     fn an_abandoned_shard_is_absorbed_by_survivors() {
         let mut plan = Plan::new(12, 3, 2);
-        // Slot 1's daemon dies before dispatching anything.
-        plan.abandon(1);
+        // Slot 1's daemon dies before dispatching anything: all 4 cells of
+        // its shard are orphaned (and reported back for accounting).
+        assert_eq!(plan.abandon(1), 4);
         let mut seen = [false; 12];
         // Only slots 0 and 2 ever ask for work.
         let mut turn = 0usize;
@@ -291,6 +306,7 @@ mod tests {
         assert_eq!(plan.next_chunk(0), None);
         assert_eq!(plan.next_chunk(1), None);
         assert_eq!(plan.undispatched(), 0);
+        assert_eq!(plan.steals(), 1, "exactly one steal happened");
     }
 
     #[test]

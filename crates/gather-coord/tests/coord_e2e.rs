@@ -127,6 +127,19 @@ fn three_daemon_rows_are_byte_identical_to_local_and_single_daemon_runs() {
         stats.artifacts.is_some(),
         "surviving daemons report instance-cache counters: {stats:?}"
     );
+    for daemon in &outcome.daemons {
+        let snapshot = daemon
+            .metrics
+            .as_ref()
+            .expect("surviving daemons answer the in-band Metrics pull");
+        // In-process daemons share this test binary's process-global
+        // registry, so only a lower bound is exact here; the per-process
+        // semantics are pinned in gather-service/tests/telemetry_e2e.rs.
+        assert!(
+            snapshot.value("service_cells_total").unwrap_or(0) >= total as i64,
+            "daemon metrics cover at least this sweep's cells"
+        );
+    }
 
     // Path 2: a plain single-daemon submission over the same store is
     // byte-identical and 100% cache hits — the coordinator populated it.

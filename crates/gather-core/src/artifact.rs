@@ -48,9 +48,11 @@
 
 use crate::scenario::{GraphSpec, PlacementSpec, ScenarioError, ScenarioSpec};
 use gather_graph::{GraphError, PortGraph};
+use gather_obs::{Counter, Histogram, Registry};
 use gather_sim::placement::Placement;
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Hit/build/occupancy counters of one [`ArtifactCache`].
 ///
@@ -106,6 +108,29 @@ struct MapState<K, V> {
     builds: u64,
 }
 
+/// Process-global metric handles mirroring one [`BuildOnceMap`]'s
+/// counters into the [`gather_obs`] registry. All `ArtifactCache`
+/// instances in a process share the same per-kind series (the registry
+/// is the process's view; per-cache numbers stay on [`ArtifactStats`]).
+struct MapObs {
+    hits: Arc<Counter>,
+    builds: Arc<Counter>,
+    evictions: Arc<Counter>,
+    build_micros: Arc<Histogram>,
+}
+
+impl MapObs {
+    fn new(kind: &str) -> Self {
+        let registry = Registry::global();
+        MapObs {
+            hits: registry.counter(&format!("artifact_{kind}_hits_total")),
+            builds: registry.counter(&format!("artifact_{kind}_builds_total")),
+            evictions: registry.counter(&format!("artifact_{kind}_evictions_total")),
+            build_micros: registry.histogram(&format!("artifact_{kind}_build_micros")),
+        }
+    }
+}
+
 /// A bounded map with exactly-once construction per key: same-key racers
 /// wait for the one builder, distinct keys build in parallel (construction
 /// happens outside the lock). Ready entries are LRU-evicted beyond `cap`;
@@ -114,10 +139,11 @@ struct BuildOnceMap<K, V> {
     state: Mutex<MapState<K, V>>,
     published: Condvar,
     cap: usize,
+    obs: MapObs,
 }
 
 impl<K: PartialEq + Clone, V: Clone> BuildOnceMap<K, V> {
-    fn new(cap: usize) -> Self {
+    fn new(cap: usize, obs: MapObs) -> Self {
         BuildOnceMap {
             state: Mutex::new(MapState {
                 entries: Vec::new(),
@@ -127,6 +153,7 @@ impl<K: PartialEq + Clone, V: Clone> BuildOnceMap<K, V> {
             }),
             published: Condvar::new(),
             cap,
+            obs,
         }
     }
 
@@ -164,6 +191,7 @@ impl<K: PartialEq + Clone, V: Clone> BuildOnceMap<K, V> {
                         let v = v.clone();
                         st.entries[i].last_used = tick;
                         st.hits += 1;
+                        self.obs.hits.inc();
                         return Ok(v);
                     }
                     Slot::Building => {
@@ -193,7 +221,9 @@ impl<K: PartialEq + Clone, V: Clone> BuildOnceMap<K, V> {
             key,
             armed: true,
         };
+        let build_start = Instant::now();
         let value = build()?;
+        self.obs.build_micros.record_duration(build_start.elapsed());
 
         let mut st = self.lock();
         st.tick += 1;
@@ -209,6 +239,7 @@ impl<K: PartialEq + Clone, V: Clone> BuildOnceMap<K, V> {
         // victim and thrash-rebuild it.
         st.entries[i].last_used = tick;
         st.builds += 1;
+        self.obs.builds.inc();
         let ready = st
             .entries
             .iter()
@@ -226,6 +257,7 @@ impl<K: PartialEq + Clone, V: Clone> BuildOnceMap<K, V> {
                 .map(|(i, _)| i)
             {
                 st.entries.swap_remove(victim);
+                self.obs.evictions.inc();
             }
         }
         drop(st);
@@ -320,8 +352,8 @@ impl ArtifactCache {
     pub fn with_capacity(cap: usize) -> Self {
         let cap = cap.max(1);
         ArtifactCache {
-            graphs: BuildOnceMap::new(cap),
-            placements: BuildOnceMap::new(cap),
+            graphs: BuildOnceMap::new(cap, MapObs::new("graph")),
+            placements: BuildOnceMap::new(cap, MapObs::new("placement")),
         }
     }
 

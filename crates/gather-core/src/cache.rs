@@ -64,12 +64,13 @@
 //! mutating it). Failed runs are never cached under any policy.
 
 use crate::scenario::{ScenarioOutcome, ScenarioSpec};
+use gather_obs::{Counter, Registry};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Key-format version tag embedded in every [`spec_key`].
 ///
@@ -267,6 +268,30 @@ pub trait ResultStore: Send + Sync {
     fn put(&self, entry: &CacheEntry);
 }
 
+/// Process-global store counters, shared by every [`ResultStore`]
+/// implementation in this module. Hits/misses are counted at the store
+/// boundary (the same place [`crate::sweep::SweepStats`] counts them),
+/// so a daemon's scraped counters and its reported sweep stats agree.
+struct StoreObs {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    corrupt: Arc<Counter>,
+    puts: Arc<Counter>,
+}
+
+fn store_obs() -> &'static StoreObs {
+    static OBS: OnceLock<StoreObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let registry = Registry::global();
+        StoreObs {
+            hits: registry.counter("store_hits_total"),
+            misses: registry.counter("store_misses_total"),
+            corrupt: registry.counter("store_corrupt_total"),
+            puts: registry.counter("store_puts_total"),
+        }
+    })
+}
+
 /// In-memory [`ResultStore`] behind a mutex.
 #[derive(Debug, Default)]
 pub struct MemStore {
@@ -292,10 +317,17 @@ impl MemStore {
 
 impl ResultStore for MemStore {
     fn get(&self, key: &str) -> Option<CacheEntry> {
-        self.map.lock().expect("MemStore lock").get(key).cloned()
+        let hit = self.map.lock().expect("MemStore lock").get(key).cloned();
+        let obs = store_obs();
+        match &hit {
+            Some(_) => obs.hits.inc(),
+            None => obs.misses.inc(),
+        }
+        hit
     }
 
     fn put(&self, entry: &CacheEntry) {
+        store_obs().puts.inc();
         self.map
             .lock()
             .expect("MemStore lock")
@@ -355,17 +387,30 @@ impl DirStore {
 
 impl ResultStore for DirStore {
     fn get(&self, key: &str) -> Option<CacheEntry> {
-        let raw = fs::read_to_string(self.entry_path(key)).ok()?;
-        let entry: CacheEntry = serde_json::from_str(&raw).ok()?;
-        // A file renamed by hand (or a partially synced directory) must not
-        // serve a result for the wrong spec.
-        if entry.key != key {
+        let obs = store_obs();
+        let Ok(raw) = fs::read_to_string(self.entry_path(key)) else {
+            obs.misses.inc();
             return None;
-        }
+        };
+        // A present-but-unusable file is a *corrupt* miss: the distinction
+        // separates "cold cache" from "damaged cache" on a dashboard. That
+        // covers unparseable JSON and a file renamed by hand (or a partially
+        // synced directory), which must not serve a result for the wrong
+        // spec.
+        let entry = match serde_json::from_str::<CacheEntry>(&raw) {
+            Ok(entry) if entry.key == key => entry,
+            _ => {
+                obs.corrupt.inc();
+                obs.misses.inc();
+                return None;
+            }
+        };
+        obs.hits.inc();
         Some(entry)
     }
 
     fn put(&self, entry: &CacheEntry) {
+        store_obs().puts.inc();
         if fs::create_dir_all(&self.root).is_err() {
             return;
         }

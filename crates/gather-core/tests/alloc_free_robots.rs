@@ -132,6 +132,11 @@ where
 
 #[test]
 fn steady_state_robot_decide_paths_perform_zero_heap_allocations() {
+    // Metrics and per-phase timing detail stay ON for the whole test: the
+    // engine's gather-obs instrumentation must not cost a steady-state
+    // allocation (registration happens once, absorbed by the warm-up runs
+    // in `check_case`).
+    gather_obs::set_detail(true);
     // One test function only: the counter is process-global and parallel
     // tests would pollute each other's deltas.
     let cfg = GatherConfig::fast();

@@ -1,0 +1,122 @@
+//! A plain-TCP telemetry endpoint.
+//!
+//! Serves two paths, speaking just enough HTTP/1.1 for `curl`,
+//! Prometheus scrapers and CI scripts:
+//!
+//! * `GET /metrics` — the registry in Prometheus text exposition format;
+//! * `GET /trace`  — drains the process's trace rings as JSONL
+//!   (destructive: each scrape returns records once).
+//!
+//! Anything else answers `404`. The listener runs on a detached accept
+//! thread; one short-lived handler thread per connection reads the
+//! request line, answers, flushes and closes. No keep-alive, no TLS, no
+//! routing table — operational introspection, not a web framework.
+
+use crate::Registry;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serves
+/// `registry` until the process exits. Returns the bound address.
+pub fn serve(addr: &str, registry: &'static Registry) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("gather-obs-endpoint".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                let _ = std::thread::Builder::new()
+                    .name("gather-obs-conn".to_string())
+                    .spawn(move || {
+                        let _ = handle(stream, registry);
+                    });
+            }
+        })?;
+    Ok(bound)
+}
+
+fn handle(stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Consume headers so well-behaved clients see their request read.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 2 {
+        header.clear();
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+
+    let (status, content_type, body) = match path {
+        "/metrics" | "/" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render_prometheus(),
+        ),
+        "/trace" => (
+            "200 OK",
+            "application/jsonl; charset=utf-8",
+            crate::trace::drain_jsonl(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "404: try /metrics or /trace\n".to_string(),
+        ),
+    };
+
+    let mut stream = stream;
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::sync::OnceLock;
+
+    fn scrape(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    fn test_registry() -> &'static Registry {
+        static R: OnceLock<Registry> = OnceLock::new();
+        R.get_or_init(Registry::new)
+    }
+
+    #[test]
+    fn serves_metrics_trace_and_404() {
+        let registry = test_registry();
+        registry.counter("endpoint_probe_total").add(11);
+        let addr = serve("127.0.0.1:0", registry).unwrap();
+
+        let (head, body) = scrape(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "head: {head}");
+        assert!(head.contains("text/plain"));
+        assert!(body.contains("# TYPE endpoint_probe_total counter"));
+        assert!(body.contains("endpoint_probe_total 11"));
+
+        let (head, _) = scrape(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        // `/trace` returns JSONL; on a quiet process it may be empty or
+        // hold records from sibling tests — only the shape is asserted.
+        let (head, body) = scrape(addr, "/trace");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        for line in body.lines() {
+            let _: crate::trace::TraceRecord = serde_json::from_str(line).unwrap();
+        }
+    }
+}

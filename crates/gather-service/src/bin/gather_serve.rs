@@ -7,6 +7,7 @@
 //!              [--artifact-cap N]
 //!              [--idle-timeout-secs N]
 //!              [--port-file PATH]
+//!              [--metrics-addr HOST:PORT] [--metrics-port-file PATH]
 //! ```
 //!
 //! Binds, prints (and optionally writes to `--port-file`) the actual
@@ -18,6 +19,11 @@
 //! cached by `cargo run --bin cache_probe` (or any `Sweep::cache` user
 //! pointed at the same directory) are served without simulating, and
 //! vice versa.
+//!
+//! `--metrics-addr` additionally serves the process-global
+//! [`gather_obs`] registry as Prometheus text over plain TCP (paths
+//! `/metrics` and `/trace`); `--metrics-port-file` mirrors `--port-file`
+//! for the telemetry endpoint so scripts can scrape an ephemeral port.
 
 use gather_core::artifact::ArtifactCache;
 use gather_core::cache::{CachePolicy, DirStore, ResultStore};
@@ -30,9 +36,23 @@ fn usage() -> ! {
     eprintln!(
         "usage: gather-serve [--addr HOST:PORT] [--workers N] \
          [--cache-dir DIR | --no-cache] [--policy readwrite|readonly|off] \
-         [--artifact-cap N] [--idle-timeout-secs N] [--port-file PATH]"
+         [--artifact-cap N] [--idle-timeout-secs N] [--port-file PATH] \
+         [--metrics-addr HOST:PORT] [--metrics-port-file PATH]"
     );
     exit(2);
+}
+
+/// Writes `contents` atomically-enough for the "wait until the file is
+/// non-empty" pattern: tmp + rename.
+fn write_port_file(path: &str, contents: &str) {
+    let tmp = format!("{path}.tmp");
+    if std::fs::write(&tmp, contents)
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .is_err()
+    {
+        eprintln!("gather-serve: cannot write port file {path}");
+        exit(1);
+    }
 }
 
 fn main() {
@@ -43,6 +63,8 @@ fn main() {
     let mut artifact_cap = ArtifactCache::DEFAULT_CAP;
     let mut idle_timeout_secs: u64 = 300;
     let mut port_file: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut metrics_port_file: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,6 +108,8 @@ fn main() {
                 })
             }
             "--port-file" => port_file = Some(value("--port-file")),
+            "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")),
+            "--metrics-port-file" => metrics_port_file = Some(value("--metrics-port-file")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("gather-serve: unknown argument `{other}`");
@@ -111,6 +135,7 @@ fn main() {
         policy,
         artifact_cap,
         idle_timeout,
+        metrics_addr,
     }) {
         Ok(server) => server,
         Err(e) => {
@@ -120,18 +145,15 @@ fn main() {
     };
     let bound = server.local_addr().expect("bound listener has an address");
     if let Some(path) = &port_file {
-        // Written atomically-enough for the "wait until the file is
-        // non-empty" pattern: tmp + rename.
-        let tmp = format!("{path}.tmp");
-        if std::fs::write(&tmp, bound.to_string())
-            .and_then(|()| std::fs::rename(&tmp, path))
-            .is_err()
-        {
-            eprintln!("gather-serve: cannot write port file {path}");
-            exit(1);
-        }
+        write_port_file(path, &bound.to_string());
     }
     println!("gather-serve listening on {bound} ({workers} workers, {cache_desc})");
+    if let Some(metrics) = server.metrics_addr() {
+        if let Some(path) = &metrics_port_file {
+            write_port_file(path, &metrics.to_string());
+        }
+        println!("gather-serve telemetry on http://{metrics}/metrics");
+    }
 
     if let Err(e) = server.run() {
         eprintln!("gather-serve: server failed: {e}");

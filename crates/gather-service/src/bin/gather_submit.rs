@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! gather-submit SWEEP.json [--addr 127.0.0.1:7177] [--workers N]
-//!               [--out ROWS.json] [--expect-all-hits]
+//!               [--out ROWS.json] [--expect-all-hits] [--metrics]
+//! gather-submit --metrics [--addr 127.0.0.1:7177]
 //! gather-submit --shutdown [--addr 127.0.0.1:7177]
 //! ```
 //!
@@ -17,19 +18,44 @@
 //! runs, which is how CI asserts that a re-submitted sweep is served
 //! identically from cache. `--expect-all-hits` exits nonzero unless every
 //! cell was a cache hit (zero simulated, zero errors).
+//!
+//! `--metrics` pulls the daemon's metrics registry in-band (the `Metrics`
+//! protocol frame — no telemetry endpoint needed) and prints one
+//! `name value` line per sample on stdout: counters and gauges print their
+//! value, histograms expand to `_count`/`_sum`/`_p50`/`_p90`/`_p99` lines.
+//! With a sweep file the snapshot is taken *after* the sweep, so scripts
+//! can compare its counters against the sweep-stats line.
 
 use gather_bench::{sweep_stats_line, Table};
 use gather_core::sweep::SweepSpec;
+use gather_obs::MetricsSnapshot;
 use gather_service::client::Client;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
         "usage: gather-submit SWEEP.json [--addr HOST:PORT] [--workers N] \
-         [--out ROWS.json] [--expect-all-hits]\n\
+         [--out ROWS.json] [--expect-all-hits] [--metrics]\n\
+         \x20      gather-submit --metrics [--addr HOST:PORT]\n\
          \x20      gather-submit --shutdown [--addr HOST:PORT]"
     );
     exit(2);
+}
+
+/// One `name value` line per sample, histograms expanded to their summary
+/// statistics — a flat, grep-friendly rendering for scripts and CI.
+fn print_metrics(snapshot: &MetricsSnapshot) {
+    for sample in &snapshot.samples {
+        if sample.kind == "histogram" {
+            println!("{}_count {}", sample.name, sample.count);
+            println!("{}_sum {}", sample.name, sample.sum);
+            println!("{}_p50 {}", sample.name, sample.p50);
+            println!("{}_p90 {}", sample.name, sample.p90);
+            println!("{}_p99 {}", sample.name, sample.p99);
+        } else {
+            println!("{} {}", sample.name, sample.value);
+        }
+    }
 }
 
 fn main() {
@@ -38,6 +64,7 @@ fn main() {
     let mut workers: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut expect_all_hits = false;
+    let mut metrics = false;
     let mut shutdown = false;
 
     let mut args = std::env::args().skip(1);
@@ -58,6 +85,7 @@ fn main() {
             }
             "--out" => out = Some(value("--out")),
             "--expect-all-hits" => expect_all_hits = true,
+            "--metrics" => metrics = true,
             "--shutdown" => shutdown = true,
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {
@@ -95,6 +123,17 @@ fn main() {
     }
 
     let Some(sweep_file) = sweep_file else {
+        if metrics {
+            // Standalone `--metrics`: pull and print the daemon's registry.
+            match client.metrics() {
+                Ok(snapshot) => print_metrics(&snapshot),
+                Err(e) => {
+                    eprintln!("gather-submit: metrics pull failed: {e}");
+                    exit(1);
+                }
+            }
+            return;
+        }
         usage()
     };
     let raw = match std::fs::read_to_string(&sweep_file) {
@@ -122,6 +161,16 @@ fn main() {
 
     Table::from_sweep("REMOTE", &format!("{} via {addr}", sweep_file), &report).print();
     eprintln!("{}", sweep_stats_line(&report.stats));
+
+    if metrics {
+        match client.metrics() {
+            Ok(snapshot) => print_metrics(&snapshot),
+            Err(e) => {
+                eprintln!("gather-submit: metrics pull failed: {e}");
+                exit(1);
+            }
+        }
+    }
 
     if let Some(out) = out {
         let rows = serde_json::to_string(&report.rows).expect("rows serialize");

@@ -11,10 +11,31 @@
 
 use crate::protocol::{read_frame, write_frame, FrameError, Request, Response, PROTOCOL_VERSION};
 use gather_core::sweep::{CellRange, SweepReport, SweepRow, SweepSpec, SweepStats};
+use gather_obs::{trace, Counter, MetricsSnapshot, Registry};
 use std::fmt;
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+/// Process-global client-side retry counters, split by which loop retried
+/// (connects vs whole submissions). Registered lazily in
+/// [`gather_obs::Registry::global`].
+struct ClientObs {
+    connect_retries: Arc<Counter>,
+    submit_retries: Arc<Counter>,
+}
+
+fn client_obs() -> &'static ClientObs {
+    static OBS: OnceLock<ClientObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = Registry::global();
+        ClientObs {
+            connect_retries: r.counter("client_connect_retries_total"),
+            submit_retries: r.counter("client_submit_retries_total"),
+        }
+    })
+}
 
 /// SplitMix64 finalizer: the workspace-standard way to derive independent
 /// pseudo-random values from a seed (here: deterministic backoff jitter).
@@ -189,6 +210,8 @@ impl Client {
         let mut last_err = None;
         for attempt in 0..attempts {
             if attempt > 0 {
+                client_obs().connect_retries.inc();
+                trace::event("client_connect_retry", format_args!("attempt={attempt}"));
                 sleep(config.backoff_delay(attempt));
             }
             match Self::connect_once(addr, config) {
@@ -265,6 +288,8 @@ impl Client {
         let mut last_err = None;
         for attempt in 0..attempts {
             if attempt > 0 {
+                client_obs().submit_retries.inc();
+                trace::event("client_submit_retry", format_args!("attempt={attempt}"));
                 sleep(config.backoff_delay(attempt));
             }
             let mut client = match Self::connect_with_sleeper(addr, config, sleep) {
@@ -369,6 +394,7 @@ impl Client {
                     cells,
                     stats: None,
                     finished: false,
+                    last_progress: None,
                 })
             }
             Response::Error { job, message } => Err(ClientError::Remote { job, message }),
@@ -466,6 +492,23 @@ impl Client {
         }
     }
 
+    /// The daemon's full metrics snapshot, pulled in-band over the
+    /// [`Request::Metrics`] frame — the same process-global
+    /// [`gather_obs::Registry`] the daemon's `--metrics-addr` endpoint
+    /// renders as Prometheus text, as structured samples. Daemons predating
+    /// the frame answer a structured error, surfaced as
+    /// [`ClientError::Remote`].
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        self.send(&Request::Metrics)?;
+        match self.recv()? {
+            Response::Metrics { snapshot } => Ok(snapshot),
+            Response::Error { job, message } => Err(ClientError::Remote { job, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected Metrics, got {other:?}"
+            ))),
+        }
+    }
+
     /// Asks the daemon to shut down (acknowledged before it stops).
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.send(&Request::Shutdown)?;
@@ -492,17 +535,31 @@ pub struct RowStream<'c> {
     pub cells: usize,
     stats: Option<SweepStats>,
     finished: bool,
+    /// `(done, total)` from the newest interleaved `Progress` frame, kept
+    /// so a mid-stream transport failure can say how far the daemon
+    /// actually got instead of discarding that context with the frame.
+    last_progress: Option<(usize, usize)>,
 }
 
 impl RowStream<'_> {
     /// The next finished cell, or `None` once the job is done. A daemon-side
-    /// cancellation or error surfaces as [`ClientError::Remote`].
+    /// cancellation or error surfaces as [`ClientError::Remote`]; a
+    /// transport failure carries the job id and the daemon's last reported
+    /// progress (see [`RowStream::last_progress`]).
     pub fn next_row(&mut self) -> Result<Option<(usize, SweepRow)>, ClientError> {
         if self.finished {
             return Ok(None);
         }
         loop {
-            match self.client.recv()? {
+            let response = match self.client.recv() {
+                Ok(response) => response,
+                Err(e) => {
+                    // The connection is gone; nothing more will arrive.
+                    self.finished = true;
+                    return Err(self.with_progress_context(e));
+                }
+            };
+            match response {
                 Response::Row { index, row, .. } => return Ok(Some((index, row))),
                 Response::Done { stats, .. } => {
                     self.stats = Some(stats);
@@ -513,8 +570,12 @@ impl RowStream<'_> {
                     self.finished = true;
                     return Err(ClientError::Remote { job, message });
                 }
-                // Progress frames interleave harmlessly.
-                Response::Progress { .. } => continue,
+                // Progress frames interleave harmlessly; remember the
+                // newest one as context for a later transport failure.
+                Response::Progress { done, total, .. } => {
+                    self.last_progress = Some((done, total));
+                    continue;
+                }
                 other => {
                     self.finished = true;
                     return Err(ClientError::Protocol(format!(
@@ -523,6 +584,28 @@ impl RowStream<'_> {
                 }
             }
         }
+    }
+
+    /// The daemon's newest interleaved `(done, total)` progress report, if
+    /// any arrived. Survives transport failures — a caller abandoning a
+    /// dead daemon can still read how far its job got.
+    pub fn last_progress(&self) -> Option<(usize, usize)> {
+        self.last_progress
+    }
+
+    /// Re-wraps a transport error with the job id and the daemon's last
+    /// reported progress, so "connection reset" becomes attributable
+    /// ("job 3 died at 17/100 cells") instead of context-free.
+    fn with_progress_context(&self, e: ClientError) -> ClientError {
+        let ClientError::Io(io_err) = e else { return e };
+        let context = match self.last_progress {
+            Some((done, total)) => format!("last daemon progress {done}/{total} cells"),
+            None => "no Progress frame seen".to_string(),
+        };
+        ClientError::Io(io::Error::new(
+            io_err.kind(),
+            format!("{io_err} (job {}: {context})", self.job),
+        ))
     }
 
     /// The job's execution stats; `Some` once the stream ended with `Done`.

@@ -50,9 +50,11 @@
 use gather_core::artifact::ArtifactStats;
 use gather_core::scenario::ScenarioSpec;
 use gather_core::sweep::{CellRange, SweepRow, SweepSpec, SweepStats};
+use gather_obs::{Counter, MetricsSnapshot, Registry};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{self, BufRead, Write};
+use std::sync::{Arc, OnceLock};
 
 /// Version of the frame layout; echoed in every [`Response::Accepted`].
 ///
@@ -116,6 +118,13 @@ pub enum Request {
         /// The job to cancel.
         job: u64,
     },
+    /// Ask for a snapshot of the daemon's metrics registry. Answered with
+    /// [`Response::Metrics`]. A **compatible v2 extension**: a pre-metrics
+    /// daemon parses the unknown tag as a frame error and answers a
+    /// structured [`Response::Error`] (the connection stays in sync), so
+    /// callers degrade gracefully instead of wedging — which is why
+    /// [`PROTOCOL_VERSION`] did not bump.
+    Metrics,
     /// Stop accepting connections and shut the worker pool down.
     Shutdown,
 }
@@ -178,6 +187,14 @@ pub enum Response {
         /// Human-readable description.
         message: String,
     },
+    /// A snapshot of the daemon's metrics registry (answer to
+    /// [`Request::Metrics`]): the same counters/gauges/histograms the
+    /// `--metrics-addr` endpoint exposes, as plain data for in-band pulls
+    /// (`gather-submit --metrics`, the coordinator's per-daemon telemetry).
+    Metrics {
+        /// Every registered metric at the time of the request.
+        snapshot: MetricsSnapshot,
+    },
 }
 
 /// Why a frame could not be read.
@@ -216,6 +233,24 @@ impl From<io::Error> for FrameError {
     }
 }
 
+/// Process-global frame traffic counters: every byte this process writes
+/// or reads as protocol frames, whichever side of the socket it is on.
+struct FrameObs {
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+}
+
+fn frame_obs() -> &'static FrameObs {
+    static OBS: OnceLock<FrameObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let registry = Registry::global();
+        FrameObs {
+            bytes_in: registry.counter("frame_bytes_in_total"),
+            bytes_out: registry.counter("frame_bytes_out_total"),
+        }
+    })
+}
+
 /// Writes one message as one newline-terminated JSON frame and flushes, so
 /// a streamed row is on the wire before the next cell is even claimed.
 pub fn write_frame<T: Serialize>(w: &mut impl Write, msg: &T) -> io::Result<()> {
@@ -226,6 +261,7 @@ pub fn write_frame<T: Serialize>(w: &mut impl Write, msg: &T) -> io::Result<()> 
         )
     })?;
     line.push('\n');
+    frame_obs().bytes_out.add(line.len() as u64);
     w.write_all(line.as_bytes())?;
     w.flush()
 }
@@ -241,6 +277,7 @@ pub fn read_frame<T: Deserialize>(r: &mut impl BufRead) -> Result<Option<T>, Fra
         let Some(line) = read_line_capped(r, MAX_FRAME_BYTES)? else {
             return Ok(None);
         };
+        frame_obs().bytes_in.add(line.len() as u64 + 1);
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -340,6 +377,7 @@ mod tests {
             Request::Status { job: Some(7) },
             Request::Status { job: None },
             Request::Cancel { job: 7 },
+            Request::Metrics,
             Request::Shutdown,
         ];
         let mut wire = Vec::new();
@@ -402,6 +440,20 @@ mod tests {
             Response::Error {
                 job: None,
                 message: "nope".to_string(),
+            },
+            Response::Metrics {
+                snapshot: MetricsSnapshot {
+                    samples: vec![gather_obs::MetricSample {
+                        name: "service_cells_total".to_string(),
+                        kind: "counter".to_string(),
+                        value: 12,
+                        count: 0,
+                        sum: 0,
+                        p50: 0,
+                        p90: 0,
+                        p99: 0,
+                    }],
+                },
             },
         ];
         let mut wire = Vec::new();

@@ -27,11 +27,44 @@ use gather_core::cache::{CachePolicy, ResultStore};
 use gather_core::registry;
 use gather_core::scenario::ScenarioSpec;
 use gather_core::sweep::{SweepRow, SweepStats};
+use gather_obs::{trace, Counter, Gauge, Histogram, Registry};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
+
+/// Process-global scheduler metrics ([`gather_obs::Registry::global`]).
+/// Counters are cumulative over every job the daemon ever ran; the two
+/// gauges reconcile to zero whenever the daemon is idle (no queued and no
+/// in-flight cells), which the CI telemetry probe asserts.
+struct SchedObs {
+    jobs: Arc<Counter>,
+    cells: Arc<Counter>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    errors: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    in_flight: Arc<Gauge>,
+    cell_micros: Arc<Histogram>,
+}
+
+fn sched_obs() -> &'static SchedObs {
+    static OBS: OnceLock<SchedObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = Registry::global();
+        SchedObs {
+            jobs: r.counter("service_jobs_total"),
+            cells: r.counter("service_cells_total"),
+            hits: r.counter("service_cache_hits_total"),
+            misses: r.counter("service_cache_misses_total"),
+            errors: r.counter("service_cell_errors_total"),
+            queue_depth: r.gauge("service_queue_depth"),
+            in_flight: r.gauge("service_cells_in_flight"),
+            cell_micros: r.histogram("service_cell_micros"),
+        }
+    })
+}
 
 /// What happened to a job, streamed to its submitter.
 #[derive(Debug)]
@@ -202,9 +235,11 @@ impl Scheduler {
         let handles = (0..workers.max(1))
             .map(|i| {
                 let core = Arc::clone(&core);
+                let busy = Registry::global()
+                    .counter(&format!("service_worker_busy_micros{{worker=\"{i}\"}}"));
                 thread::Builder::new()
                     .name(format!("gather-worker-{i}"))
-                    .spawn(move || worker_loop(&core))
+                    .spawn(move || worker_loop(&core, &busy))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -239,6 +274,11 @@ impl Scheduler {
                 started: Instant::now(),
             }),
         });
+        sched_obs().jobs.inc();
+        trace::event(
+            "job_submit",
+            format_args!("id={} cells={}", job.id, job.specs.len()),
+        );
         let mut st = self.core.state.lock().expect("scheduler state lock");
         if st.shutdown {
             // The pool is gone; nothing will ever claim these cells. Tell
@@ -256,6 +296,7 @@ impl Scheduler {
             drop(p);
             st.tombstone(job.id, 0, 0, false);
         } else {
+            sched_obs().queue_depth.add(job.specs.len() as i64);
             st.jobs.insert(job.id, JobSlot::Live(Arc::clone(&job)));
             st.runnable.push_back(Arc::clone(&job));
             drop(st);
@@ -347,7 +388,9 @@ impl Scheduler {
         drop(workers);
         // No worker is running any more: every still-live job is final.
         let mut st = self.core.state.lock().expect("scheduler state lock");
-        st.runnable.clear();
+        for job in st.runnable.drain(..) {
+            discard_queued(&job);
+        }
         for slot in st.jobs.values_mut() {
             if let JobSlot::Live(job) = slot {
                 let (done, total, _) = job.snapshot();
@@ -375,6 +418,19 @@ impl Drop for Scheduler {
     }
 }
 
+/// Drops a job's still-unclaimed cells from the queue-depth gauge when the
+/// job is discarded (cancelled, or abandoned at shutdown). Marks every cell
+/// claimed so a second discard is a no-op.
+fn discard_queued(job: &Job) {
+    let mut p = job.progress.lock().expect("job progress lock");
+    let unclaimed = job.specs.len().saturating_sub(p.next_cell);
+    p.next_cell = job.specs.len();
+    drop(p);
+    if unclaimed > 0 {
+        sched_obs().queue_depth.add(-(unclaimed as i64));
+    }
+}
+
 /// Claims the next cell of the oldest runnable job with spare per-job
 /// capacity. Must run under the state lock.
 fn try_claim(st: &mut SchedState) -> Option<(Arc<Job>, usize)> {
@@ -382,6 +438,7 @@ fn try_claim(st: &mut SchedState) -> Option<(Arc<Job>, usize)> {
     while scan < st.runnable.len() {
         let job = Arc::clone(&st.runnable[scan]);
         if job.cancelled.load(Ordering::Relaxed) {
+            discard_queued(&job);
             st.runnable.remove(scan);
             continue;
         }
@@ -401,6 +458,7 @@ fn try_claim(st: &mut SchedState) -> Option<(Arc<Job>, usize)> {
         p.active += 1;
         let exhausted = p.next_cell >= job.specs.len();
         drop(p);
+        sched_obs().queue_depth.dec();
         if exhausted {
             st.runnable.remove(scan);
         }
@@ -409,7 +467,7 @@ fn try_claim(st: &mut SchedState) -> Option<(Arc<Job>, usize)> {
     None
 }
 
-fn worker_loop(core: &SchedCore) {
+fn worker_loop(core: &SchedCore, busy: &Counter) {
     loop {
         let claimed = {
             let mut st = core.state.lock().expect("scheduler state lock");
@@ -427,17 +485,28 @@ fn worker_loop(core: &SchedCore) {
             }
         };
         let (job, idx) = claimed;
+        let obs = sched_obs();
+        obs.in_flight.inc();
+        let cell_start = Instant::now();
         let (row, hit) = run_cell(core, &job.specs[idx]);
+        let cell_elapsed = cell_start.elapsed();
+        obs.in_flight.dec();
+        obs.cell_micros.record_duration(cell_elapsed);
+        busy.add(cell_elapsed.as_micros() as u64);
         let finished = {
             let mut p = job.progress.lock().expect("job progress lock");
             p.active -= 1;
             p.done += 1;
+            obs.cells.inc();
             if row.error.is_some() {
                 p.errors += 1;
+                obs.errors.inc();
             } else if hit {
                 p.cache_hits += 1;
+                obs.hits.inc();
             } else {
                 p.simulated += 1;
+                obs.misses.inc();
             }
             // Both sends happen under the progress lock: every worker's Row
             // is enqueued in the same critical section that bumps `done`,
@@ -456,6 +525,7 @@ fn worker_loop(core: &SchedCore) {
             }
         };
         if finished {
+            trace::event("job_done", format_args!("id={}", job.id));
             // Collapse the completed job to a tombstone (progress lock
             // released first — lock order is always state → progress).
             let mut st = core.state.lock().expect("scheduler state lock");

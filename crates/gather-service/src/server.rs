@@ -24,11 +24,12 @@ use gather_core::artifact::ArtifactCache;
 use gather_core::cache::{CachePolicy, ResultStore};
 use gather_core::scenario::ScenarioSpec;
 use gather_core::sweep::CellRange;
+use gather_obs::{trace, Gauge, Registry};
 use gather_sim::runner;
 use std::io::{self, BufReader};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::Duration;
 
@@ -55,6 +56,12 @@ pub struct ServerConfig {
     /// clock also ticks while a slow client trickles a single frame, so
     /// keep it well above one frame's worth of patience.
     pub idle_timeout: Option<Duration>,
+    /// Address for the plain-TCP telemetry endpoint (`None`: no endpoint).
+    /// Serves the process's [`gather_obs::Registry::global`] as Prometheus
+    /// text on `/metrics` and the drained trace rings as JSONL on
+    /// `/trace`; `"127.0.0.1:0"` picks an ephemeral port (see
+    /// [`Server::metrics_addr`]).
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +73,7 @@ impl Default for ServerConfig {
             policy: CachePolicy::Off,
             artifact_cap: ArtifactCache::DEFAULT_CAP,
             idle_timeout: Some(Duration::from_secs(300)),
+            metrics_addr: None,
         }
     }
 }
@@ -76,12 +84,17 @@ pub struct Server {
     scheduler: Arc<Scheduler>,
     shutdown: Arc<AtomicBool>,
     idle_timeout: Option<Duration>,
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl Server {
     /// Binds the listener and spawns the worker pool. `run` starts serving.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let metrics_addr = match &config.metrics_addr {
+            Some(addr) => Some(gather_obs::endpoint::serve(addr, Registry::global())?),
+            None => None,
+        };
         let scheduler = Arc::new(Scheduler::new(
             config.workers,
             config.store,
@@ -93,12 +106,19 @@ impl Server {
             scheduler,
             shutdown: Arc::new(AtomicBool::new(false)),
             idle_timeout: config.idle_timeout,
+            metrics_addr,
         })
     }
 
     /// The actually-bound address (resolves ephemeral ports).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The bound telemetry endpoint, when
+    /// [`ServerConfig::metrics_addr`] was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Serves until a [`Request::Shutdown`] arrives, then joins the worker
@@ -136,6 +156,21 @@ impl Server {
     }
 }
 
+fn connections_gauge() -> &'static Arc<Gauge> {
+    static GAUGE: OnceLock<Arc<Gauge>> = OnceLock::new();
+    GAUGE.get_or_init(|| Registry::global().gauge("service_connections"))
+}
+
+/// Decrements the live-connection gauge on every handler exit path.
+struct ConnGuard;
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        connections_gauge().dec();
+        trace::event("conn_close", "");
+    }
+}
+
 /// Serves one connection until EOF, transport failure, idle timeout or
 /// daemon shutdown.
 fn handle_connection(
@@ -145,6 +180,16 @@ fn handle_connection(
     daemon_addr: SocketAddr,
     idle_timeout: Option<Duration>,
 ) -> io::Result<()> {
+    connections_gauge().inc();
+    Registry::global()
+        .counter("service_connections_total")
+        .inc();
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_default();
+    trace::event("conn_open", &peer);
+    let _guard = ConnGuard;
     // The kernel-level read timeout is the reaper: a connection that sends
     // nothing for `idle_timeout` wakes the blocked `read_frame` with
     // `WouldBlock`/`TimedOut` below and the handler (thread + fd) exits.
@@ -267,6 +312,14 @@ fn handle_connection(
                     }
                 };
                 write_frame(&mut writer, &response)?;
+            }
+            Request::Metrics => {
+                write_frame(
+                    &mut writer,
+                    &Response::Metrics {
+                        snapshot: Registry::global().snapshot(),
+                    },
+                )?;
             }
             Request::Shutdown => {
                 shutdown.store(true, Ordering::Relaxed);

@@ -25,8 +25,11 @@ use crate::robot::{Action, Inbox, Observation, Robot, RobotId};
 use crate::scheduler::{alive_mask, Activation, Scheduler};
 use crate::trace::Trace;
 use gather_graph::{NodeId, PortGraph, PortId};
+use gather_obs::{Counter, Histogram, Registry};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// How often (in rounds) per-robot memory estimates are sampled.
 const MEMORY_SAMPLE_INTERVAL: u64 = 64;
@@ -622,6 +625,43 @@ pub fn transition_faulty_with<R: Robot + Clone>(
     next
 }
 
+/// Process-global engine metric handles ([`gather_obs`] registry).
+///
+/// Registered once per process in a `OnceLock` so the steady-state round
+/// loop touches nothing but relaxed atomics — the allocation-free tests
+/// (`tests/alloc_free.rs`) run with these enabled and stay at zero
+/// allocations per round. Per-round *phase* histograms additionally gate
+/// on [`gather_obs::detail_enabled`]: two `Instant::now` pairs per round
+/// are cheap but not free, and the default path records end-of-run
+/// totals only.
+struct EngineObs {
+    runs: Arc<Counter>,
+    rounds: Arc<Counter>,
+    moves: Arc<Counter>,
+    messages: Arc<Counter>,
+    rounds_per_sec: Arc<Histogram>,
+    messages_per_round: Arc<Histogram>,
+    phase_observe_micros: Arc<Histogram>,
+    phase_step_micros: Arc<Histogram>,
+}
+
+fn engine_obs() -> &'static EngineObs {
+    static OBS: OnceLock<EngineObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let registry = Registry::global();
+        EngineObs {
+            runs: registry.counter("engine_runs_total"),
+            rounds: registry.counter("engine_rounds_total"),
+            moves: registry.counter("engine_moves_total"),
+            messages: registry.counter("engine_messages_total"),
+            rounds_per_sec: registry.histogram("engine_rounds_per_sec"),
+            messages_per_round: registry.histogram("engine_messages_per_round"),
+            phase_observe_micros: registry.histogram("engine_phase_observe_micros"),
+            phase_step_micros: registry.histogram("engine_phase_step_micros"),
+        }
+    })
+}
+
 /// Drives a set of robots implementing the same algorithm over a graph.
 pub struct Simulator<'g> {
     graph: &'g PortGraph,
@@ -652,6 +692,9 @@ impl<'g> Simulator<'g> {
     /// activation via [`Scheduler::canonical_activation`] (for the default
     /// [`Scheduler::FullySync`] that is always [`Activation::All`]).
     pub fn run<R: Robot>(&self, robots: Vec<(R, NodeId)>) -> SimOutcome {
+        let obs = engine_obs();
+        let detail = gather_obs::detail_enabled();
+        let run_start = Instant::now();
         let k = robots.len();
         let mut state = SimState::new(self.graph, robots);
         let ids = state.ids.clone();
@@ -687,7 +730,11 @@ impl<'g> Simulator<'g> {
         let mut timed_out = false;
 
         loop {
+            let observe_start = detail.then(Instant::now);
             let shape = bufs.begin_round(&state);
+            if let Some(t) = observe_start {
+                obs.phase_observe_micros.record_duration(t.elapsed());
+            }
 
             // --- Start-of-round bookkeeping -------------------------------
             // The occupancy pass already yields both detection predicates
@@ -740,6 +787,7 @@ impl<'g> Simulator<'g> {
                 s => s.canonical_activation(alive_mask(&state.terminated), state.round),
             };
             let this_round = state.round;
+            let step_start = detail.then(Instant::now);
             if bufs.finish_round_metered(
                 self.graph,
                 &mut state,
@@ -748,6 +796,9 @@ impl<'g> Simulator<'g> {
                 Some(&mut metrics),
             ) {
                 false_detection = true;
+            }
+            if let Some(t) = step_start {
+                obs.phase_step_micros.record_duration(t.elapsed());
             }
             let done_after = match &faults {
                 None => state.all_terminated(),
@@ -783,6 +834,21 @@ impl<'g> Simulator<'g> {
                 false_detections,
                 wasted_activations,
             });
+        }
+
+        // End-of-run registry totals: a handful of relaxed atomic adds,
+        // amortized over the whole run (the per-round path is untouched).
+        obs.runs.inc();
+        obs.rounds.add(state.round);
+        obs.moves.add(metrics_out.total_moves);
+        obs.messages.add(metrics_out.messages_delivered);
+        let secs = run_start.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            obs.rounds_per_sec
+                .record((state.round as f64 / secs) as u64);
+        }
+        if let Some(per_round) = metrics_out.messages_delivered.checked_div(state.round) {
+            obs.messages_per_round.record(per_round);
         }
 
         let gathered = state.gathered();

@@ -134,6 +134,12 @@ fn min_allocs(mut measure: impl FnMut() -> u64) -> u64 {
 
 #[test]
 fn steady_state_round_loop_performs_zero_heap_allocations() {
+    // Metrics and per-phase timing detail stay ON for the whole test: the
+    // engine's instrumentation (gather-obs counters, rounds/sec and
+    // per-phase histograms) must not cost a single steady-state
+    // allocation. Registration in the global registry allocates once, but
+    // the warm-up runs below absorb it.
+    gather_obs::set_detail(true);
     // One test function only: the counter is process-global and parallel
     // tests would pollute each other's deltas.
     for (k, spread) in [(8, false), (8, true), (1, false)] {

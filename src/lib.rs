@@ -25,7 +25,12 @@
 //!   across a fleet of daemons, streams shards back with backpressure,
 //!   re-dispatches a dead daemon's cells to survivors and steals work from
 //!   slow shards (binary: `gather-coord`). See `docs/ARCHITECTURE.md` for
-//!   the full crate map and `docs/PROTOCOL.md` for the wire contract.
+//!   the full crate map and `docs/PROTOCOL.md` for the wire contract;
+//! * [`obs`] — zero-dependency observability: the process-global metrics
+//!   registry (counters, gauges, log-linear histograms), structured trace
+//!   rings, and the scrapeable Prometheus-text telemetry endpoint that
+//!   `gather-serve --metrics-addr` and `gather-coord --metrics-addr`
+//!   expose. See `docs/OBSERVABILITY.md` for the metric inventory.
 //!
 //! ## Quickstart
 //!
@@ -79,6 +84,7 @@ pub use gather_coord as coord;
 pub use gather_core as core;
 pub use gather_graph as graph;
 pub use gather_map as map;
+pub use gather_obs as obs;
 pub use gather_service as service;
 pub use gather_sim as sim;
 pub use gather_uxs as uxs;
@@ -104,6 +110,7 @@ pub mod prelude {
     };
     pub use gather_graph::generators::Family;
     pub use gather_graph::{algo, dot, generators, GraphBuilder, PortGraph};
+    pub use gather_obs::{MetricSample, MetricsSnapshot, Registry};
     pub use gather_service::{
         Client, ClientError, ClientPool, Request, Response, RowStream, Server, ServerConfig,
         PROTOCOL_VERSION,

@@ -1,0 +1,48 @@
+//! # gather-chaos
+//!
+//! A deterministic, seeded TCP fault-injection proxy for the sweep
+//! fabric. [`ChaosProxy`] sits between a client (or the `gather-coord`
+//! coordinator) and a `gather-serve` daemon and misbehaves *on purpose*,
+//! per a serializable [`ChaosPlan`]: fixed/jittered frame delays,
+//! bandwidth throttling, dropping the connection after k frames,
+//! truncating a frame mid-line, corrupting frame bytes, and timed
+//! blackhole windows during which nothing flows.
+//!
+//! The design mirrors `gather_sim::faults::FaultPlan`, one layer down the
+//! stack: where a `FaultPlan` makes *robots* crash or lie inside the
+//! simulation, a `ChaosPlan` makes the *transport* under the sweep
+//! service slow, lossy or partially failing — the far more common
+//! real-world failure mode. Like every randomized subsystem in this
+//! workspace, all decisions derive from a single `seed` through the
+//! SplitMix64 finalizer: which connections drop, which frames are
+//! delayed, truncated or corrupted is a pure function of
+//! `(seed, connection index, frame index)`, so a failing chaos run is
+//! replayable from its plan alone (see `docs/CHAOS.md` for the schema
+//! and the exact guarantees).
+//!
+//! The proxy is protocol-aware just enough to be useful: the sweep
+//! protocol is newline-delimited JSON (`docs/PROTOCOL.md`), so the
+//! daemon→client direction is pumped **frame-at-a-time** (one `\n`-
+//! terminated line per action decision) while the client→daemon
+//! direction is pumped as raw bytes. Corruption overwrites bytes with
+//! `NUL` (0x00), which no JSON line ever contains — a corrupted frame is
+//! therefore always *detectably* broken (a parse error), never a
+//! silently wrong row, mirroring how a TCP checksum turns bit flips into
+//! visible loss instead of bad data.
+//!
+//! What the proxy breaks, the rest of the stack must survive: the
+//! coordinator's deadlines, per-chunk progress timeouts and straggler
+//! hedging (`gather-coord`), the client's probe/read timeouts and
+//! retry budgets (`gather-service`), and the chaos soak suite
+//! (`tests/chaos_soak.rs`) pin the contract — a chaotic sweep ends in a
+//! byte-identical report, a structured error, or a retried success;
+//! never a hang, never a wrong row.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod proxy;
+
+pub use plan::{ChaosPlan, Corrupt, Delay, DropAfter, Throttle, Truncate, Window};
+pub use proxy::{ChaosHandle, ChaosProxy};

@@ -6,6 +6,7 @@
 //!              [--workers N] [--chunk N] [--out ROWS.json]
 //!              [--expect-all-hits] [--max-dead N]
 //!              [--progress SECS] [--metrics-addr HOST:PORT]
+//!              [--deadline SECS] [--chunk-timeout SECS] [--hedge MS]
 //! ```
 //!
 //! The grid is range-split across the live daemons, streamed back with
@@ -23,8 +24,16 @@
 //! per-daemon row rates. `--metrics-addr` serves the coordinator's own
 //! metrics registry (plus per-daemon counters) as Prometheus text over
 //! plain TCP, exactly like `gather-serve --metrics-addr`.
+//!
+//! Robustness knobs (all off by default): `--deadline SECS` bounds the
+//! whole run's wall clock — on expiry the run is cancelled and exits
+//! nonzero rather than hanging on stragglers; `--chunk-timeout SECS`
+//! bounds the silence within one chunk's row stream before its cells are
+//! re-dispatched; `--hedge MS` re-runs a chunk that has been in flight
+//! longer than MS on an idle daemon (duplicates dedupe byte-identically
+//! at the merge).
 
-use gather_coord::{run_sweep, ClientConfig, CoordConfig, CoordError};
+use gather_coord::{run_sweep, ClientConfig, CoordConfig};
 use gather_core::sweep::SweepSpec;
 use std::process::exit;
 use std::time::Duration;
@@ -33,7 +42,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: gather-coord SWEEP.json --daemon HOST:PORT [--daemon HOST:PORT ...]\n\
          \x20      [--workers N] [--chunk N] [--out ROWS.json] [--expect-all-hits]\n\
-         \x20      [--max-dead N] [--progress SECS] [--metrics-addr HOST:PORT]"
+         \x20      [--max-dead N] [--progress SECS] [--metrics-addr HOST:PORT]\n\
+         \x20      [--deadline SECS] [--chunk-timeout SECS] [--hedge MS]"
     );
     exit(2);
 }
@@ -55,6 +65,9 @@ fn main() {
     let mut max_dead: Option<usize> = None;
     let mut progress: Option<u64> = None;
     let mut metrics_addr: Option<String> = None;
+    let mut deadline: Option<u64> = None;
+    let mut chunk_timeout: Option<u64> = None;
+    let mut hedge: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,6 +86,11 @@ fn main() {
             "--max-dead" => max_dead = Some(parse_num("--max-dead", &value("--max-dead"))),
             "--progress" => progress = Some(parse_num("--progress", &value("--progress")) as u64),
             "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")),
+            "--deadline" => deadline = Some(parse_num("--deadline", &value("--deadline")) as u64),
+            "--chunk-timeout" => {
+                chunk_timeout = Some(parse_num("--chunk-timeout", &value("--chunk-timeout")) as u64)
+            }
+            "--hedge" => hedge = Some(parse_num("--hedge", &value("--hedge")) as u64),
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {
                 eprintln!("gather-coord: unknown argument `{other}`");
@@ -124,6 +142,9 @@ fn main() {
         workers,
         chunk,
         progress: progress.map(|secs| Duration::from_secs(secs.max(1))),
+        deadline: deadline.map(|secs| Duration::from_secs(secs.max(1))),
+        chunk_timeout: chunk_timeout.map(|secs| Duration::from_secs(secs.max(1))),
+        hedge: hedge.map(Duration::from_millis),
         ..CoordConfig::default()
     };
 
@@ -139,7 +160,7 @@ fn main() {
 
     let outcome = match run_sweep(&sweep, &config) {
         Ok(outcome) => outcome,
-        Err(e @ (CoordError::NoDaemons | CoordError::Merge(_) | CoordError::Incomplete { .. })) => {
+        Err(e) => {
             eprintln!("gather-coord: {e}");
             exit(1);
         }

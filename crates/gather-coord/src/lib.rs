@@ -79,6 +79,13 @@ struct CoordObs {
     /// Events currently buffered in the bounded merge queue. Reconciles to
     /// zero after a clean run; a merge-contract abort may strand a few.
     merge_queue_depth: Arc<Gauge>,
+    /// Straggler hedges: in-flight chunks re-dispatched to an idle daemon.
+    hedges: Arc<Counter>,
+    /// Runs aborted because the overall wall-clock deadline expired.
+    deadline_aborts: Arc<Counter>,
+    /// Byte-identical duplicate rows dropped first-writer-wins (hedged or
+    /// re-dispatched cells whose primary also delivered).
+    dedup: Arc<Counter>,
 }
 
 fn coord_obs() -> &'static CoordObs {
@@ -91,6 +98,9 @@ fn coord_obs() -> &'static CoordObs {
             rows_merged: r.counter("coord_rows_merged_total"),
             chunks: r.counter("coord_chunks_total"),
             merge_queue_depth: r.gauge("coord_merge_queue_depth"),
+            hedges: r.counter("coord_hedges_total"),
+            deadline_aborts: r.counter("coord_deadline_aborts_total"),
+            dedup: r.counter("coord_dedup_rows_total"),
         }
     })
 }
@@ -128,6 +138,27 @@ pub struct CoordConfig {
     /// per-daemon row rates — so a long sweep is observable without
     /// attaching to the telemetry endpoint.
     pub progress: Option<Duration>,
+    /// Overall wall-clock budget for the whole coordinated run (`None`:
+    /// unbounded). When it expires the merger stops receiving — which
+    /// cancels every worker — and the run ends in
+    /// [`CoordError::DeadlineExceeded`] if any cell is still missing.
+    /// Workers also cap their socket read timeouts to the remaining
+    /// budget, so a daemon gone silent cannot hold the run past it.
+    pub deadline: Option<Duration>,
+    /// Per-chunk progress timeout (`None`: the client config's
+    /// `read_timeout` governs). Bounds the *silence* between streamed
+    /// rows of one chunk: a daemon that stalls mid-chunk longer than
+    /// this fails the chunk, orphaning its unfinished cells for
+    /// re-dispatch — the fail-over path, just on a clock.
+    pub chunk_timeout: Option<Duration>,
+    /// Straggler hedging (`None`: off — the default, keeping fault-free
+    /// runs byte-for-byte and count-for-count identical to earlier
+    /// releases). `Some(age)`: a worker that drains the plan re-dispatches
+    /// the oldest chunk in flight on another daemon for at least `age`,
+    /// at most once per chunk. Duplicate rows dedupe byte-identically at
+    /// the merger (first writer wins); a mismatching duplicate is still a
+    /// [`CoordError::Merge`] abort.
+    pub hedge: Option<Duration>,
 }
 
 impl Default for CoordConfig {
@@ -139,6 +170,9 @@ impl Default for CoordConfig {
             chunk: None,
             queue: 256,
             progress: None,
+            deadline: None,
+            chunk_timeout: None,
+            hedge: None,
         }
     }
 }
@@ -156,9 +190,21 @@ pub enum CoordError {
         /// What happened to each fleet slot, for diagnosis.
         daemons: Vec<DaemonReport>,
     },
-    /// A daemon broke the merge contract (out-of-range or duplicate row
-    /// index) — the run aborts rather than risk a corrupt report.
+    /// A daemon broke the merge contract (an out-of-range row index, or
+    /// two *different* rows for the same cell) — the run aborts rather
+    /// than risk a corrupt report. Byte-identical duplicates (hedges,
+    /// re-dispatch overlap) are deduped, not errors.
     Merge(String),
+    /// The [`CoordConfig::deadline`] expired with cells still missing:
+    /// the run was cancelled rather than left to hang on stragglers.
+    DeadlineExceeded {
+        /// The configured wall-clock budget that ran out.
+        budget: Duration,
+        /// Cells whose rows had not arrived when the budget expired.
+        missing: usize,
+        /// What happened to each fleet slot, for diagnosis.
+        daemons: Vec<DaemonReport>,
+    },
 }
 
 impl fmt::Display for CoordError {
@@ -179,6 +225,23 @@ impl fmt::Display for CoordError {
                 write!(f, ")")
             }
             CoordError::Merge(why) => write!(f, "merge contract violated: {why}"),
+            CoordError::DeadlineExceeded {
+                budget,
+                missing,
+                daemons,
+            } => {
+                write!(
+                    f,
+                    "sweep deadline of {budget:?} exceeded with {missing} cells still missing ("
+                )?;
+                for (i, d) in daemons.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{}: {}", d.addr, d.last_error.as_deref().unwrap_or("ok"))?;
+                }
+                write!(f, ")")
+            }
         }
     }
 }
@@ -196,6 +259,11 @@ pub struct DaemonReport {
     pub rows: usize,
     /// How many of those rows were served from the daemon's result cache.
     pub cache_hits: usize,
+    /// Straggler hedges this daemon ran: another slot's in-flight chunk
+    /// re-dispatched here after it aged past [`CoordConfig::hedge`].
+    /// Hedge rows are *not* counted in `rows` — they duplicate the
+    /// primary's and dedupe at the merger.
+    pub hedges: usize,
     /// `true` when the daemon was declared dead (probe + re-dial budget
     /// exhausted) and its remaining work went to the survivors.
     pub died: bool,
@@ -273,10 +341,12 @@ pub fn run_sweep(spec: &SweepSpec, config: &CoordConfig) -> Result<CoordOutcome,
     let plan = Mutex::new(Plan::new(total, live.len(), chunk));
     let (tx, rx) = std::sync::mpsc::sync_channel::<Event>(config.queue.max(1));
     let max_failures = config.client.submit_attempts.max(1);
+    let run_deadline = config.deadline.map(|budget| started + budget);
 
     let mut daemons: Vec<Option<DaemonReport>> = (0..live.len()).map(|_| None).collect();
     let mut merged: Vec<Option<SweepRow>> = vec![None; total];
     let mut merge_error: Option<String> = None;
+    let mut deadline_hit = false;
     let mut agg = SweepStats {
         cells: total,
         cache_hits: 0,
@@ -299,13 +369,34 @@ pub fn run_sweep(spec: &SweepSpec, config: &CoordConfig) -> Result<CoordOutcome,
             let pool = &pool;
             let plan = &plan;
             handles.push(scope.spawn(move || {
-                worker_loop(slot, pool_idx, pool, plan, spec, config, max_failures, tx)
+                worker_loop(
+                    slot,
+                    pool_idx,
+                    pool,
+                    plan,
+                    spec,
+                    config,
+                    max_failures,
+                    tx,
+                    started,
+                    run_deadline,
+                )
             }));
         }
         // The workers hold the only senders now; `recv` ends when the
-        // last one exits.
+        // last one exits (or, under a deadline, when the budget expires —
+        // the dropped receiver then cancels every worker's next send,
+        // and the per-chunk socket timeouts bound how long a worker can
+        // sit in a read before noticing).
         drop(tx);
-        merge(rx, &mut merged, &mut agg, &mut merge_error);
+        merge(
+            rx,
+            &mut merged,
+            &mut agg,
+            &mut merge_error,
+            run_deadline,
+            &mut deadline_hit,
+        );
         for handle in handles {
             let (slot, report) = handle.join().expect("coordinator worker panicked");
             daemons[slot] = Some(report);
@@ -321,6 +412,15 @@ pub fn run_sweep(spec: &SweepSpec, config: &CoordConfig) -> Result<CoordOutcome,
         return Err(CoordError::Merge(why));
     }
     let missing = merged.iter().filter(|r| r.is_none()).count();
+    // A deadline abort with every row already merged is still a complete,
+    // correct report — only *missing* cells make it an error.
+    if deadline_hit && missing > 0 {
+        return Err(CoordError::DeadlineExceeded {
+            budget: config.deadline.unwrap_or_default(),
+            missing,
+            daemons,
+        });
+    }
     if missing > 0 {
         return Err(CoordError::Incomplete { missing, daemons });
     }
@@ -400,15 +500,49 @@ fn progress_loop(interval: Duration, total: usize, stop: &AtomicBool, addrs: &[S
 /// The merger: drains the queue until every worker has hung up, placing
 /// rows by global index and validating the merge contract. On a violation
 /// it records the reason and *stops receiving* — the dropped receiver
-/// fails every worker's next send, which is the cancellation signal.
+/// fails every worker's next send, which is the cancellation signal. The
+/// same mechanism enforces the run deadline: when `deadline` passes with
+/// events still pending, the merger sets `deadline_hit` and returns.
+///
+/// Duplicate rows are tolerated exactly when they are **byte-identical**
+/// to what already merged (hedged chunks and re-dispatch overlap deliver
+/// such duplicates by construction — rows are pure functions of their
+/// specs): first writer wins, `coord_dedup_rows_total` counts the drop.
+/// Two *different* rows for one cell remain a merge-contract abort.
 fn merge(
     rx: Receiver<Event>,
     merged: &mut [Option<SweepRow>],
     agg: &mut SweepStats,
     merge_error: &mut Option<String>,
+    deadline: Option<Instant>,
+    deadline_hit: &mut bool,
 ) {
     let obs = coord_obs();
-    while let Ok(event) = rx.recv() {
+    loop {
+        let event = match deadline {
+            None => match rx.recv() {
+                Ok(event) => event,
+                Err(_) => return, // every worker hung up: done
+            },
+            Some(deadline) => {
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    *deadline_hit = true;
+                    obs.deadline_aborts.inc();
+                    trace::event("coord_deadline", format_args!("budget expired mid-merge"));
+                    return;
+                };
+                match rx.recv_timeout(remaining) {
+                    Ok(event) => event,
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                        *deadline_hit = true;
+                        obs.deadline_aborts.inc();
+                        trace::event("coord_deadline", format_args!("budget expired mid-merge"));
+                        return;
+                    }
+                }
+            }
+        };
         obs.merge_queue_depth.dec();
         match event {
             Event::Row { index, row } => {
@@ -419,11 +553,19 @@ fn merge(
                     ));
                     return;
                 };
-                if slot.replace(row).is_some() {
-                    *merge_error = Some(format!("duplicate row for cell {index}"));
-                    return;
+                match slot {
+                    Some(existing) if *existing == row => {
+                        obs.dedup.inc();
+                    }
+                    Some(_) => {
+                        *merge_error = Some(format!("conflicting duplicate row for cell {index}"));
+                        return;
+                    }
+                    None => {
+                        *slot = Some(row);
+                        obs.rows_merged.inc();
+                    }
                 }
-                obs.rows_merged.inc();
             }
             Event::Chunk(stats) => {
                 agg.cache_hits += stats.cache_hits;
@@ -434,8 +576,28 @@ fn merge(
     }
 }
 
+/// The socket read timeout a worker should run its next chunk under:
+/// the per-chunk progress bound capped by what is left of the run
+/// deadline (clamped to 1ms so an expired budget errors out promptly
+/// instead of panicking or blocking forever). `None`: leave the client
+/// config's `read_timeout` in force.
+fn chunk_read_timeout(config: &CoordConfig, run_deadline: Option<Instant>) -> Option<Duration> {
+    let remaining = run_deadline.map(|deadline| {
+        deadline
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_millis(1))
+    });
+    match (config.chunk_timeout, remaining) {
+        (None, None) => None,
+        (Some(per_chunk), None) => Some(per_chunk),
+        (None, Some(remaining)) => Some(remaining),
+        (Some(per_chunk), Some(remaining)) => Some(per_chunk.min(remaining)),
+    }
+}
+
 /// One fleet slot's dispatch loop: bite chunks off the shared plan,
-/// stream them, fail over on daemon death. Returns `(slot, report)`.
+/// stream them, fail over on daemon death; once drained, optionally hedge
+/// other slots' stragglers. Returns `(slot, report)`.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     slot: usize,
@@ -446,12 +608,15 @@ fn worker_loop(
     config: &CoordConfig,
     max_failures: u32,
     tx: SyncSender<Event>,
+    started: Instant,
+    run_deadline: Option<Instant>,
 ) -> (usize, DaemonReport) {
     let mut report = DaemonReport {
         addr: pool.addr(pool_idx).to_string(),
         chunks: 0,
         rows: 0,
         cache_hits: 0,
+        hedges: 0,
         died: false,
         last_error: None,
         artifacts: None,
@@ -462,6 +627,12 @@ fn worker_loop(
     let mut client: Option<Client> = None;
     let mut failures = 0u32;
     loop {
+        if run_deadline.is_some_and(|deadline| Instant::now() >= deadline) {
+            report
+                .last_error
+                .get_or_insert_with(|| "run deadline expired".to_string());
+            break;
+        }
         let next = {
             let mut plan = plan.lock().expect("plan lock poisoned");
             let steals_before = plan.steals();
@@ -471,10 +642,30 @@ fn worker_loop(
                 obs.steals.add(stolen as u64);
                 trace::event("coord_steal", format_args!("thief={}", report.addr));
             }
+            if let Some(range) = range {
+                plan.register_inflight(slot, range, started.elapsed().as_millis() as u64);
+            }
             range
         };
-        let Some(range) = next else {
-            break; // plan drained: nothing left anywhere
+        let (range, is_hedge) = match next {
+            Some(range) => (range, false),
+            // Plan drained. With hedging on, re-dispatch another slot's
+            // straggling chunk instead of going home.
+            None => match wait_for_hedge(slot, plan, config, started, run_deadline) {
+                HedgeWait::Hedge(range) => {
+                    report.hedges += 1;
+                    obs.hedges.inc();
+                    trace::event(
+                        "coord_hedge",
+                        format_args!("addr={} range={range}", report.addr),
+                    );
+                    (range, true)
+                }
+                // A straggler failed while we waited and orphaned its
+                // cells: go dispatch those the normal way.
+                HedgeWait::Redispatch => continue,
+                HedgeWait::Drained => break, // nothing left anywhere
+            },
         };
         // (Re-)establish the connection: the pool's probe both checks
         // liveness and re-dials under the configured backoff policy.
@@ -485,10 +676,19 @@ fn worker_loop(
                 .flatten();
         }
         let Some(conn) = client.as_mut() else {
+            if is_hedge {
+                // A hedge needs no fail-over: the primary still owns the
+                // chunk and its orphaning. Just bow out.
+                report
+                    .last_error
+                    .get_or_insert_with(|| "daemon unreachable".to_string());
+                break;
+            }
             // The daemon is unreachable: return this bite and everything
             // the slot still owns to the survivors, and bow out.
             let abandoned = {
                 let mut plan = plan.lock().expect("plan lock poisoned");
+                plan.settle(slot, range);
                 plan.push_orphan(range);
                 plan.abandon(slot)
             };
@@ -503,9 +703,25 @@ fn worker_loop(
                 .get_or_insert_with(|| "daemon unreachable".to_string());
             break;
         };
+        // Bound this chunk's silence by the progress timeout and the
+        // remaining run budget; a set failure means the socket is already
+        // dead, which the submission below will surface properly.
+        if let Some(timeout) = chunk_read_timeout(config, run_deadline) {
+            let _ = conn.set_read_timeout(Some(timeout));
+        }
         match run_chunk(conn, spec, config.workers, range, &tx) {
             ChunkEnd::Done(stats) => {
                 failures = 0;
+                if is_hedge {
+                    // The primary still owns the chunk: its rows deduped
+                    // (or will dedupe) at the merger, and its stats would
+                    // double-count — forward nothing.
+                    continue;
+                }
+                {
+                    let mut plan = plan.lock().expect("plan lock poisoned");
+                    plan.settle(slot, range);
+                }
                 report.chunks += 1;
                 report.rows += range.len();
                 report.cache_hits += stats.cache_hits;
@@ -519,14 +735,15 @@ fn worker_loop(
             }
             ChunkEnd::Cancelled => break,
             ChunkEnd::Failed { missing, why } => {
-                let lost: usize = missing.iter().map(CellRange::len).sum();
-                obs.redispatch.add(lost as u64);
-                trace::event(
-                    "coord_chunk_failed",
-                    format_args!("addr={} cells={lost} why={why}", report.addr),
-                );
-                {
+                if !is_hedge {
+                    let lost: usize = missing.iter().map(CellRange::len).sum();
+                    obs.redispatch.add(lost as u64);
+                    trace::event(
+                        "coord_chunk_failed",
+                        format_args!("addr={} cells={lost} why={why}", report.addr),
+                    );
                     let mut plan = plan.lock().expect("plan lock poisoned");
+                    plan.settle(slot, range);
                     for orphan in missing {
                         plan.push_orphan(orphan);
                     }
@@ -552,18 +769,75 @@ fn worker_loop(
     }
     // A surviving daemon reports its instance-cache counters and its full
     // metrics registry (pulled in-band; tolerated to fail on daemons
-    // predating the Metrics frame), then parks its connection for whoever
-    // coordinates next.
+    // predating the Metrics frame), then parks its connection — with the
+    // configured streaming read timeout restored over any chunk-scoped
+    // one — for whoever coordinates next.
     if !report.died {
         if let Some(mut conn) = client.take() {
-            if let Ok(artifacts) = conn.daemon_artifacts() {
-                report.artifacts = artifacts;
-                report.metrics = conn.metrics().ok();
-                pool.put(pool_idx, conn);
+            if conn.set_read_timeout(config.client.read_timeout).is_ok() {
+                if let Ok(artifacts) = conn.daemon_artifacts() {
+                    report.artifacts = artifacts;
+                    report.metrics = conn.metrics().ok();
+                    pool.put(pool_idx, conn);
+                }
             }
         }
     }
     (slot, report)
+}
+
+/// What a drained worker learned from [`wait_for_hedge`].
+enum HedgeWait {
+    /// A straggler chunk to re-dispatch, marked hedged in the plan.
+    Hedge(CellRange),
+    /// Undispatched work reappeared (a straggler failed and orphaned its
+    /// cells): re-enter the normal dispatch loop.
+    Redispatch,
+    /// Nothing in flight worth waiting for — go home.
+    Drained,
+}
+
+/// Blocks until a hedgeable straggler chunk is available or until hedging
+/// can never pay off — no unhedged foreign chunk in flight, hedging
+/// disabled, or the run deadline expired. Polls the plan on a short
+/// sleep: hedge minimum ages are tens of milliseconds and this only runs
+/// on otherwise-idle workers.
+fn wait_for_hedge(
+    slot: usize,
+    plan: &Mutex<Plan>,
+    config: &CoordConfig,
+    started: Instant,
+    run_deadline: Option<Instant>,
+) -> HedgeWait {
+    let Some(min_age) = config.hedge else {
+        return HedgeWait::Drained;
+    };
+    let min_age_ms = min_age.as_millis() as u64;
+    loop {
+        if run_deadline.is_some_and(|deadline| Instant::now() >= deadline) {
+            return HedgeWait::Drained;
+        }
+        {
+            let mut plan = plan.lock().expect("plan lock poisoned");
+            let now_ms = started.elapsed().as_millis() as u64;
+            if let Some(range) = plan.hedge(slot, now_ms, min_age_ms) {
+                return HedgeWait::Hedge(range);
+            }
+            if plan.has_orphans() {
+                // Progress is guaranteed back in the dispatch loop:
+                // `next_chunk` always serves an orphan to any slot.
+                return HedgeWait::Redispatch;
+            }
+            // Stay while *anything* foreign is in flight — even already-
+            // hedged chunks: if a straggler fails and its daemon is dead,
+            // the orphans it pushes need a live claimant or the run ends
+            // Incomplete with cells a survivor could have absorbed.
+            if !plan.has_foreign_inflight(slot) {
+                return HedgeWait::Drained;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
 }
 
 /// Streams one chunk: submit the range, forward rows (validating they
@@ -687,6 +961,7 @@ mod tests {
             chunks: 0,
             rows: 0,
             cache_hits: 0,
+            hedges: 0,
             died: false,
             last_error: None,
             metrics: None,

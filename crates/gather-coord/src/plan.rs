@@ -24,8 +24,29 @@
 //! nothing is ever dispatched twice *except* by explicit re-dispatch of
 //! cells whose rows never arrived (idempotent by the workspace's
 //! content-addressed cache).
+//!
+//! ## Straggler hedging
+//!
+//! The plan additionally tracks **in-flight** chunks — ranges checked out
+//! by a worker whose rows have not all arrived yet. A worker that drains
+//! the plan (nothing to bite, nothing orphaned, nothing stealable) may
+//! [`Plan::hedge`]: re-dispatch the *oldest* chunk still in flight on a
+//! *different* slot, at most once per checkout. Hedged rows are
+//! byte-identical duplicates of whatever the straggler eventually
+//! delivers (rows are pure functions of their specs), so the merger
+//! dedupes them first-writer-wins; the hedge only buys tail latency.
 
 use gather_core::sweep::CellRange;
+
+/// One chunk currently checked out by a worker: who owns it, what it
+/// covers, when it was dispatched, and whether a hedge already fired.
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    slot: usize,
+    range: CellRange,
+    since_ms: u64,
+    hedged: bool,
+}
 
 /// One daemon slot's contiguous slice of the grid, consumed front-to-back.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +71,8 @@ pub struct Plan {
     orphans: Vec<CellRange>,
     chunk: usize,
     steals: usize,
+    inflight: Vec<Inflight>,
+    hedges: usize,
 }
 
 impl Plan {
@@ -71,6 +94,8 @@ impl Plan {
                 orphans,
                 chunk,
                 steals: 0,
+                inflight: Vec::new(),
+                hedges: 0,
             };
         }
         let base = total / slots;
@@ -90,6 +115,8 @@ impl Plan {
             orphans: Vec::new(),
             chunk,
             steals: 0,
+            inflight: Vec::new(),
+            hedges: 0,
         }
     }
 
@@ -200,6 +227,76 @@ impl Plan {
             }
         }
         0
+    }
+
+    /// Records that `slot` checked out `range` at `now_ms` (milliseconds
+    /// since the run started, by the caller's clock). The entry stays
+    /// until [`Plan::settle`] and is what [`Plan::hedge`] draws from.
+    pub fn register_inflight(&mut self, slot: usize, range: CellRange, now_ms: u64) {
+        if !range.is_empty() {
+            self.inflight.push(Inflight {
+                slot,
+                range,
+                since_ms: now_ms,
+                hedged: false,
+            });
+        }
+    }
+
+    /// Removes `slot`'s in-flight entry for `range` — its dispatch ended
+    /// (all rows arrived, or the cells went back as orphans). A miss is
+    /// fine: hedge dispatches are never registered.
+    pub fn settle(&mut self, slot: usize, range: CellRange) {
+        if let Some(i) = self
+            .inflight
+            .iter()
+            .position(|f| f.slot == slot && f.range == range)
+        {
+            self.inflight.swap_remove(i);
+        }
+    }
+
+    /// Re-dispatches the oldest still-in-flight chunk owned by a slot
+    /// *other than* `slot`, provided it has been in flight for at least
+    /// `min_age_ms` by `now_ms`. Each checkout is hedged at most once;
+    /// `None` means nothing qualifies (yet). The entry stays in flight —
+    /// the primary still owns settlement and failure-orphaning.
+    pub fn hedge(&mut self, slot: usize, now_ms: u64, min_age_ms: u64) -> Option<CellRange> {
+        let entry = self
+            .inflight
+            .iter_mut()
+            .filter(|f| {
+                f.slot != slot && !f.hedged && now_ms.saturating_sub(f.since_ms) >= min_age_ms
+            })
+            .min_by_key(|f| f.since_ms)?;
+        entry.hedged = true;
+        self.hedges += 1;
+        Some(entry.range)
+    }
+
+    /// Whether any *unhedged* chunk of another slot is still in flight —
+    /// i.e. whether retrying [`Plan::hedge`] can ever pay off for `slot`.
+    pub fn has_hedgeable(&self, slot: usize) -> bool {
+        self.inflight.iter().any(|f| f.slot != slot && !f.hedged)
+    }
+
+    /// Whether *any* chunk of another slot is still in flight, hedged or
+    /// not. A drained worker goes home only when this turns `false`: an
+    /// in-flight chunk can still fail and orphan its cells, and if its
+    /// own daemon is dead those orphans need a surviving claimant.
+    pub fn has_foreign_inflight(&self, slot: usize) -> bool {
+        self.inflight.iter().any(|f| f.slot != slot)
+    }
+
+    /// Whether any orphaned range awaits re-dispatch. Unlike shard
+    /// remainders, orphans are claimable by *any* slot's `next_chunk`.
+    pub fn has_orphans(&self) -> bool {
+        !self.orphans.is_empty()
+    }
+
+    /// How many hedge re-dispatches were handed out, cumulatively.
+    pub fn hedges(&self) -> usize {
+        self.hedges
     }
 
     /// How many times any slot stole from another's shard, cumulatively.
@@ -346,6 +443,44 @@ mod tests {
         drain(&mut plan, &mut seen);
         assert!(seen.iter().all(|&s| s), "cells were lost");
         assert_eq!(plan.undispatched(), 0);
+    }
+
+    #[test]
+    fn hedging_targets_the_oldest_foreign_chunk_at_most_once() {
+        let mut plan = Plan::new(12, 3, 2);
+        let a = plan.next_chunk(0).unwrap();
+        plan.register_inflight(0, a, 10);
+        let b = plan.next_chunk(1).unwrap();
+        plan.register_inflight(1, b, 20);
+
+        // Too young for the 100ms minimum age.
+        assert_eq!(plan.hedge(2, 50, 100), None);
+        assert!(plan.has_hedgeable(2), "unhedged foreign work exists");
+        // A slot never hedges its own chunk: slot 0 skips `a` (the
+        // oldest) and draws slot 1's.
+        assert_eq!(plan.hedge(0, 150, 100), Some(b));
+        // For a third party the *oldest* unhedged entry goes first —
+        // and each checkout is hedged at most once.
+        assert_eq!(plan.hedge(2, 500, 100), Some(a));
+        assert_eq!(plan.hedge(2, 500, 100), None);
+        assert!(!plan.has_hedgeable(2), "everything is hedged already");
+        assert_eq!(plan.hedges(), 2);
+    }
+
+    #[test]
+    fn settling_removes_the_inflight_entry_and_its_hedgeability() {
+        let mut plan = Plan::new(8, 2, 4);
+        let a = plan.next_chunk(0).unwrap();
+        plan.register_inflight(0, a, 0);
+        assert!(plan.has_hedgeable(1));
+        plan.settle(0, a);
+        assert!(!plan.has_hedgeable(1), "settled chunks cannot be hedged");
+        assert_eq!(plan.hedge(1, 1_000, 0), None);
+        // Settling an unknown (slot, range) — e.g. a hedge dispatch — is
+        // a no-op, not a panic.
+        plan.settle(1, CellRange::new(0, 4));
+        plan.settle(0, a);
+        assert_eq!(plan.hedges(), 0);
     }
 
     #[test]

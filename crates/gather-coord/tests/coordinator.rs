@@ -79,6 +79,9 @@ enum Sabotage {
     DieAfterRows(usize),
     /// Stream the chunk's first row twice (a duplicate index), then close.
     DuplicateFirstRow,
+    /// Stream the first `rows` real rows, go silent for `stall_ms`, then
+    /// close the socket — a straggler that eventually dies.
+    StallAfterRows { rows: usize, stall_ms: u64 },
 }
 
 /// A scripted daemon: serves `connections` sequential connections, each
@@ -144,6 +147,12 @@ fn scripted_daemon(
                                 write_frame(&mut writer, &row(range.start)).expect("row frame");
                                 write_frame(&mut writer, &row(range.start))
                                     .expect("duplicate row frame");
+                            }
+                            Sabotage::StallAfterRows { rows: k, stall_ms } => {
+                                for index in range.start..(range.start + k).min(range.end) {
+                                    write_frame(&mut writer, &row(index)).expect("row frame");
+                                }
+                                std::thread::sleep(Duration::from_millis(stall_ms));
                             }
                         }
                         break; // die mid-stream: close this connection
@@ -234,6 +243,107 @@ fn duplicate_rows_are_rejected_and_the_chunk_replays_elsewhere() {
 
     fake.join().expect("scripted daemon joins");
     stop_daemon(real_addr, real);
+}
+
+/// A straggling daemon — one row, then a long stall — has its in-flight
+/// chunk *hedged* onto the idle survivor; the duplicated rows dedupe
+/// byte-identically at the merger and the run completes, byte-identical
+/// to a local run, well before the straggler's stall would have ended.
+#[test]
+fn a_straggling_chunk_is_hedged_onto_the_idle_survivor() {
+    let sweep = demo_sweep();
+    let local = sweep.clone().into_sweep().run_default();
+    let local_rows_json = serde_json::to_string(&local.rows).unwrap();
+    let dedup = gather_obs::Registry::global().counter("coord_dedup_rows_total");
+    let dedup_before = dedup.get();
+
+    // One connection: the straggler accepts its first chunk, streams one
+    // row, stalls 1.5s, then dies; re-dials are refused.
+    let (slow_addr, slow) = scripted_daemon(
+        local.rows.clone(),
+        Sabotage::StallAfterRows {
+            rows: 1,
+            stall_ms: 1_500,
+        },
+        1,
+    );
+    let (real_addr, real) = spawn_daemon(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+
+    let mut config = coord_config(vec![slow_addr.to_string(), real_addr.to_string()]);
+    config.hedge = Some(Duration::from_millis(50));
+    let outcome = run_sweep(&sweep, &config).expect("hedging must complete the run");
+
+    assert_eq!(
+        serde_json::to_string(&outcome.report.rows).unwrap(),
+        local_rows_json,
+        "hedged duplicates must dedupe byte-identically, leaving a local-run-equal report"
+    );
+    assert!(
+        outcome.daemons[1].hedges >= 1,
+        "the survivor must have hedged the straggler's chunk: {:?}",
+        outcome.daemons[1]
+    );
+    assert!(
+        dedup.get() > dedup_before,
+        "at least the straggler's streamed row must have been deduped"
+    );
+    assert_eq!(outcome.report.stats.cells, local.rows.len());
+
+    slow.join().expect("straggler daemon joins");
+    stop_daemon(real_addr, real);
+}
+
+/// A single-daemon fleet whose daemon goes silent forever: with a
+/// `deadline` configured the run is cancelled on the clock and ends in a
+/// structured `DeadlineExceeded` — never a hang.
+#[test]
+fn a_silent_fleet_is_cut_off_at_the_deadline() {
+    let sweep = demo_sweep();
+    let local = sweep.clone().into_sweep().run_default();
+    let total = local.rows.len();
+
+    // Streams one row then stalls far past the deadline. The stall
+    // outlives the test body; the daemon thread is deliberately not
+    // joined (the process end reaps it).
+    let (fake_addr, _fake) = scripted_daemon(
+        local.rows.clone(),
+        Sabotage::StallAfterRows {
+            rows: 1,
+            stall_ms: 20_000,
+        },
+        1,
+    );
+    let mut config = coord_config(vec![fake_addr.to_string()]);
+    config.deadline = Some(Duration::from_millis(700));
+
+    let begun = std::time::Instant::now();
+    match run_sweep(&sweep, &config) {
+        Err(CoordError::DeadlineExceeded {
+            budget,
+            missing,
+            daemons,
+        }) => {
+            assert_eq!(budget, Duration::from_millis(700));
+            assert_eq!(missing, total - 1, "only the one streamed row arrived");
+            assert_eq!(daemons.len(), 1);
+            let rendered = CoordError::DeadlineExceeded {
+                budget,
+                missing,
+                daemons,
+            }
+            .to_string();
+            assert!(rendered.contains("deadline"), "{rendered}");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert!(
+        begun.elapsed() < Duration::from_secs(5),
+        "the deadline must cut the run off promptly, not after the stall: {:?}",
+        begun.elapsed()
+    );
 }
 
 /// When *every* daemon dies the run ends in a structured `Incomplete`

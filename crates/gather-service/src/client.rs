@@ -16,7 +16,7 @@ use std::fmt;
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Process-global client-side retry counters, split by which loop retried
 /// (connects vs whole submissions). Registered lazily in
@@ -63,6 +63,19 @@ pub struct ClientConfig {
     /// kind `WouldBlock`/`TimedOut` — set this generously above the longest
     /// expected cell, since it also ticks while streaming rows.
     pub read_timeout: Option<Duration>,
+    /// Read timeout for *liveness probes* (see
+    /// [`crate::pool::ClientPool::probe_detailed`]): deliberately short —
+    /// a probe asks the cheapest question the protocol has, so a daemon
+    /// that cannot answer it within this budget is at best alive-but-slow.
+    /// The probe restores the connection's regular `read_timeout` when the
+    /// answer does arrive in time.
+    pub probe_timeout: Duration,
+    /// Overall wall-clock budget for [`Client::run_sweep_with_retry`]
+    /// across *all* attempts (`None`: only the per-attempt timeouts
+    /// bound the call). Retrying stops as soon as the remaining budget
+    /// cannot cover the next backoff sleep; the in-flight attempt itself
+    /// is bounded by `read_timeout`, not interrupted mid-stream.
+    pub deadline: Option<Duration>,
     /// Total connect attempts (at least 1).
     pub connect_attempts: u32,
     /// Total submission attempts for [`Client::run_sweep_with_retry`] (at
@@ -82,6 +95,8 @@ impl Default for ClientConfig {
         ClientConfig {
             connect_timeout: Some(Duration::from_secs(5)),
             read_timeout: None,
+            probe_timeout: Duration::from_secs(1),
+            deadline: None,
             connect_attempts: 5,
             submit_attempts: 3,
             backoff_base: Duration::from_millis(50),
@@ -284,13 +299,42 @@ impl Client {
         workers: Option<usize>,
         sleep: &mut impl FnMut(Duration),
     ) -> Result<SweepReport, ClientError> {
+        let started = Instant::now();
+        Self::run_sweep_with_retry_clocked(addr, config, sweep, workers, sleep, &mut || {
+            started.elapsed()
+        })
+    }
+
+    /// [`Client::run_sweep_with_retry`] with an injectable sleeper *and*
+    /// clock, so the deadline cutoff is unit-testable to the exact
+    /// attempt without real time passing. `elapsed` reports wall time
+    /// since the first attempt started.
+    fn run_sweep_with_retry_clocked(
+        addr: &impl ToSocketAddrs,
+        config: &ClientConfig,
+        sweep: &SweepSpec,
+        workers: Option<usize>,
+        sleep: &mut impl FnMut(Duration),
+        elapsed: &mut impl FnMut() -> Duration,
+    ) -> Result<SweepReport, ClientError> {
         let attempts = config.submit_attempts.max(1);
         let mut last_err = None;
         for attempt in 0..attempts {
             if attempt > 0 {
+                let delay = config.backoff_delay(attempt);
+                // The deadline is a *budget*, not an interrupt: stop
+                // retrying as soon as the remaining budget cannot cover
+                // the next backoff sleep, reporting the last real failure
+                // with the exhaustion on record.
+                if let Some(deadline) = config.deadline {
+                    if elapsed() + delay > deadline {
+                        let last = last_err.expect("at least one submit attempt ran");
+                        return Err(Self::deadline_exhausted(last, attempt, deadline));
+                    }
+                }
                 client_obs().submit_retries.inc();
                 trace::event("client_submit_retry", format_args!("attempt={attempt}"));
-                sleep(config.backoff_delay(attempt));
+                sleep(delay);
             }
             let mut client = match Self::connect_with_sleeper(addr, config, sleep) {
                 Ok(client) => client,
@@ -306,6 +350,29 @@ impl Client {
             }
         }
         Err(last_err.expect("at least one submit attempt ran"))
+    }
+
+    /// Wraps the last transport error with the deadline context once the
+    /// retry budget cannot cover another backoff sleep.
+    fn deadline_exhausted(last: ClientError, attempts: u32, deadline: Duration) -> ClientError {
+        let why = format!(
+            "submit deadline of {deadline:?} exhausted after {attempts} attempt(s); last error: {last}"
+        );
+        ClientError::Io(io::Error::new(io::ErrorKind::TimedOut, why))
+    }
+
+    /// Changes this connection's socket read timeout in place (both the
+    /// buffered reader and the writer share one socket). The coordinator
+    /// uses this to tighten the timeout to a chunk-progress budget
+    /// mid-connection; [`crate::pool::ClientPool::probe_detailed`] uses it
+    /// for its short probe window.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// The connection's current socket read timeout.
+    pub fn read_timeout(&self) -> io::Result<Option<Duration>> {
+        self.writer.read_timeout()
     }
 
     fn send(&mut self, request: &Request) -> Result<(), ClientError> {
@@ -745,5 +812,106 @@ mod tests {
         // Two inter-submit delays for three attempts (connects don't retry
         // here: connect_attempts = 1).
         assert_eq!(sleeps, 2);
+    }
+
+    #[test]
+    fn submit_deadline_cuts_retries_at_the_exact_attempt_the_budget_cannot_cover() {
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let config = ClientConfig {
+            connect_attempts: 1,
+            submit_attempts: 100,
+            connect_timeout: Some(Duration::from_millis(250)),
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(40),
+            deadline: Some(Duration::from_millis(65)),
+            ..ClientConfig::default()
+        };
+        // The only time that passes in this test is the *fake* clock,
+        // advanced by the fake sleeper — dials against the dead port are
+        // treated as instantaneous. The cutoff is therefore exactly
+        // computable from the published backoff schedule: stop before the
+        // first sleep where slept-so-far + next delay > deadline.
+        let deadline = config.deadline.unwrap();
+        let mut expected_sleeps = 0u32;
+        let mut budget = Duration::ZERO;
+        for attempt in 1..config.submit_attempts {
+            let delay = config.backoff_delay(attempt);
+            if budget + delay > deadline {
+                break;
+            }
+            budget += delay;
+            expected_sleeps += 1;
+        }
+        assert!(
+            expected_sleeps >= 1 && expected_sleeps + 1 < config.submit_attempts,
+            "the deadline, not the attempt cap, must be the binding constraint \
+             ({expected_sleeps} sleeps)"
+        );
+
+        let sweep = gather_core::sweep::Sweep::new().to_spec();
+        let mut slept = 0u32;
+        // The fake clock is shared between the sleeper (which advances
+        // it) and the elapsed reader via a cell.
+        let clock_cell = std::cell::Cell::new(Duration::ZERO);
+        let result = Client::run_sweep_with_retry_clocked(
+            &addr,
+            &config,
+            &sweep,
+            None,
+            &mut |d| {
+                slept += 1;
+                clock_cell.set(clock_cell.get() + d);
+            },
+            &mut || clock_cell.get(),
+        );
+        let clock = clock_cell.get();
+        assert_eq!(
+            slept, expected_sleeps,
+            "retries must stop exactly when the remaining budget cannot cover \
+             the next backoff sleep"
+        );
+        assert!(
+            clock <= deadline,
+            "the fake clock never passes the deadline"
+        );
+        match result {
+            Err(ClientError::Io(e)) => {
+                assert_eq!(e.kind(), io::ErrorKind::TimedOut);
+                let why = e.to_string();
+                assert!(why.contains("deadline"), "{why}");
+                assert!(why.contains("last error"), "{why}");
+            }
+            other => panic!("expected a deadline-context Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn without_a_deadline_the_attempt_cap_still_binds() {
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let config = ClientConfig {
+            connect_attempts: 1,
+            submit_attempts: 4,
+            connect_timeout: Some(Duration::from_millis(250)),
+            deadline: None,
+            ..ClientConfig::default()
+        };
+        let sweep = gather_core::sweep::Sweep::new().to_spec();
+        let mut slept = 0u32;
+        let result = Client::run_sweep_with_retry_clocked(
+            &addr,
+            &config,
+            &sweep,
+            None,
+            &mut |_| slept += 1,
+            &mut || Duration::ZERO,
+        );
+        assert!(result.is_err());
+        assert_eq!(slept, 3, "submit_attempts - 1 backoff sleeps");
     }
 }

@@ -26,6 +26,28 @@ use crate::client::{Client, ClientConfig, ClientError};
 use std::io;
 use std::sync::Mutex;
 
+/// What a detailed liveness probe learned about one slot's daemon.
+///
+/// The distinction between [`ProbeOutcome::Slow`] and
+/// [`ProbeOutcome::Dead`] matters under network chaos: a throttled or
+/// delay-injected daemon still *answers*, just not within the short
+/// probe budget — evicting it would shrink the fleet exactly when the
+/// network is at its worst. A slow daemon keeps its slot (the stalled
+/// probe connection is discarded, since its reply may still arrive
+/// mid-frame later); a dead one failed outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// The daemon answered the probe within
+    /// [`ClientConfig::probe_timeout`].
+    Live,
+    /// The daemon did not answer in time, but the transport did not
+    /// fail either: alive-but-slow. The probe connection is discarded
+    /// (it is mid-frame), but the daemon is *not* declared dead.
+    Slow,
+    /// Dial or round-trip failed: the daemon is unreachable or broken.
+    Dead,
+}
+
 /// A fixed-size pool of daemon connections, one slot per address.
 pub struct ClientPool {
     addrs: Vec<String>,
@@ -113,27 +135,60 @@ impl ClientPool {
     /// Probes slot `index` for liveness with a daemon-level
     /// `Status { job: None }` request, answered by a `Progress` frame
     /// straight from the scheduler's counters. Returns `true` when the
-    /// round-trip succeeds; on failure the (possibly stale) cached
-    /// connection is discarded and `false` comes back. Out-of-range
-    /// indices are simply dead.
+    /// daemon is [`ProbeOutcome::Live`] **or** [`ProbeOutcome::Slow`] —
+    /// a throttled daemon is a usable fleet member, not a corpse. On
+    /// `Dead` the (possibly stale) cached connection is discarded and
+    /// `false` comes back. Out-of-range indices are simply dead.
     pub fn probe(&self, index: usize) -> bool {
+        self.probe_detailed(index) != ProbeOutcome::Dead
+    }
+
+    /// [`ClientPool::probe`] with the three-way classification.
+    ///
+    /// The probe round-trip runs under the pool config's short
+    /// [`ClientConfig::probe_timeout`] instead of the regular
+    /// `read_timeout` (which is sized for streaming whole chunks and may
+    /// be minutes): a daemon that answers in time is `Live` and its
+    /// connection — its *regular* read timeout restored — is parked for
+    /// reuse; a read that times out is `Slow` (alive, just not within
+    /// budget; the mid-frame connection is discarded); anything else is
+    /// `Dead`.
+    pub fn probe_detailed(&self, index: usize) -> ProbeOutcome {
         if index >= self.addrs.len() {
-            return false;
+            return ProbeOutcome::Dead;
         }
         let mut slots = self.slots.lock().expect("pool lock poisoned");
         let mut client = match slots[index].take() {
             Some(client) => client,
             None => match Client::connect_with_config(self.addrs[index].as_str(), &self.config) {
                 Ok(client) => client,
-                Err(_) => return false,
+                Err(_) => return ProbeOutcome::Dead,
             },
         };
+        if client
+            .set_read_timeout(Some(self.config.probe_timeout))
+            .is_err()
+        {
+            return ProbeOutcome::Dead;
+        }
         match client.status(None) {
             Ok(_) => {
-                slots[index] = Some(client);
-                true
+                // Restore the streaming timeout before parking; a socket
+                // that refuses is not worth caching.
+                if client.set_read_timeout(self.config.read_timeout).is_ok() {
+                    slots[index] = Some(client);
+                }
+                ProbeOutcome::Live
             }
-            Err(_) => false,
+            Err(ClientError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                ProbeOutcome::Slow
+            }
+            Err(_) => ProbeOutcome::Dead,
         }
     }
 
@@ -218,6 +273,65 @@ mod tests {
         assert!(!pool.probe(7));
         pool.evict(7); // out of range: no-op
         assert!(matches!(no_live_daemons(), ClientError::Io(_)));
+    }
+
+    #[test]
+    fn a_slow_daemon_is_classified_alive_not_evicted() {
+        use crate::protocol::{read_frame, write_frame, Request, Response};
+        // A hand-rolled daemon that answers its FIRST connection's probe
+        // only after a delay well past the probe budget, then answers
+        // later connections immediately — i.e. a throttled-but-alive
+        // daemon recovering.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Three accept slots: the slow probe's connection, the discarded
+        // connection the second probe dials while the daemon is still
+        // busy, and the final fast-served one.
+        let daemon = std::thread::spawn(move || {
+            for conn in 0..3 {
+                let Ok((stream, _)) = listener.accept() else {
+                    return;
+                };
+                let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                while let Ok(Some(Request::Status { .. })) = read_frame::<Request>(&mut reader) {
+                    if conn == 0 {
+                        std::thread::sleep(Duration::from_millis(400));
+                    }
+                    let _ = write_frame(
+                        &mut writer,
+                        &Response::Progress {
+                            job: 0,
+                            done: 0,
+                            total: 0,
+                            cancelled: false,
+                            artifacts: None,
+                        },
+                    );
+                }
+            }
+        });
+
+        let config = ClientConfig {
+            probe_timeout: Duration::from_millis(100),
+            ..quick_config()
+        };
+        let pool = ClientPool::new(vec![addr], config.clone());
+        // The reply is still 300ms away when the 100ms probe budget runs
+        // out: alive-but-slow, NOT dead — the daemon keeps its slot.
+        assert_eq!(pool.probe_detailed(0), ProbeOutcome::Slow);
+        assert!(pool.probe(0), "a slow daemon still counts as alive");
+        // probe() above dialed connection 2 — wait for the daemon thread
+        // to finish connection 1's delayed write and serve it fast.
+        std::thread::sleep(Duration::from_millis(450));
+        assert_eq!(pool.probe_detailed(0), ProbeOutcome::Live);
+        // The Live probe parked its connection with the *streaming* read
+        // timeout restored, not the probe budget.
+        let client = pool.take(0).unwrap();
+        assert_eq!(client.read_timeout().unwrap(), config.read_timeout);
+        drop(client);
+        drop(pool);
+        daemon.join().unwrap();
     }
 
     #[test]

@@ -291,8 +291,13 @@ pub fn read_frame<T: Deserialize>(r: &mut impl BufRead) -> Result<Option<T>, Fra
 /// Reads one `\n`-terminated line of at most `cap` bytes. An overlong line
 /// is consumed to its newline (keeping the stream in sync) but reported as
 /// [`FrameError::Oversized`] without ever being buffered whole. `Ok(None)`
-/// is clean EOF before any byte of a new line; EOF mid-line yields the
-/// partial line (the parse layer will reject it if it was truncated).
+/// is clean EOF before any byte of a new line; EOF *mid-line* is a torn
+/// frame — the peer died (or a fault-injecting middlebox cut the
+/// connection) partway through a write — and surfaces as
+/// [`FrameError::Io`] with kind `UnexpectedEof`, **not** as a parse
+/// error: retry loops and coordinators must classify it as transport
+/// loss (retryable elsewhere), and a truncated-but-coincidentally-valid
+/// JSON prefix must never be accepted as a frame.
 fn read_line_capped(r: &mut impl BufRead, cap: usize) -> Result<Option<String>, FrameError> {
     let mut line: Vec<u8> = Vec::new();
     let mut oversized = false;
@@ -303,7 +308,10 @@ fn read_line_capped(r: &mut impl BufRead, cap: usize) -> Result<Option<String>, 
             return match (oversized, line.is_empty()) {
                 (true, _) => Err(FrameError::Oversized { limit: cap }),
                 (false, true) => Ok(None),
-                (false, false) => Ok(Some(into_utf8(line)?)),
+                (false, false) => Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame (torn line)",
+                ))),
             };
         }
         match buf.iter().position(|&b| b == b'\n') {

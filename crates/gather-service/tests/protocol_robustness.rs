@@ -223,6 +223,108 @@ fn idle_connections_are_reaped_while_fresh_ones_keep_being_served() {
 }
 
 #[test]
+fn frames_split_across_tcp_segments_reassemble_byte_for_byte() {
+    use gather_service::protocol::FrameError;
+
+    // One valid Status frame, delivered one byte per TCP segment: the
+    // framing layer must reassemble it into the exact same request, and a
+    // second frame sent the same way must follow on the same connection.
+    // This pins `read_frame` against any "one read == one frame"
+    // assumption creeping in — under chaos proxies and slow links a frame
+    // routinely arrives in many pieces.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &Request::Status { job: None }).expect("encode");
+    write_frame(&mut bytes, &Request::Cancel { job: 7 }).expect("encode");
+    let writer = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        for b in bytes {
+            stream.write_all(&[b]).expect("write one byte");
+            stream.flush().expect("flush one byte");
+        }
+        // Keep the socket open until the reader is done, so EOF handling
+        // never enters this test.
+        stream
+    });
+
+    let (peer, _) = listener.accept().expect("accept");
+    let mut reader = BufReader::new(peer);
+    let first: Request = read_frame(&mut reader)
+        .expect("reassembled frame parses")
+        .expect("frame present");
+    assert!(matches!(first, Request::Status { job: None }), "{first:?}");
+    let second: Request = read_frame(&mut reader)
+        .expect("second frame parses")
+        .expect("frame present");
+    assert!(matches!(second, Request::Cancel { job: 7 }), "{second:?}");
+    drop(reader);
+    drop(writer.join().expect("writer thread"));
+
+    // Same property through the plain BufRead path with a 1-byte buffer:
+    // the smallest possible fill_buf granularity still reassembles.
+    let mut encoded = Vec::new();
+    write_frame(&mut encoded, &Request::Status { job: Some(3) }).expect("encode");
+    let mut tiny = BufReader::with_capacity(1, std::io::Cursor::new(encoded));
+    let again: Result<Option<Request>, FrameError> = read_frame(&mut tiny);
+    assert!(
+        matches!(again, Ok(Some(Request::Status { job: Some(3) }))),
+        "{again:?}"
+    );
+}
+
+#[test]
+fn a_torn_frame_is_a_transport_error_not_a_parse_error() {
+    use gather_service::protocol::FrameError;
+
+    // The peer sends half a frame and closes. The prefix of a valid JSON
+    // line can itself be valid JSON (`"Shutdown` is not, but a torn
+    // `{"Cancel":{"job":7` could be completed several ways) — so a torn
+    // frame must surface as an I/O error (`UnexpectedEof`), never as a
+    // parse error and *never* as a successfully parsed prefix. Callers
+    // classify I/O errors as retryable transport loss; a parse error
+    // means the peer is speaking garbage.
+    let mut encoded = Vec::new();
+    write_frame(&mut encoded, &Request::Cancel { job: 7 }).expect("encode");
+
+    for cut in [1, encoded.len() / 2, encoded.len() - 1] {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let torn = encoded[..cut].to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(&torn).expect("write torn prefix");
+            stream.flush().expect("flush");
+            // Drop: FIN mid-line.
+        });
+
+        let (peer, _) = listener.accept().expect("accept");
+        let mut reader = BufReader::new(peer);
+        let result: Result<Option<Request>, FrameError> = read_frame(&mut reader);
+        match result {
+            Err(FrameError::Io(e)) => assert_eq!(
+                e.kind(),
+                std::io::ErrorKind::UnexpectedEof,
+                "cut at {cut}: torn line must be UnexpectedEof, got {e:?}"
+            ),
+            other => panic!("cut at {cut}: expected FrameError::Io(UnexpectedEof), got {other:?}"),
+        }
+        writer.join().expect("writer thread");
+    }
+
+    // A *complete* line followed by EOF is the clean-close case and must
+    // stay `Ok(None)` on the next read — torn-frame detection must not
+    // misfire on well-behaved disconnects.
+    let mut clean = BufReader::new(std::io::Cursor::new(encoded.clone()));
+    let parsed: Request = read_frame(&mut clean).expect("parses").expect("present");
+    assert!(matches!(parsed, Request::Cancel { job: 7 }));
+    let eof: Result<Option<Request>, FrameError> = read_frame(&mut clean);
+    assert!(matches!(eof, Ok(None)), "{eof:?}");
+}
+
+#[test]
 fn mid_stream_disconnect_cancels_the_job_and_daemon_survives() {
     let (addr, handle) = spawn_daemon();
 

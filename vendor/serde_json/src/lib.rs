@@ -326,6 +326,13 @@ impl<'a> Parser<'a> {
                         _ => return Err(Error::custom("invalid escape character")),
                     }
                 }
+                b if b < 0x20 => {
+                    // RFC 8259: control characters must be escaped inside
+                    // strings; upstream serde_json rejects raw ones too.
+                    // This also guarantees a NUL-corrupted wire frame can
+                    // never parse into a *different* valid string.
+                    return Err(Error::custom("control character in string"));
+                }
                 _ => {
                     // Re-decode UTF-8 from the raw bytes.
                     let start = self.pos - 1;
@@ -412,6 +419,21 @@ mod tests {
         let s = to_string(&v).unwrap();
         let back: Value = from_str(&s).unwrap();
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn raw_control_characters_in_strings_are_rejected() {
+        // Raw (unescaped) control bytes are invalid JSON; escaped forms
+        // parse fine. Escaped control characters in *values* also
+        // re-serialize escaped, so roundtrips never emit raw ones.
+        assert!(from_str::<Value>("\"a\u{0}b\"").is_err());
+        assert!(from_str::<Value>("\"a\u{1f}b\"").is_err());
+        let back: Value = from_str("\"a\\u0000b\"").unwrap();
+        assert_eq!(back, Value::String("a\u{0}b".into()));
+        let reserialized = to_string(&back).unwrap();
+        assert_eq!(reserialized, "\"a\\u0000b\"");
+        let again: Value = from_str(&reserialized).unwrap();
+        assert_eq!(again, back);
     }
 
     #[test]
